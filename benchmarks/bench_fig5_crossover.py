@@ -1,0 +1,99 @@
+"""Fig 5 — the forms/SQL crossover on increasingly ad-hoc queries.
+
+Query-by-form expresses *conjunctions* in a handful of keystrokes, but a
+disjunctive ad-hoc question ("students in any of departments 1..k") forces
+the forms user to run k separate QBF queries, while the SQL user types one
+IN-list that grows only a few characters per term.  Total user cost at 1983
+terminal rates (typing + line transmission) therefore crosses over: forms
+win for small k, SQL wins beyond the crossover.  This is the honest limit
+of forms the paper's discussion section would concede.
+"""
+
+from __future__ import annotations
+
+from repro.core import WowApp
+from repro.metrics import TerminalCostModel
+from repro.baselines import SqlCli
+from repro.workloads import build_university
+
+K_VALUES = [1, 2, 3, 4, 6, 8, 10, 12]
+MODEL = TerminalCostModel()  # 0.5 s/keystroke, 960 cells/s
+
+
+def _forms_cost(k: int):
+    """k separate QBF queries, paging through every matching record.
+
+    The task is "review all students in departments 1..k".  The form shows
+    one record at a time, so the user pays one keystroke (and one small
+    differential frame) per match — the honest cost of record-at-a-time
+    interfaces on bulk-review tasks.
+    """
+    db = build_university(students=120, courses=10)
+    app = WowApp(db, width=90, height=26)
+    form = app.open_form("students")
+    app.wm.renderer.reset_stats()
+    app.keys.reset()
+    total_matches = 0
+    for dept in range(1, k + 1):
+        app.send_keys(f"<F4><TAB><TAB>{dept}<ENTER>")  # criterion on major_id
+        matches = form.controller.record_count
+        total_matches += matches
+        if matches > 1:
+            app.send_keys("<DOWN>" * (matches - 1))  # review each record
+    expected = db.execute(
+        f"SELECT COUNT(*) FROM students WHERE major_id <= {k}"
+    ).scalar()
+    assert total_matches == expected
+    return app.keys.total, app.wm.renderer.cells_transmitted
+
+
+def _sql_cost(k: int):
+    db = build_university(students=120, courses=10)
+    cli = SqlCli(db)
+    in_list = ", ".join(str(d) for d in range(1, k + 1))
+    result = cli.run(f"SELECT * FROM students WHERE major_id IN ({in_list})")
+    assert result is not None
+    return cli.keys.total, cli.output_chars
+
+
+def test_fig5_crossover(report, benchmark):
+    series = []
+    crossover = None
+    for k in K_VALUES:
+        forms_keys, forms_cells = _forms_cost(k)
+        sql_keys, sql_cells = _sql_cost(k)
+        forms_seconds = MODEL.cost(forms_keys, forms_cells)
+        sql_seconds = MODEL.cost(sql_keys, sql_cells)
+        if crossover is None and sql_seconds < forms_seconds:
+            crossover = k
+        series.append((k, forms_keys, sql_keys, forms_seconds, sql_seconds))
+
+    benchmark(lambda: _forms_cost(3))
+
+    report.section("Fig 5 — total user cost (s) vs disjunctive query width k")
+    report.table(
+        ["k", "forms keys", "sql keys", "forms s", "sql s", "winner"],
+        [
+            (
+                k,
+                fk,
+                sk,
+                f"{fs:.1f}",
+                f"{ss:.1f}",
+                "forms" if fs <= ss else "SQL",
+            )
+            for k, fk, sk, fs, ss in series
+        ],
+    )
+    report.line(f"\ncrossover at k = {crossover}")
+    report.save("fig5_crossover")
+
+    # Shape: forms win for small k, SQL wins for large k, and there is a
+    # single crossover between them.
+    assert series[0][3] < series[0][4], "forms must win at k=1"
+    assert series[-1][3] > series[-1][4], "SQL must win at k=12"
+    assert crossover is not None and 2 <= crossover <= 10
+    # Winner flips exactly once along the series.
+    winners = ["forms" if fs <= ss else "sql" for _k, _fk, _sk, fs, ss in series]
+    flips = sum(1 for a, b in zip(winners, winners[1:]) if a != b)
+    assert flips == 1

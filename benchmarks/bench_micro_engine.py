@@ -1,0 +1,121 @@
+"""Engine micro-benchmarks (not tied to a paper table; regression guards).
+
+pytest-benchmark timings for the hot inner loops every experiment rests on:
+heap insert/scan, B+-tree insert/lookup/range, row codec, screen diff, and
+end-to-end statement execution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.btree import BPlusTree
+from repro.relational.database import Database
+from repro.relational.heap import HeapFile
+from repro.relational.pager import MemoryPager
+from repro.relational.rowcodec import decode_row, encode_row
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import ColumnType
+from repro.windows.screen import ScreenBuffer
+
+SCHEMA = TableSchema(
+    "bench",
+    [
+        Column("id", ColumnType.INT),
+        Column("name", ColumnType.TEXT),
+        Column("score", ColumnType.FLOAT),
+        Column("flag", ColumnType.BOOL),
+    ],
+)
+ROW = (123456, "a-typical-name-string", 98.75, True)
+
+
+def test_micro_rowcodec_encode(benchmark):
+    benchmark(encode_row, SCHEMA, ROW)
+
+
+def test_micro_rowcodec_decode(benchmark):
+    data = encode_row(SCHEMA, ROW)
+    assert benchmark(decode_row, SCHEMA, data) == ROW
+
+
+def test_micro_heap_insert(benchmark):
+    heap = HeapFile(MemoryPager())
+    record = encode_row(SCHEMA, ROW)
+    benchmark(heap.insert, record)
+
+
+def test_micro_heap_scan_1k(benchmark):
+    heap = HeapFile(MemoryPager())
+    record = encode_row(SCHEMA, ROW)
+    for _ in range(1000):
+        heap.insert(record)
+    assert benchmark(lambda: sum(1 for _ in heap.scan())) == 1000
+
+
+def test_micro_btree_insert(benchmark):
+    counter = iter(range(10**9))
+
+    def insert_one():
+        tree_local = tree
+        tree_local.insert(next(counter), None)
+
+    tree = BPlusTree()
+    benchmark(insert_one)
+
+
+def test_micro_btree_lookup(benchmark):
+    tree = BPlusTree()
+    for i in range(10_000):
+        tree.insert(i, i)
+    assert benchmark(tree.get, 7777) == 7777
+
+
+def test_micro_btree_range_100(benchmark):
+    tree = BPlusTree()
+    for i in range(10_000):
+        tree.insert(i, i)
+    assert benchmark(lambda: sum(1 for _ in tree.range(5000, 5099))) == 100
+
+
+def test_micro_screen_diff(benchmark):
+    a = ScreenBuffer(80, 24)
+    b = ScreenBuffer(80, 24)
+    text = "a single changed line of text"
+    b.write(10, 10, text)
+    # A written space cell equals a blank cell, so only non-spaces differ.
+    assert len(benchmark(b.diff, a)) == sum(1 for ch in text if ch != " ")
+
+
+@pytest.fixture(scope="module")
+def loaded_db():
+    db = Database()
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT, score FLOAT)")
+    db.execute("BEGIN")
+    for i in range(5000):
+        db.insert("t", {"id": i, "name": f"row{i}", "score": float(i % 100)})
+    db.execute("COMMIT")
+    return db
+
+
+def test_micro_point_select(benchmark, loaded_db):
+    result = benchmark(loaded_db.query, "SELECT name FROM t WHERE id = 2500")
+    assert result == [("row2500",)]
+
+
+def test_micro_parse_only(benchmark):
+    from repro.sql.parser import parse_statement
+
+    sql = (
+        "SELECT a.x, b.y, COUNT(*) AS n FROM alpha a JOIN beta b ON a.k = b.k "
+        "WHERE a.x > 10 AND b.tag LIKE 'q%' GROUP BY a.x, b.y ORDER BY n DESC LIMIT 5"
+    )
+    benchmark(parse_statement, sql)
+
+
+def test_micro_aggregate_5k(benchmark, loaded_db):
+    rows = benchmark(
+        loaded_db.query,
+        "SELECT score, COUNT(*) FROM t GROUP BY score",
+    )
+    assert len(rows) == 100

@@ -1,0 +1,55 @@
+"""Table 1 — keystrokes per task: WoW forms vs SQL monitor vs dump browser.
+
+Expected shape (the paper's thesis): forms cost a small constant number of
+keystrokes for routine clerical tasks, the SQL monitor pays the full query
+text every time, and the pre-forms dump browser degrades sharply on any
+task its single-predicate commands cannot express (T6–T8).
+"""
+
+from __future__ import annotations
+
+from benchmarks._interaction_tasks import (
+    TASK_NAMES,
+    run_dump_tasks,
+    run_forms_tasks,
+    run_sql_tasks,
+)
+
+
+def test_table1_keystrokes(report, benchmark):
+    forms = benchmark(run_forms_tasks)  # timed: the full forms session
+    sql = run_sql_tasks()
+    dump = run_dump_tasks()
+
+    report.section("Table 1 — keystrokes per task (university, 300 students)")
+    rows = []
+    for task in TASK_NAMES:
+        advantage = sql[task] / forms[task]
+        rows.append(
+            (task, forms[task], sql[task], dump[task], f"{advantage:.1f}x")
+        )
+    total_forms = sum(forms.values())
+    total_sql = sum(sql.values())
+    total_dump = sum(dump.values())
+    rows.append(
+        (
+            "TOTAL",
+            total_forms,
+            total_sql,
+            total_dump,
+            f"{total_sql / total_forms:.1f}x",
+        )
+    )
+    report.table(
+        ["task", "WoW forms", "SQL monitor", "dump browser", "forms vs SQL"],
+        rows,
+    )
+    report.save("table1_keystrokes")
+
+    # Shape assertions: forms beat SQL on every task; the dump browser
+    # collapses on the query tasks it cannot express.
+    for task in TASK_NAMES:
+        assert forms[task] < sql[task], f"forms should beat SQL on {task}"
+    assert dump["T6 ranged-query"] > forms["T6 ranged-query"] * 3
+    assert dump["T8 multi-query"] > forms["T8 multi-query"] * 3
+    assert total_forms * 2 < total_sql

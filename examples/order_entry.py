@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Order entry: the classic 1983 application, end to end.
+
+Run:  python examples/order_entry.py
+
+A painted order form with validation clauses and a computed total, a
+CHECK-constrained schema, FK pick lists, and a master–detail pair
+(customers -> their orders) — the full forms-over-views toolkit on the
+bread-and-butter workload of the era.
+"""
+
+from repro.core import WowApp
+from repro.errors import CheckConstraintError
+from repro.forms.paint import paint_form
+from repro.forms.spec import FieldSpec
+from repro.relational.database import Database
+from repro.relational.types import ColumnType
+
+
+def build_db() -> Database:
+    db = Database()
+    db.execute_script(
+        """
+        CREATE TABLE customers (
+            id INT PRIMARY KEY, name TEXT NOT NULL, city TEXT);
+        CREATE TABLE orders (
+            id INT PRIMARY KEY,
+            customer_id INT NOT NULL,
+            item TEXT NOT NULL,
+            qty INT NOT NULL DEFAULT 1,
+            unit_price FLOAT NOT NULL,
+            CHECK (qty > 0),
+            CHECK (unit_price >= 0),
+            FOREIGN KEY (customer_id) REFERENCES customers (id));
+        INSERT INTO customers VALUES
+            (1, 'acme corp', 'london'), (2, 'globex', 'paris');
+        INSERT INTO orders VALUES
+            (100, 1, 'widget', 3, 9.5),
+            (101, 1, 'sprocket', 1, 24.0),
+            (102, 2, 'widget', 10, 9.0);
+        """
+    )
+    return db
+
+
+TEMPLATE = """
+ ORDER ENTRY ---------------------------------
+ Order no:  [id    ]     Customer: [customer_id]
+ Item:      [item              ]
+ Quantity:  [qty   ]  Unit price: [unit_price]
+ ----------------------------------------------
+ Order total:
+"""
+
+
+def main() -> None:
+    db = build_db()
+    app = WowApp(db, width=100, height=26)
+
+    # Paint the order form, then add validation and the computed total.
+    spec = paint_form(db, "orders", TEMPLATE, title="Order Entry")
+    spec.field_for("qty").minimum = 1
+    spec.field_for("qty").maximum = 999
+    spec.field_for("item").required = True
+    spec.fields.append(
+        FieldSpec(
+            "total", "", ColumnType.FLOAT, 10, 5,
+            expression="qty * unit_price", x=24,
+        )
+    )
+
+    orders = app.open_form("orders", spec=spec, x=0, y=0)
+    customers = app.open_form("customers", x=52, y=0)
+    app.link(customers, orders, on=[("id", "customer_id")])
+
+    print("== The painted order form, linked to its customer master ==")
+    print(app.screen_text())
+
+    # Enter a new order, using the pick list for the customer.
+    app.wm.raise_window(orders)
+    app.send_keys("<F3>")  # INSERT mode
+    app.send_keys("103<TAB>")  # order no
+    app.send_keys("<F7>")  # pick list on customer_id
+    print("\n== F7: customer pick list over the form ==")
+    print(app.screen_text())
+    app.send_keys("<DOWN><ENTER>")  # choose 'globex'
+    app.send_keys("<TAB>gizmo<TAB>4<TAB>12.5<F2>")
+    print("\nsaved:", orders.controller.message)
+    print("new order:", db.query("SELECT * FROM orders WHERE id = 103"))
+
+    # The new order belongs to globex; move the master there to see it
+    # (the detail form only shows the current customer's orders).
+    app.wm.raise_window(customers)
+    app.send_keys("<DOWN>")
+    app.wm.raise_window(orders)
+    app.send_keys("<END>")
+    print("computed total on screen:", orders.controller.field_texts["total"])
+
+    # Validation clause in action: quantity over the declared maximum.
+    app.send_keys("<F2><TAB><TAB><TAB>5000<F2>")
+    print("\nvalidation:", orders.controller.message)
+    app.send_keys("<ESC>")
+
+    # And the schema-level CHECK backs it up below the UI:
+    try:
+        db.execute("UPDATE orders SET qty = -1 WHERE id = 100")
+    except CheckConstraintError as exc:
+        print("engine CHECK:", exc)
+
+    # The master still drives the detail rowset.
+    app.wm.raise_window(customers)
+    app.send_keys("<HOME>")
+    print("\nacme's orders:", orders.controller.record_count)
+    app.send_keys("<DOWN>")
+    print("globex's orders:", orders.controller.record_count)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Protection console: views as protection domains, plus the power tools.
+
+Run:  python examples/protection_console.py
+
+The scenario the forms-over-views architecture was built for: the DBA owns
+the payroll table; a clerk gets a *view* (no salary column, no executives)
+and works it through forms, a datasheet grid, and an in-UI SQL window —
+never able to see past the view.  Finishes with a report and a CSV export,
+the batch side of the same world.
+"""
+
+import io
+
+from repro.core import WowApp
+from repro.relational.auth import AuthError
+from repro.relational.csvio import export_csv_text
+from repro.relational.database import Database
+from repro.reports import ReportSpec, run_report
+from repro.windows.geometry import Rect
+
+
+def main() -> None:
+    db = Database()
+
+    # --- the DBA sets the world up -------------------------------------
+    db.execute_script(
+        """
+        CREATE TABLE payroll (
+            id INT PRIMARY KEY, name TEXT NOT NULL,
+            grade INT DEFAULT 1, salary FLOAT, executive BOOL DEFAULT FALSE);
+        INSERT INTO payroll VALUES
+            (1, 'ada',  2, 120.0, FALSE),
+            (2, 'bob',  1,  90.0, FALSE),
+            (3, 'cyd',  3, 150.0, FALSE),
+            (4, 'vera', 9, 900.0, TRUE);
+        CREATE VIEW staff AS
+            SELECT id, name, grade FROM payroll WHERE executive = FALSE
+            WITH CHECK OPTION;
+        GRANT SELECT, UPDATE, INSERT ON staff TO clerk;
+        """
+    )
+
+    # --- the clerk's session --------------------------------------------
+    db.set_user("clerk")
+    app = WowApp(db, width=90, height=24)
+
+    grid = app.open_table_form("staff", Rect(0, 0, 44, 12))
+    print("== The clerk's whole world: the staff view as a datasheet ==")
+    print(app.screen_text())
+
+    # The clerk promotes bob a grade, in place.
+    app.send_keys("<DOWN><RIGHT><RIGHT>2<ENTER>")
+    db.set_user("dba")  # (only to verify the base table for this demo)
+    print("\nbob's grade (base table):",
+          db.query("SELECT grade FROM payroll WHERE id = 2"))
+    db.set_user("clerk")
+
+    # Base table remains invisible — even through the SQL window.
+    app.open_sql_window(Rect(45, 0, 44, 12))
+    app.send_keys("SELECT * FROM payroll<ENTER>")
+    print("\n== The SQL window enforces the same authority ==")
+    print(app.screen_text())
+
+    # Inserts through the view inherit the protection predicate.
+    app.send_keys("INSERT INTO staff (id, name, grade) VALUES (5, 'dee', 1)<ENTER>")
+    db.set_user("dba")
+    print("\nnew row's executive flag (auto-filled FALSE by the view):",
+          db.query("SELECT executive FROM payroll WHERE id = 5"))
+    db.set_user("clerk")
+
+    # And the check option stops any escape attempt cold.
+    try:
+        db.update("staff", {"grade": 9}, "id = 99999")  # no-op is fine
+        db.set_user("dba")
+        db.execute(
+            "CREATE VIEW staff_x AS SELECT id, executive FROM payroll "
+            "WHERE executive = FALSE WITH CHECK OPTION"
+        )
+        db.execute("GRANT UPDATE, SELECT ON staff_x TO clerk")
+        db.set_user("clerk")
+        db.update("staff_x", {"executive": True}, "id = 1")
+    except Exception as exc:
+        print(f"\nescape attempt rejected: {type(exc).__name__}: {exc}")
+
+    # --- back to the DBA: report and export ------------------------------
+    db.set_user("dba")
+    print("\n== The DBA's payroll report (grouped, with totals) ==")
+    spec = ReportSpec(
+        title="Payroll by grade",
+        source="payroll",
+        columns=["name", "salary"],
+        group_by="grade",
+        totals=["salary"],
+    )
+    print(run_report(db, spec))
+
+    print("== CSV export of the clerk-visible view ==")
+    print(export_csv_text(db, "staff"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: a database, a view, a form window — in ~40 lines.
+
+Run:  python examples/quickstart.py
+
+Builds a tiny company database, opens an auto-generated form over an
+updatable view, and drives it with keystrokes: browse, query-by-form,
+edit through the view.  The frames are printed as text — everything a
+real terminal would show.
+"""
+
+from repro import Database
+from repro.core import WowApp
+
+
+def main() -> None:
+    db = Database()
+    db.execute_script(
+        """
+        CREATE TABLE dept (id INT PRIMARY KEY, name TEXT NOT NULL);
+        CREATE TABLE emp (
+            id INT PRIMARY KEY, name TEXT NOT NULL,
+            dept_id INT, salary FLOAT,
+            FOREIGN KEY (dept_id) REFERENCES dept (id));
+        INSERT INTO dept VALUES (1, 'eng'), (2, 'sales');
+        INSERT INTO emp VALUES
+            (10, 'ada', 1, 100.0), (11, 'bob', 2, 90.0), (12, 'cyd', 1, 120.0);
+        CREATE VIEW eng_emps AS
+            SELECT id, name, salary FROM emp WHERE dept_id = 1
+            WITH CHECK OPTION;
+        """
+    )
+
+    app = WowApp(db, width=60, height=12)
+    form = app.open_form("eng_emps")  # auto-generated form over the view
+    print("== A window on the world: the auto-generated form ==")
+    print(app.screen_text())
+
+    # Browse to the next record (one keystroke).
+    app.send_keys("<DOWN>")
+    print("\n== After <DOWN>: the next engineering employee ==")
+    print(app.screen_text())
+
+    # Edit through the view: F2, TAB to salary, retype, F2 saves.
+    app.send_keys("<F2><TAB><TAB><END><BACKSPACE><BACKSPACE><BACKSPACE>150<F2>")
+    print("\n== Salary edited through the view (base table updated) ==")
+    print(app.screen_text())
+    print("base table says:", db.query("SELECT salary FROM emp WHERE id = 12"))
+
+    # Query by form: F4, criterion '>120' in the salary field, ENTER.
+    app.send_keys("<F4><TAB><TAB>>120<ENTER>")
+    print("\n== Query-by-form: salary > 120 ==")
+    print(app.screen_text())
+    print(f"\nkeystrokes used in this whole session: {app.keys.total}")
+    print(f"cells transmitted: {app.wm.renderer.cells_transmitted}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Registrar: master–detail windows over the university workload.
+
+Run:  python examples/registrar.py
+
+Opens two linked windows — a department form (master) and a browser over
+students (detail) — plus a third window with a form on the updatable
+``senior_students`` view.  Moving the master re-filters the detail: several
+simultaneous *windows on the world* of one database.
+"""
+
+from repro.core import WowApp
+from repro.forms.linking import FormLink
+from repro.relational import expr as E
+from repro.windows.geometry import Rect
+from repro.workloads import build_university
+
+
+def main() -> None:
+    db = build_university(students=60, courses=15)
+    app = WowApp(db, width=100, height=28)
+
+    # Master: a department form.
+    dept_form = app.open_form("departments", x=0, y=0)
+
+    # Detail: a browser over students, linked on major_id.
+    browser = app.open_browser("students", Rect(0, 8, 64, 14))
+
+    # The browser is not a form, so link manually through its filter.
+    def propagate() -> None:
+        row = dept_form.controller.current_row
+        if row is None:
+            browser.filter = E.BinOp("=", E.Literal(1), E.Literal(0))
+        else:
+            browser.filter = E.BinOp(
+                "=", E.ColumnRef("major_id"), E.Literal(row[0])
+            )
+        browser.refresh()
+
+    dept_form.controller.on_record_change.append(propagate)
+    propagate()
+    app.wm.render_frame()
+
+    print("== Master (departments) + detail (students of that major) ==")
+    print(app.screen_text())
+
+    # Move the master: the detail follows.
+    app.wm.raise_window(dept_form)
+    app.send_keys("<DOWN>")
+    print("\n== After <DOWN> on the master: mathematics majors ==")
+    print(app.screen_text())
+
+    # A third window: the senior_students updatable view.
+    senior_form = app.open_form("senior_students", x=66, y=8)
+    print("\n== Third window: form over the senior_students view ==")
+    print(app.screen_text())
+
+    # Give the first senior a GPA bump, through the view.
+    app.send_keys("<F2><TAB><TAB><TAB><END><BACKSPACE><BACKSPACE><BACKSPACE><BACKSPACE>4.0<F2>")
+    controller = senior_form.controller
+    sid = controller.field_texts["id"]
+    print(f"\nsenior #{sid} gpa now:", db.query(f"SELECT gpa FROM students WHERE id = {sid}"))
+    print("message:", controller.message)
+    print(f"\nkeystrokes: {app.keys.total}, cells transmitted: {app.wm.renderer.cells_transmitted}")
+
+
+if __name__ == "__main__":
+    main()

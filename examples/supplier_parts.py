@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Supplier–parts: views, view chains, and WITH CHECK OPTION in action.
+
+Run:  python examples/supplier_parts.py
+
+Shows the view machinery the forms sit on, using Codd's supplier–parts
+database: DML through a select–project view, a view defined over another
+view, the check option rejecting escaping rows, and the EXPLAIN output for
+a query through a view.
+"""
+
+from repro.errors import CheckOptionError
+from repro.workloads import build_supplier_parts
+
+
+def main() -> None:
+    db = build_supplier_parts(suppliers=12, parts=25, shipments=60)
+
+    print("== london_suppliers (a WITH CHECK OPTION view) ==")
+    for row in db.query("SELECT * FROM london_suppliers ORDER BY id"):
+        print("  ", row)
+
+    print("\n-- INSERT through the view (city auto-filled to 'london') --")
+    db.insert("london_suppliers", {"id": 99, "name": "new-co", "status": 20})
+    print("   base row:", db.query("SELECT * FROM suppliers WHERE id = 99"))
+
+    print("\n-- UPDATE through the view --")
+    db.update("london_suppliers", {"status": 30}, "id = 99")
+    print("   status now:", db.execute("SELECT status FROM suppliers WHERE id = 99").scalar())
+
+    print("\n-- A view over a view: heavy_red_parts ==")
+    for row in db.query("SELECT * FROM heavy_red_parts ORDER BY id LIMIT 5"):
+        print("  ", row)
+    print("-- updating through the chain writes the base table --")
+    first = db.query("SELECT id FROM heavy_red_parts ORDER BY id LIMIT 1")
+    if first:
+        part_id = first[0][0]
+        db.update("heavy_red_parts", {"weight": 40.0}, f"id = {part_id}")
+        print(
+            f"   parts[{part_id}].weight =",
+            db.execute(f"SELECT weight FROM parts WHERE id = {part_id}").scalar(),
+        )
+
+    print("\n-- the check option rejects rows that would escape the view --")
+    try:
+        # Through a CHECK OPTION view over city='london', you cannot create
+        # a row the view wouldn't show.  The insert path auto-fills city,
+        # so provoke it through an update view exposing the predicate column.
+        db.execute(
+            "CREATE VIEW london_full AS SELECT id, name, city FROM suppliers "
+            "WHERE city = 'london' WITH CHECK OPTION"
+        )
+        db.update("london_full", {"city": "paris"}, "id = 99")
+    except CheckOptionError as exc:
+        print("   rejected as expected:", exc)
+
+    print("\n== EXPLAIN of a query through a view ==")
+    print(db.execute("EXPLAIN SELECT name FROM heavy_red_parts WHERE weight > 30").plan)
+
+    print("\n== supply_summary (aggregate view) ==")
+    for row in db.query("SELECT * FROM supply_summary ORDER BY total_qty DESC LIMIT 3"):
+        print("  ", row)
+
+
+if __name__ == "__main__":
+    main()

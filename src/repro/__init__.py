@@ -1,0 +1,20 @@
+"""Reproduction of "Windows on the World" (SIGMOD 1983).
+
+A forms-over-views windowed database interface — the ancestor of Access
+forms, the Django admin, and phpMyAdmin — rebuilt in pure Python, together
+with every substrate it needs: a from-scratch relational engine with views
+and view updates, a character-cell windowing system, and a keystroke-
+scriptable forms runtime.
+
+Public entry points:
+
+* :class:`repro.relational.Database` — the relational engine.
+* :class:`repro.core.WowApp` — the windowed forms application.
+* :mod:`repro.workloads` — deterministic synthetic databases.
+"""
+
+__version__ = "1.0.0"
+
+from repro.relational.database import Database
+
+__all__ = ["Database", "__version__"]

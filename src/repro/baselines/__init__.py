@@ -1,0 +1,13 @@
+"""Baseline interfaces the paper's design is compared against.
+
+* :class:`SqlCli` — a line-mode SQL monitor (what a 1983 DBA had);
+* :class:`DumpBrowser` — a record-at-a-time dump browser (pre-forms UI).
+
+Both count keystrokes through :class:`repro.metrics.KeystrokeMeter` and
+count output characters, so interaction-cost tables compare like with like.
+"""
+
+from repro.baselines.dump_browser import DumpBrowser
+from repro.baselines.sql_cli import SqlCli
+
+__all__ = ["DumpBrowser", "SqlCli"]

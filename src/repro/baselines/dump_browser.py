@@ -1,0 +1,189 @@
+"""The record-at-a-time dump browser: the pre-forms baseline.
+
+This models how users inspected relations before forms interfaces: a
+sequential browser that prints one record as a field dump and accepts
+single-letter commands.  Command language (each command ends with ENTER)::
+
+    n / p          next / previous record
+    f / l          first / last record
+    /col=value     linear search forward for the next matching record
+    u col=value    update one field of the current record
+    i c=v,c=v,...  insert a record
+    x              delete the current record
+    q col op value filter the rowset (op in = != < <= > >=), like a
+                   poor man's range query; 'q' alone clears the filter
+
+Keystrokes = characters typed + ENTER per command.  Output = characters of
+each record dump printed after every command (sequential browsing pays to
+re-print the record every step — precisely what windows+forms avoided).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import WowError
+from repro.metrics import KeystrokeMeter
+from repro.relational import expr as E
+from repro.relational.database import Database
+from repro.relational.types import format_value, parse_input
+
+
+class DumpBrowser:
+    """A metered sequential record browser over one table or view."""
+
+    def __init__(self, db: Database, source: str) -> None:
+        self.db = db
+        self.source = source
+        self.schema = db.catalog.schema_of(source)
+        self.keys = KeystrokeMeter()
+        self.output_chars = 0
+        self.position = 0
+        self.filter: Optional[E.Expr] = None
+        self.rows: List[Tuple[Any, ...]] = []
+        self.message = ""
+        self._requery()
+
+    # -- the command interface ---------------------------------------------
+
+    def command(self, text: str) -> None:
+        """Run one command, metering its keystrokes and output."""
+        self.keys.record(len(text) + 1)  # + ENTER
+        self.message = ""
+        try:
+            self._run(text.strip())
+        except WowError as exc:
+            self.message = f"error: {exc}"
+        except Exception as exc:  # surface engine errors as messages
+            self.message = f"error: {exc}"
+        self._emit(self.render_current())
+
+    def _run(self, text: str) -> None:
+        if text == "n":
+            self.position = min(self.position + 1, max(0, len(self.rows) - 1))
+        elif text == "p":
+            self.position = max(self.position - 1, 0)
+        elif text == "f":
+            self.position = 0
+        elif text == "l":
+            self.position = max(0, len(self.rows) - 1)
+        elif text.startswith("/"):
+            self._search(text[1:])
+        elif text.startswith("u "):
+            self._update(text[2:])
+        elif text.startswith("i "):
+            self._insert(text[2:])
+        elif text == "x":
+            self._delete()
+        elif text == "q":
+            self.filter = None
+            self._requery()
+        elif text.startswith("q "):
+            self._filter(text[2:])
+        else:
+            raise WowError(f"unknown command {text!r}")
+
+    # -- command bodies --------------------------------------------------
+
+    def _search(self, spec: str) -> None:
+        column, _eq, raw = spec.partition("=")
+        if not _eq:
+            raise WowError("search is /column=value")
+        value = self._typed(column, raw)
+        col_index = self.schema.column_index(column)
+        for offset in range(1, len(self.rows) + 1):
+            index = (self.position + offset) % len(self.rows) if self.rows else 0
+            if self.rows and self.rows[index][col_index] == value:
+                self.position = index
+                return
+        self.message = "not found"
+
+    def _update(self, spec: str) -> None:
+        column, _eq, raw = spec.partition("=")
+        if not _eq:
+            raise WowError("update is u column=value")
+        row = self.current_row()
+        if row is None:
+            raise WowError("no current record")
+        self.db.update(
+            self.source,
+            {column.strip(): self._typed(column, raw)},
+            self._identify(row),
+        )
+        self._requery()
+
+    def _insert(self, spec: str) -> None:
+        values = {}
+        for part in spec.split(","):
+            column, _eq, raw = part.partition("=")
+            if not _eq:
+                raise WowError("insert is i col=v,col=v")
+            values[column.strip()] = self._typed(column, raw)
+        self.db.insert(self.source, values)
+        self._requery()
+
+    def _delete(self) -> None:
+        row = self.current_row()
+        if row is None:
+            raise WowError("no current record")
+        self.db.delete(self.source, self._identify(row))
+        self._requery()
+        self.position = min(self.position, max(0, len(self.rows) - 1))
+
+    def _filter(self, spec: str) -> None:
+        parts = spec.split(None, 2)
+        if len(parts) != 3 or parts[1] not in ("=", "!=", "<", "<=", ">", ">="):
+            raise WowError("filter is q column op value")
+        column, op, raw = parts
+        self.filter = E.BinOp(
+            op, E.ColumnRef(column.lower()), E.Literal(self._typed(column, raw))
+        )
+        self._requery()
+        self.position = 0
+
+    # -- helpers ------------------------------------------------------------
+
+    def _typed(self, column: str, raw: str) -> Any:
+        ctype = self.schema.column(column.strip()).ctype
+        return parse_input(raw.strip(), ctype)
+
+    def _identify(self, row: Tuple[Any, ...]) -> E.Expr:
+        key_columns = self.schema.primary_key or self.schema.column_names
+        conjuncts: List[E.Expr] = []
+        for column in key_columns:
+            value = row[self.schema.column_index(column)]
+            ref = E.ColumnRef(column)
+            conjuncts.append(
+                E.IsNull(ref) if value is None else E.BinOp("=", ref, E.Literal(value))
+            )
+        return E.conjoin(conjuncts)
+
+    def _requery(self) -> None:
+        sql = f"SELECT * FROM {self.source}"
+        if self.filter is not None:
+            sql += f" WHERE {self.filter.to_sql()}"
+        if self.schema.primary_key:
+            sql += " ORDER BY " + ", ".join(self.schema.primary_key)
+        self.rows = self.db.query(sql)
+        self.position = min(self.position, max(0, len(self.rows) - 1))
+
+    def current_row(self) -> Optional[Tuple[Any, ...]]:
+        if not self.rows:
+            return None
+        return self.rows[self.position]
+
+    def render_current(self) -> str:
+        """The record dump printed after every command."""
+        row = self.current_row()
+        lines = [f"-- {self.source} record {self.position + 1} of {len(self.rows)} --"]
+        if row is None:
+            lines.append("(empty)")
+        else:
+            for column, value in zip(self.schema.column_names, row):
+                lines.append(f"{column:>16}: {format_value(value)}")
+        if self.message:
+            lines.append(self.message)
+        return "\n".join(lines) + "\n"
+
+    def _emit(self, text: str) -> None:
+        self.output_chars += len(text)

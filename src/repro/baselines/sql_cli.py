@@ -1,0 +1,66 @@
+"""The raw-SQL line-mode baseline.
+
+The user types a SQL statement character by character and presses ENTER;
+the monitor executes it and prints the result table.  Keystroke cost of a
+task = characters typed + the ENTER; output cost = characters printed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.metrics import KeystrokeMeter
+from repro.relational.database import Database, Result
+from repro.relational.types import format_value
+
+
+class SqlCli:
+    """A deterministic, metered SQL command line."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self.keys = KeystrokeMeter()
+        self.output_chars = 0
+        self.history: List[str] = []
+        self.last_result: Optional[Result] = None
+        self.last_error: Optional[str] = None
+
+    def run(self, sql: str) -> Optional[Result]:
+        """Type *sql* (one keystroke per character), press ENTER, execute."""
+        self.keys.record(len(sql) + 1)  # + ENTER
+        self.history.append(sql)
+        self.last_error = None
+        try:
+            self.last_result = self.db.execute(sql)
+        except Exception as exc:
+            self.last_result = None
+            self.last_error = f"{type(exc).__name__}: {exc}"
+            self._emit(self.last_error + "\n")
+            return None
+        self._emit(self.render_result(self.last_result))
+        return self.last_result
+
+    def render_result(self, result: Result) -> str:
+        """Format a result the way a 1983 monitor printed it."""
+        if result.plan is not None:
+            return result.plan + "\n"
+        if not result.columns:
+            return f"({result.rowcount} rows affected)\n"
+        widths = [len(c) for c in result.columns]
+        rendered_rows = []
+        for row in result.rows:
+            rendered = [format_value(v) for v in row]
+            rendered_rows.append(rendered)
+            for index, text in enumerate(rendered):
+                widths[index] = max(widths[index], len(text))
+        lines = [
+            " | ".join(c.ljust(w) for c, w in zip(result.columns, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for rendered in rendered_rows:
+            lines.append(" | ".join(t.ljust(w) for t, w in zip(rendered, widths)))
+        lines.append(f"({len(result.rows)} rows)")
+        return "\n".join(lines) + "\n"
+
+    def _emit(self, text: str) -> None:
+        self.output_chars += len(text)

@@ -1,0 +1,7 @@
+"""The WoW application: windows + forms + database, scriptable by keystroke."""
+
+from repro.core.app import WowApp
+from repro.core.browser import BrowserWindow
+from repro.core.sql_window import SqlWindow
+
+__all__ = ["WowApp", "BrowserWindow", "SqlWindow"]

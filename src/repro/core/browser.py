@@ -1,0 +1,87 @@
+"""A table/view browser window: a scrolling grid over a relation.
+
+The browser complements forms: forms show one record in depth; the browser
+shows many records in brief.  A master browser + detail form is the classic
+two-window arrangement the paper's title evokes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.relational.database import Database
+from repro.relational import expr as E
+from repro.relational.types import ColumnType, format_value
+from repro.windows.events import Key, KeyEvent
+from repro.windows.geometry import Rect
+from repro.windows.widgets import GridView, StatusBar
+from repro.windows.window import Window
+
+_GRID_WIDTHS = {
+    ColumnType.INT: 6,
+    ColumnType.FLOAT: 10,
+    ColumnType.TEXT: 14,
+    ColumnType.BOOL: 5,
+    ColumnType.DATE: 10,
+}
+
+
+class BrowserWindow(Window):
+    """A window containing a grid over all rows of a table or view."""
+
+    def __init__(
+        self,
+        db: Database,
+        source: str,
+        rect: Rect,
+        on_row_change: Optional[Callable[[Optional[Tuple]], None]] = None,
+    ) -> None:
+        super().__init__(source, rect)
+        self.db = db
+        self.source = source
+        self.schema = db.catalog.schema_of(source)
+        self.on_row_change = on_row_change
+        self.filter: Optional[E.Expr] = None
+        columns = [
+            (col.name, _GRID_WIDTHS[col.ctype]) for col in self.schema.columns
+        ]
+        content = self.content
+        self.grid = GridView(
+            Rect(0, 0, content.width, content.height - 1),
+            columns,
+            on_select=self._selection_moved,
+        )
+        self.add(self.grid)
+        self.status = StatusBar(0, content.height - 1, content.width)
+        self.add(self.status)
+        self.rows: List[Tuple] = []
+        self.refresh()
+
+    def refresh(self) -> None:
+        sql = f"SELECT * FROM {self.source}"
+        if self.filter is not None:
+            sql += f" WHERE {self.filter.to_sql()}"
+        if self.schema.primary_key:
+            sql += " ORDER BY " + ", ".join(self.schema.primary_key)
+        self.rows = self.db.query(sql)
+        self.grid.set_rows(
+            [[format_value(v) for v in row] for row in self.rows]
+        )
+        self.status.set_message(f"{len(self.rows)} rows")
+        self._selection_moved(self.grid.selected)
+
+    @property
+    def current_row(self) -> Optional[Tuple]:
+        if not self.rows:
+            return None
+        return self.rows[self.grid.selected]
+
+    def _selection_moved(self, _index: int) -> None:
+        if self.on_row_change is not None:
+            self.on_row_change(self.current_row)
+
+    def handle_key(self, event: KeyEvent) -> bool:
+        if event.key == Key.F5:
+            self.refresh()
+            return True
+        return super().handle_key(event)

@@ -1,0 +1,122 @@
+"""An interactive SQL monitor as a window — the escape hatch.
+
+Fig 5's crossover shows that beyond a point, ad-hoc questions belong in
+SQL.  The windowed answer is not to leave the environment but to open one
+more window on the world: a query window.  Type a statement, press ENTER,
+scroll the listing; the forms in the other windows keep working (F5 there
+requeries after your updates here).
+
+Keys::
+
+    printable / editing      edit the SQL input line
+    ENTER                    execute
+    UP / DOWN                recall input history
+    PGUP / PGDN              scroll the listing
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines.sql_cli import SqlCli
+from repro.relational.database import Database
+from repro.windows.events import Key, KeyEvent
+from repro.windows.geometry import Rect
+from repro.windows.screen import Attr, ScreenBuffer
+from repro.windows.widgets import Label, StatusBar, TextField, Widget
+from repro.windows.window import Window
+
+
+class _OutputPane(Widget):
+    """A scrolling pane of text lines."""
+
+    def __init__(self, rect: Rect) -> None:
+        super().__init__(rect)
+        self.lines: List[str] = []
+        self.scroll = 0
+
+    def append(self, text: str) -> None:
+        self.lines.extend(text.rstrip("\n").splitlines())
+        # Auto-scroll to the bottom.
+        self.scroll = max(0, len(self.lines) - self.rect.height)
+
+    def scroll_by(self, delta: int) -> None:
+        self.scroll = max(0, min(self.scroll + delta, max(0, len(self.lines) - self.rect.height)))
+
+    def render(self, screen: ScreenBuffer, dx: int, dy: int) -> None:
+        for line_no in range(self.rect.height):
+            index = self.scroll + line_no
+            text = self.lines[index] if index < len(self.lines) else ""
+            screen.write(
+                self.rect.x + dx,
+                self.rect.y + dy + line_no,
+                text[: self.rect.width].ljust(self.rect.width),
+            )
+
+
+class SqlWindow(Window):
+    """A window hosting a metered SQL monitor over the shared database."""
+
+    def __init__(self, db: Database, rect: Rect) -> None:
+        super().__init__("SQL", rect)
+        self.cli = SqlCli(db)
+        content = self.content
+        self.add(Label(0, 0, "SQL>"))
+        self.input = TextField(5, 0, content.width - 5)
+        self.add(self.input)
+        self.output = _OutputPane(Rect(0, 1, content.width, content.height - 2))
+        self.add(self.output)
+        self.status = StatusBar(0, content.height - 1, content.width)
+        self.add(self.status)
+        self.status.set_message("ENTER runs; PGUP/PGDN scroll; UP/DOWN history")
+        self._history_pos: Optional[int] = None
+
+    def handle_key(self, event: KeyEvent) -> bool:
+        key = event.key
+        if key == Key.ENTER:
+            self._execute()
+            return True
+        if key == Key.PGUP:
+            self.output.scroll_by(-self.output.rect.height)
+            return True
+        if key == Key.PGDN:
+            self.output.scroll_by(self.output.rect.height)
+            return True
+        if key == Key.UP:
+            self._recall(-1)
+            return True
+        if key == Key.DOWN:
+            self._recall(1)
+            return True
+        return super().handle_key(event)
+
+    def _execute(self) -> None:
+        sql = self.input.text.strip()
+        if not sql:
+            return
+        self._history_pos = None
+        result = self.cli.run(sql)
+        self.output.append(f"SQL> {sql}")
+        if result is None:
+            self.output.append(self.cli.last_error or "error")
+            self.status.set_message(self.cli.last_error or "error")
+        else:
+            listing = self.cli.render_result(result)
+            self.output.append(listing)
+            self.status.set_message(
+                f"{len(result.rows)} row(s)" if result.columns else
+                f"{result.rowcount} row(s) affected"
+            )
+        self.input.clear()
+
+    def _recall(self, step: int) -> None:
+        history = self.cli.history
+        if not history:
+            return
+        if self._history_pos is None:
+            self._history_pos = len(history)
+        self._history_pos = max(0, min(self._history_pos + step, len(history)))
+        if self._history_pos == len(history):
+            self.input.clear()
+        else:
+            self.input.set_text(history[self._history_pos])

@@ -1,0 +1,128 @@
+"""Exception hierarchy for the WoW reproduction.
+
+Every layer of the system raises a subclass of :class:`WowError`, so callers
+can catch a single base class at the application boundary while tests can
+assert on precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class WowError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Relational engine
+# ---------------------------------------------------------------------------
+
+class DatabaseError(WowError):
+    """Base class for errors raised by the relational engine."""
+
+
+class TypeMismatchError(DatabaseError):
+    """A value could not be coerced to its column's declared type."""
+
+
+class SchemaError(DatabaseError):
+    """Invalid schema definition (duplicate column, unknown type, ...)."""
+
+
+class CatalogError(DatabaseError):
+    """Catalog-level failure: unknown or duplicate table/view/index/form."""
+
+
+class ConstraintError(DatabaseError):
+    """A NOT NULL, UNIQUE, primary-key, or check constraint was violated."""
+
+
+class ForeignKeyError(ConstraintError):
+    """A referential-integrity constraint was violated."""
+
+
+class CheckConstraintError(ConstraintError):
+    """A table-level CHECK constraint rejected a row."""
+
+
+class StorageError(DatabaseError):
+    """Low-level storage failure (bad page, torn file, missing heap)."""
+
+
+class TransactionError(DatabaseError):
+    """Illegal transaction state transition (commit without begin, ...)."""
+
+
+class SqlError(DatabaseError):
+    """Base class for SQL front-end failures."""
+
+
+class LexError(SqlError):
+    """The SQL lexer met a character sequence it cannot tokenize."""
+
+
+class ParseError(SqlError):
+    """The SQL parser met an unexpected token."""
+
+
+class BindError(SqlError):
+    """Name resolution failed: unknown table, column, or ambiguous name."""
+
+
+class PlanError(DatabaseError):
+    """The planner could not produce a physical plan for a valid query."""
+
+
+class ExecutionError(DatabaseError):
+    """Runtime failure while executing a plan (division by zero, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Views
+# ---------------------------------------------------------------------------
+
+class ViewError(DatabaseError):
+    """Base class for view-machinery failures."""
+
+
+class ViewNotUpdatable(ViewError):
+    """DML was attempted through a view outside the updatable subset."""
+
+
+class CheckOptionError(ViewError):
+    """A WITH CHECK OPTION view rejected a row that would escape the view."""
+
+
+# ---------------------------------------------------------------------------
+# Windowing substrate
+# ---------------------------------------------------------------------------
+
+class WindowError(WowError):
+    """Base class for windowing-substrate failures."""
+
+
+class GeometryError(WindowError):
+    """A window or widget was given an impossible rectangle."""
+
+
+class FocusError(WindowError):
+    """Focus was requested for a window/widget that cannot take it."""
+
+
+# ---------------------------------------------------------------------------
+# Forms
+# ---------------------------------------------------------------------------
+
+class FormError(WowError):
+    """Base class for forms-runtime failures."""
+
+
+class FormSpecError(FormError):
+    """A form specification is internally inconsistent."""
+
+
+class FieldValidationError(FormError):
+    """User input in a field failed validation against its column type."""
+
+
+class FormModeError(FormError):
+    """An operation was attempted in the wrong form mode."""

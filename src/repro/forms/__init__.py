@@ -1,0 +1,26 @@
+"""The forms core: specs, automatic generation, the runtime, and QBF.
+
+A *form* is a 2-D arrangement of fields bound to the columns of a relational
+view (or base table).  The runtime (:class:`FormController`) implements the
+four classic modes — BROWSE, EDIT, INSERT, QUERY — and translates every
+user action into relational operations, including updates through views.
+"""
+
+from repro.forms.generate import FormGenStats, generate_form
+from repro.forms.linking import FormLink
+from repro.forms.qbf import parse_criterion
+from repro.forms.runtime import FormController, Mode
+from repro.forms.spec import FieldSpec, FormSpec
+from repro.forms.window_form import FormWindow
+
+__all__ = [
+    "FieldSpec",
+    "FormController",
+    "FormGenStats",
+    "FormLink",
+    "FormSpec",
+    "FormWindow",
+    "Mode",
+    "generate_form",
+    "parse_criterion",
+]

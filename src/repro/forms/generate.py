@@ -1,0 +1,147 @@
+"""Automatic form generation from a relation's schema (Table 2's subject).
+
+Given any table or view, derive a complete, immediately usable form:
+
+* one field per column, one layout row per field;
+* labels from column names;
+* widths from column types;
+* primary-key fields flagged (read-only while editing an existing record);
+* foreign-key columns get pick lists referencing the parent table, with the
+  parent's first TEXT column as the human-readable label.
+
+For views, key and FK information is recovered through the updatable-view
+analysis when the view is updatable; non-updatable views yield a read-only
+browse form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ViewNotUpdatable
+from repro.forms.spec import DEFAULT_WIDTHS, FieldSpec, FormSpec, PickList
+from repro.relational.database import Database
+from repro.relational.table import Table
+from repro.relational.types import ColumnType
+from repro.views.definition import ViewDefinition
+from repro.views.update import analyze_updatability
+
+
+@dataclass
+class FormGenStats:
+    """What automatic generation produced (reported in Table 2)."""
+
+    source: str
+    fields: int
+    layout_rows: int
+    pick_lists: int
+    key_fields: int
+    read_only: bool
+
+
+def generate_form(
+    db: Database, source: str, name: Optional[str] = None
+) -> FormSpec:
+    """Derive a default FormSpec for table or view *source*."""
+    spec, _stats = generate_form_with_stats(db, source, name)
+    return spec
+
+
+@dataclass
+class SourceMetadata:
+    """Schema-derived facts a form needs about its source relation."""
+
+    key_columns: List[str]
+    pick_lists: dict  # column name -> PickList
+    read_only: bool
+
+
+def source_metadata(db: Database, source: str) -> SourceMetadata:
+    """Key columns, FK pick lists, and updatability of a table or view.
+
+    Shared by automatic generation and painted forms, so both kinds of
+    form behave identically modulo layout.
+    """
+    entity = db.catalog.resolve(source)
+    schema = entity.schema
+    key_columns: List[str] = []
+    fk_of: dict = {}
+    read_only_form = False
+    if isinstance(entity, Table):
+        key_columns = list(schema.primary_key)
+        for fk in schema.foreign_keys:
+            if len(fk.columns) == 1:
+                fk_of[fk.columns[0]] = _pick_list_for(
+                    db, fk.parent_table, fk.parent_columns[0]
+                )
+    else:
+        assert isinstance(entity, ViewDefinition)
+        try:
+            info = analyze_updatability(entity, db.catalog)
+        except ViewNotUpdatable:
+            read_only_form = True
+        else:
+            base_pk = info.base.schema.primary_key
+            inverse = {base_col: view_col for view_col, base_col in info.column_map.items()}
+            if base_pk and all(c in inverse for c in base_pk):
+                key_columns = [inverse[c] for c in base_pk]
+            for fk in info.base.schema.foreign_keys:
+                if len(fk.columns) == 1 and fk.columns[0] in inverse:
+                    fk_of[inverse[fk.columns[0]]] = _pick_list_for(
+                        db, fk.parent_table, fk.parent_columns[0]
+                    )
+    return SourceMetadata(key_columns, fk_of, read_only_form)
+
+
+def generate_form_with_stats(
+    db: Database, source: str, name: Optional[str] = None
+):
+    """Like :func:`generate_form` but also returns :class:`FormGenStats`."""
+    schema = db.catalog.schema_of(source)
+    metadata = source_metadata(db, source)
+    key_columns = metadata.key_columns
+    fk_of = metadata.pick_lists
+    read_only_form = metadata.read_only
+
+    fields = []
+    for row, column in enumerate(schema.columns):
+        fields.append(
+            FieldSpec(
+                column=column.name,
+                label=column.name.replace("_", " ").capitalize(),
+                ctype=column.ctype,
+                width=DEFAULT_WIDTHS[column.ctype],
+                row=row,
+                read_only=read_only_form,
+                in_key=column.name in key_columns,
+                pick_list=fk_of.get(column.name),
+            )
+        )
+
+    spec = FormSpec(
+        name=name or f"{schema.name}_form",
+        source=schema.name,
+        title=schema.name.replace("_", " ").title(),
+        fields=fields,
+        order_by=key_columns or [schema.columns[0].name],
+    )
+    stats = FormGenStats(
+        source=schema.name,
+        fields=len(fields),
+        layout_rows=spec.layout_rows,
+        pick_lists=sum(1 for f in fields if f.pick_list is not None),
+        key_fields=sum(1 for f in fields if f.in_key),
+        read_only=read_only_form,
+    )
+    return spec, stats
+
+
+def _pick_list_for(db: Database, parent_table: str, key_column: str) -> PickList:
+    """Build a pick list: the parent's first TEXT column is the label."""
+    parent_schema = db.catalog.schema_of(parent_table)
+    label = next(
+        (c.name for c in parent_schema.columns if c.ctype is ColumnType.TEXT),
+        None,
+    )
+    return PickList(parent_table=parent_table, key_column=key_column, label_column=label)

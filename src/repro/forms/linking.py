@@ -1,0 +1,62 @@
+"""Master-detail linking between forms: several windows on the world.
+
+A :class:`FormLink` ties a detail form to a master form: whenever the master
+moves to another record, the detail form's rowset is re-filtered to the rows
+whose link columns equal the master's current values (classically, the
+detail's foreign key = the master's primary key).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.forms.runtime import FormController
+from repro.relational import expr as E
+
+
+class FormLink:
+    """Keep *detail* filtered by *master*'s current record."""
+
+    def __init__(
+        self,
+        master: FormController,
+        detail: FormController,
+        on: Sequence[Tuple[str, str]],
+    ) -> None:
+        """*on* is a list of (master_column, detail_column) pairs."""
+        if not on:
+            raise ValueError("a form link needs at least one column pair")
+        self.master = master
+        self.detail = detail
+        self.on = list(on)
+        for master_column, _detail_column in self.on:
+            master.spec.field_for(master_column)  # validate
+        for _master_column, detail_column in self.on:
+            detail.spec.field_for(detail_column)
+        master.on_record_change.append(self.propagate)
+        self.propagate()
+
+    def propagate(self) -> None:
+        """Recompute the detail filter from the master's current record."""
+        row = self.master.current_row
+        if row is None:
+            # No master record: the detail shows nothing (1 = 0).
+            self.detail.extra_filter = E.BinOp("=", E.Literal(1), E.Literal(0))
+        else:
+            conjuncts: List[E.Expr] = []
+            for master_column, detail_column in self.on:
+                value = row[self.master.spec.columns.index(master_column)]
+                ref = E.ColumnRef(detail_column)
+                if value is None:
+                    conjuncts.append(E.IsNull(ref))
+                else:
+                    conjuncts.append(E.BinOp("=", ref, E.Literal(value)))
+            self.detail.extra_filter = E.conjoin(conjuncts)
+        self.detail.position = 0
+        self.detail.refresh()
+
+    def unlink(self) -> None:
+        """Detach the link and clear the detail filter."""
+        self.master.on_record_change.remove(self.propagate)
+        self.detail.extra_filter = None
+        self.detail.refresh()

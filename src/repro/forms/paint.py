@@ -1,0 +1,102 @@
+"""Painted forms: define a form by drawing its screen as text.
+
+This is how 1983 application builders made forms: paint the screen, mark
+the fields.  A template is a multi-line string; everything is literal
+decoration except field markers::
+
+    Student no: [id     ]     Year: [year]
+    Name:       [name                    ]
+    GPA:        [gpa   ]
+
+A marker is ``[column<padding>]``: the column name (letters, digits,
+underscores), then optional spaces, dots, or underscores to widen the
+field; the field's display width is the distance between the brackets.
+The field's position is the bracket's position.  Field metadata (type,
+key-ness, FK pick lists, read-only) comes from the same schema analysis
+automatic generation uses, so a painted form behaves identically to a
+generated one — only the layout differs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import FormSpecError
+from repro.forms.generate import source_metadata
+from repro.forms.spec import FieldSpec, FormSpec
+from repro.relational.database import Database
+
+_MARKER = re.compile(r"\[([a-z_][a-z0-9_]*)[ ._]*\]", re.IGNORECASE)
+
+
+def paint_form(
+    db: Database,
+    source: str,
+    template: str,
+    name: Optional[str] = None,
+    title: Optional[str] = None,
+) -> FormSpec:
+    """Parse a painted *template* into a FormSpec bound to *source*."""
+    schema = db.catalog.schema_of(source)
+    metadata = source_metadata(db, source)
+
+    fields: List[FieldSpec] = []
+    decorations: List[Tuple[int, int, str]] = []
+    lines = template.strip("\n").splitlines()
+    if not lines:
+        raise FormSpecError("empty form template")
+
+    for row, line in enumerate(lines):
+        line = line.rstrip()
+        consumed = [False] * len(line)
+        for match in _MARKER.finditer(line):
+            column = match.group(1).lower()
+            if not schema.has_column(column):
+                raise FormSpecError(
+                    f"template marks [{column}] but {source!r} has no such column"
+                )
+            width = match.end() - match.start() - 2
+            fields.append(
+                FieldSpec(
+                    column=column,
+                    label="",  # painted forms carry labels as decorations
+                    ctype=schema.column(column).ctype,
+                    width=max(1, width),
+                    row=row,
+                    read_only=metadata.read_only,
+                    in_key=column in metadata.key_columns,
+                    pick_list=metadata.pick_lists.get(column),
+                    x=match.start(),
+                )
+            )
+            for position in range(match.start(), match.end()):
+                consumed[position] = True
+        # Literal runs between markers become decorations.
+        run_start = None
+        for position, flag in enumerate(consumed + [True]):
+            ch = line[position] if position < len(line) else " "
+            is_literal = not flag and position < len(line) and ch != ""
+            if is_literal and run_start is None:
+                run_start = position
+            elif not is_literal and run_start is not None:
+                text = line[run_start:position]
+                if text.strip():
+                    decorations.append((run_start, row, text))
+                run_start = None
+
+    if not fields:
+        raise FormSpecError("form template contains no [field] markers")
+
+    marked = [f.column for f in fields]
+    if len(set(marked)) != len(marked):
+        raise FormSpecError("a column is marked more than once in the template")
+
+    return FormSpec(
+        name=name or f"{schema.name}_painted",
+        source=schema.name,
+        title=title or schema.name.replace("_", " ").title(),
+        fields=fields,
+        order_by=list(metadata.key_columns) or [schema.columns[0].name],
+        decorations=decorations,
+    )

@@ -1,0 +1,64 @@
+"""Pick-list popup: choose a foreign-key value from the parent relation.
+
+Pressing F7 on a pick-list field (while editing, inserting, or querying)
+opens a small window listing the parent table's keys and labels; ENTER
+picks the highlighted value into the field, ESC cancels.  This is the
+windowed answer to "what are the legal department numbers?" — the user
+never has to leave the form.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.relational.types import format_value
+from repro.windows.events import Key, KeyEvent
+from repro.windows.geometry import Rect
+from repro.windows.widgets import GridView
+from repro.windows.window import Window
+
+MAX_VISIBLE_ROWS = 8
+
+
+class PickListWindow(Window):
+    """A modal-ish popup offering (value, label) choices."""
+
+    def __init__(
+        self,
+        choices: List[Tuple[Any, str]],
+        on_choice: Callable[[Any], None],
+        on_cancel: Callable[[], None],
+        x: int = 10,
+        y: int = 4,
+        title: str = "Pick",
+    ) -> None:
+        self.choices = list(choices)
+        self.on_choice = on_choice
+        self.on_cancel = on_cancel
+        value_width = max(
+            max((len(format_value(v)) for v, _l in self.choices), default=4), 3
+        )
+        label_width = max(
+            max((len(l) for _v, l in self.choices), default=6), 5
+        )
+        grid_height = min(len(self.choices), MAX_VISIBLE_ROWS) + 1  # + header
+        width = max(value_width + label_width + 5, len(title) + 6, 16)
+        super().__init__(title, Rect(x, y, width, grid_height + 2))
+        self.grid = GridView(
+            Rect(0, 0, self.content.width, grid_height),
+            [("key", value_width), ("label", label_width)],
+            on_activate=self._activate,
+        )
+        self.grid.set_rows(
+            [(format_value(v), l) for v, l in self.choices]
+        )
+        self.add(self.grid)
+
+    def _activate(self, index: int) -> None:
+        self.on_choice(self.choices[index][0])
+
+    def handle_key(self, event: KeyEvent) -> bool:
+        if event.key == Key.ESC:
+            self.on_cancel()
+            return True
+        return super().handle_key(event)

@@ -1,0 +1,83 @@
+"""Query-by-form: turn field criteria into predicates.
+
+In QUERY mode the user types a *criterion* into any field; the conjunction
+of all non-empty criteria becomes the WHERE clause.  Criterion grammar::
+
+    5            equality (typed per the column)
+    >5  >=5      comparison (also <, <=, !=)
+    a%  _x%      LIKE pattern (any text containing % or _)
+    ~            IS NULL
+    !~           IS NOT NULL
+    1..9         BETWEEN 1 AND 9 (inclusive)
+
+This tiny language is the whole point of QBF: common queries cost a handful
+of keystrokes instead of a SELECT statement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import FieldValidationError
+from repro.relational import expr as E
+from repro.relational.types import ColumnType, parse_input
+
+_OPS = ("<=", ">=", "!=", "<", ">", "=")
+
+
+def parse_criterion(column: str, text: str, ctype: ColumnType) -> Optional[E.Expr]:
+    """Parse one field's criterion into an expression over *column*.
+
+    Returns None for an empty criterion.  Raises FieldValidationError when
+    the text cannot be interpreted for the column's type.
+    """
+    text = text.strip()
+    if not text:
+        return None
+    ref = E.ColumnRef(column)
+    if text == "~":
+        return E.IsNull(ref)
+    if text == "!~":
+        return E.IsNull(ref, negated=True)
+    for op in _OPS:
+        if text.startswith(op):
+            value = _typed(text[len(op):], ctype)
+            actual = "=" if op == "=" else op
+            return E.BinOp(actual, ref, E.Literal(value))
+    if ".." in text:
+        low_text, _sep, high_text = text.partition("..")
+        low = _typed(low_text, ctype)
+        high = _typed(high_text, ctype)
+        return E.BinOp(
+            "and",
+            E.BinOp(">=", ref, E.Literal(low)),
+            E.BinOp("<=", ref, E.Literal(high)),
+        )
+    if ctype is ColumnType.TEXT and ("%" in text or "_" in text):
+        return E.Like(ref, text)
+    return E.BinOp("=", ref, E.Literal(_typed(text, ctype)))
+
+
+def _typed(text: str, ctype: ColumnType):
+    text = text.strip()
+    if not text:
+        raise FieldValidationError("criterion operator needs a value")
+    try:
+        value = parse_input(text, ctype)
+    except Exception as exc:
+        raise FieldValidationError(f"bad criterion value {text!r}: {exc}") from exc
+    if value is None:
+        raise FieldValidationError("criterion operator needs a value")
+    return value
+
+
+def build_predicate(
+    criteria: List[Tuple[str, str, ColumnType]]
+) -> Optional[E.Expr]:
+    """AND together the parsed criteria; None if all fields are empty."""
+    conjuncts = []
+    for column, text, ctype in criteria:
+        expr = parse_criterion(column, text, ctype)
+        if expr is not None:
+            conjuncts.append(expr)
+    return E.conjoin(conjuncts)

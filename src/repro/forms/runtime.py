@@ -1,0 +1,453 @@
+"""The form runtime: modes, navigation, and DML through the form's source.
+
+:class:`FormController` is deliberately headless — it holds the form state
+(current rowset, position, field texts, mode) and performs all database
+work; :class:`~repro.forms.window_form.FormWindow` merely projects it onto
+widgets.  This split keeps the interaction semantics unit-testable without
+a screen.
+
+Mode machine (classic 1983 forms interface)::
+
+    BROWSE --F2--> EDIT   --F2 (save)--> BROWSE
+    BROWSE --F3--> INSERT --F2 (save)--> BROWSE
+    BROWSE --F4--> QUERY  --ENTER/F2 (execute)--> BROWSE
+    EDIT/INSERT/QUERY --ESC (cancel)--> BROWSE
+    BROWSE: UP/DOWN/PGUP/PGDN/HOME/END navigate, F5 requery, F6 delete.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import FieldValidationError, FormModeError
+from repro.forms.qbf import build_predicate
+from repro.forms.spec import FormSpec
+from repro.relational import expr as E
+from repro.relational.database import Database
+from repro.relational.types import format_value, parse_input
+from repro.windows.events import Key, KeyEvent
+
+
+class Mode(enum.Enum):
+    BROWSE = "BROWSE"
+    EDIT = "EDIT"
+    INSERT = "INSERT"
+    QUERY = "QUERY"
+
+
+class FormController:
+    """All form behaviour over a Database, with no UI dependency."""
+
+    def __init__(self, db: Database, spec: FormSpec) -> None:
+        self.db = db
+        self.spec = spec
+        self.mode = Mode.BROWSE
+        self.rows: List[Tuple[Any, ...]] = []
+        self.position = 0
+        self.field_texts: Dict[str, str] = {f.column: "" for f in spec.fields}
+        self.message = ""
+        #: predicate imposed from outside (master-detail linking)
+        self.extra_filter: Optional[E.Expr] = None
+        #: predicate from the last executed query-by-form
+        self.query_filter: Optional[E.Expr] = None
+        self.on_record_change: List[Callable[[], None]] = []
+        self.refresh()
+
+    # -- data ----------------------------------------------------------------
+
+    def refresh(self, keep_position: bool = False) -> None:
+        """Re-run the form's query and reload the current record."""
+        key = self._current_key() if keep_position and self.rows else None
+        sql = self._select_sql()
+        self.rows = self.db.query(sql)
+        if key is not None:
+            for index, row in enumerate(self.rows):
+                if self._key_of(row) == key:
+                    self.position = index
+                    break
+            else:
+                self.position = 0
+        self.position = min(self.position, max(0, len(self.rows) - 1))
+        self._load_current()
+
+    def _select_sql(self) -> str:
+        items = []
+        for field in self.spec.fields:
+            if field.virtual:
+                items.append(f"({field.expression}) AS {field.column}")
+            else:
+                items.append(field.column)
+        sql = f"SELECT {', '.join(items)} FROM {self.spec.source}"
+        conjuncts = []
+        if self.query_filter is not None:
+            conjuncts.extend(E.split_conjuncts(self.query_filter))
+        if self.extra_filter is not None:
+            conjuncts.extend(E.split_conjuncts(self.extra_filter))
+        predicate = E.conjoin(conjuncts)
+        if predicate is not None:
+            sql += f" WHERE {predicate.to_sql()}"
+        if self.spec.order_by:
+            sql += " ORDER BY " + ", ".join(self.spec.order_by)
+        return sql
+
+    @property
+    def current_row(self) -> Optional[Tuple[Any, ...]]:
+        if not self.rows:
+            return None
+        return self.rows[self.position]
+
+    @property
+    def record_count(self) -> int:
+        return len(self.rows)
+
+    def _load_current(self) -> None:
+        row = self.current_row
+        for index, field in enumerate(self.spec.fields):
+            self.field_texts[field.column] = (
+                format_value(row[index]) if row is not None else ""
+            )
+        for callback in self.on_record_change:
+            callback()
+
+    # -- keys ---------------------------------------------------------------
+
+    def _key_fields(self) -> List[str]:
+        keys = [f.column for f in self.spec.fields if f.in_key]
+        return keys or self.spec.data_columns
+
+    def _key_of(self, row: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        positions = [self.spec.columns.index(c) for c in self._key_fields()]
+        return tuple(row[p] for p in positions)
+
+    def _current_key(self) -> Tuple[Any, ...]:
+        return self._key_of(self.rows[self.position])
+
+    def _key_predicate(self, row: Tuple[Any, ...]) -> E.Expr:
+        """An expression identifying *row* by its key fields."""
+        conjuncts: List[E.Expr] = []
+        for column in self._key_fields():
+            value = row[self.spec.columns.index(column)]
+            ref = E.ColumnRef(column)
+            if value is None:
+                conjuncts.append(E.IsNull(ref))
+            else:
+                conjuncts.append(E.BinOp("=", ref, E.Literal(value)))
+        return E.conjoin(conjuncts)
+
+    # -- navigation ------------------------------------------------------
+
+    def goto(self, index: int) -> None:
+        if self.mode is not Mode.BROWSE:
+            raise FormModeError("navigation only in BROWSE mode")
+        if self.rows:
+            self.position = max(0, min(index, len(self.rows) - 1))
+            self._load_current()
+
+    def next_record(self) -> None:
+        self.goto(self.position + 1)
+
+    def prev_record(self) -> None:
+        self.goto(self.position - 1)
+
+    def first_record(self) -> None:
+        self.goto(0)
+
+    def last_record(self) -> None:
+        self.goto(len(self.rows) - 1)
+
+    # -- mode transitions ----------------------------------------------------
+
+    def begin_edit(self) -> None:
+        if self.mode is not Mode.BROWSE:
+            raise FormModeError(f"cannot edit from {self.mode.value}")
+        if self.current_row is None:
+            self.message = "no record to edit"
+            return
+        self.mode = Mode.EDIT
+        self.message = "editing — F2 saves, ESC cancels"
+
+    def begin_insert(self) -> None:
+        if self.mode is not Mode.BROWSE:
+            raise FormModeError(f"cannot insert from {self.mode.value}")
+        self.mode = Mode.INSERT
+        for field in self.spec.fields:
+            self.field_texts[field.column] = ""
+        self.message = "new record — F2 saves, ESC cancels"
+
+    def begin_query(self) -> None:
+        if self.mode is not Mode.BROWSE:
+            raise FormModeError(f"cannot query from {self.mode.value}")
+        self.mode = Mode.QUERY
+        for field in self.spec.fields:
+            self.field_texts[field.column] = ""
+        self.message = "enter criteria — ENTER executes, ESC cancels"
+
+    def cancel(self) -> None:
+        if self.mode is Mode.BROWSE:
+            if self.query_filter is not None:
+                self.query_filter = None  # ESC in browse clears the filter
+                self.refresh()
+                self.message = "filter cleared"
+            return
+        self.mode = Mode.BROWSE
+        self._load_current()
+        self.message = "cancelled"
+
+    # -- field access --------------------------------------------------------
+
+    def set_field(self, column: str, text: str) -> None:
+        if column not in self.field_texts:
+            raise FieldValidationError(f"no field {column!r} on this form")
+        self.field_texts[column] = text
+
+    def editable(self, column: str) -> bool:
+        """May the user type into *column* right now?"""
+        field = self.spec.field_for(column)
+        if field.virtual:
+            return False  # computed fields are pure display
+        if field.read_only:
+            return self.mode is Mode.QUERY  # criteria allowed even on RO forms
+        if self.mode is Mode.BROWSE:
+            return False
+        if self.mode is Mode.EDIT and field.in_key:
+            return False  # keys are immutable through EDIT
+        return True
+
+    def pick_values(self, column: str) -> List[Tuple[Any, str]]:
+        """The (value, label) choices for a pick-list field."""
+        field = self.spec.field_for(column)
+        if field.pick_list is None:
+            return []
+        pick = field.pick_list
+        if pick.label_column and pick.label_column != pick.key_column:
+            sql = (
+                f"SELECT {pick.key_column}, {pick.label_column} "
+                f"FROM {pick.parent_table} ORDER BY {pick.key_column}"
+            )
+            return [(row[0], str(row[1])) for row in self.db.query(sql)]
+        sql = f"SELECT {pick.key_column} FROM {pick.parent_table} ORDER BY {pick.key_column}"
+        return [(row[0], format_value(row[0])) for row in self.db.query(sql)]
+
+    # -- actions -----------------------------------------------------------
+
+    def save(self) -> bool:
+        """Commit EDIT or INSERT; returns True on success."""
+        if self.mode is Mode.EDIT:
+            return self._save_edit()
+        if self.mode is Mode.INSERT:
+            return self._save_insert()
+        raise FormModeError(f"nothing to save in {self.mode.value}")
+
+    def _typed_values(self, only_editable: bool) -> Dict[str, Any]:
+        values: Dict[str, Any] = {}
+        for field in self.spec.fields:
+            if field.virtual:
+                continue
+            if only_editable and not self.editable(field.column):
+                continue
+            text = self.field_texts[field.column]
+            value = parse_input(text, field.ctype)
+            self._validate_field(field, value, text)
+            values[field.column] = value
+        return values
+
+    @staticmethod
+    def _validate_field(field, value: Any, text: str) -> None:
+        """Enforce the field's declarative validation clauses."""
+        from repro.relational.expr import Like
+        from repro.relational.types import compare
+
+        if value is None:
+            if field.required:
+                raise FieldValidationError(f"{field.label or field.column} is required")
+            return
+        if field.minimum is not None and compare(value, field.minimum) == -1:
+            raise FieldValidationError(
+                f"{field.column} must be >= {field.minimum}"
+            )
+        if field.maximum is not None and compare(value, field.maximum) == 1:
+            raise FieldValidationError(
+                f"{field.column} must be <= {field.maximum}"
+            )
+        if field.pattern is not None:
+            import re
+
+            from repro.relational.expr import like_to_regex
+
+            if re.match(like_to_regex(field.pattern), text) is None:
+                raise FieldValidationError(
+                    f"{field.column} must match {field.pattern!r}"
+                )
+
+    def _save_edit(self) -> bool:
+        row = self.current_row
+        try:
+            changes = self._typed_values(only_editable=True)
+        except Exception as exc:
+            self.message = f"error: {exc}"
+            return False
+        where = self._key_predicate(row)
+        try:
+            count = self.db.update(self.spec.source, changes, where)
+        except Exception as exc:
+            self.message = f"error: {exc}"
+            return False
+        self.mode = Mode.BROWSE
+        self.refresh(keep_position=True)
+        self.message = f"{count} record(s) updated"
+        return True
+
+    def _save_insert(self) -> bool:
+        try:
+            values = {
+                column: value
+                for column, value in self._typed_values(only_editable=False).items()
+                if value is not None
+            }
+        except Exception as exc:
+            self.message = f"error: {exc}"
+            return False
+        try:
+            self.db.insert(self.spec.source, values)
+        except Exception as exc:
+            self.message = f"error: {exc}"
+            return False
+        self.mode = Mode.BROWSE
+        self.refresh()
+        # Jump to the new record if we can identify it by key.
+        key_fields = self._key_fields()
+        if all(values.get(c) is not None for c in key_fields):
+            wanted = tuple(values[c] for c in key_fields)
+            for index, row in enumerate(self.rows):
+                if self._key_of(row) == wanted:
+                    self.position = index
+                    self._load_current()
+                    break
+        self.message = "record inserted"
+        return True
+
+    def execute_query(self) -> bool:
+        """Run the QBF criteria currently typed into the fields."""
+        if self.mode is not Mode.QUERY:
+            raise FormModeError("execute_query outside QUERY mode")
+        try:
+            self.query_filter = build_predicate(
+                [
+                    (f.column, self.field_texts[f.column], f.ctype)
+                    for f in self.spec.fields
+                    if not f.virtual
+                ]
+            )
+        except FieldValidationError as exc:
+            self.message = f"error: {exc}"
+            return False
+        self.mode = Mode.BROWSE
+        self.position = 0
+        self.refresh()
+        self.message = f"{len(self.rows)} record(s) match"
+        return True
+
+    def cycle_sort(self) -> None:
+        """F8: order the rowset by the next data column (wraps around)."""
+        columns = self.spec.data_columns
+        if not columns:
+            return
+        current = self.spec.order_by[0] if self.spec.order_by else columns[0]
+        try:
+            position = columns.index(current)
+        except ValueError:
+            position = -1
+        next_column = columns[(position + 1) % len(columns)]
+        self.spec.order_by = [next_column]
+        self.position = 0
+        self.refresh()
+        self.message = f"ordered by {next_column}"
+
+    def delete_record(self) -> bool:
+        if self.mode is not Mode.BROWSE:
+            raise FormModeError("delete only in BROWSE mode")
+        row = self.current_row
+        if row is None:
+            self.message = "no record to delete"
+            return False
+        try:
+            count = self.db.delete(self.spec.source, self._key_predicate(row))
+        except Exception as exc:
+            self.message = f"error: {exc}"
+            return False
+        self.refresh()
+        self.message = f"{count} record(s) deleted"
+        return True
+
+    # -- key dispatch ---------------------------------------------------------
+
+    def handle_key(self, event: KeyEvent) -> bool:
+        """Form-level keys (called after field widgets decline the event)."""
+        key = event.key
+        if self.mode is Mode.BROWSE:
+            if key in (Key.DOWN, Key.PGDN):
+                self.next_record()
+                return True
+            if key in (Key.UP, Key.PGUP):
+                self.prev_record()
+                return True
+            if key == Key.HOME:
+                self.first_record()
+                return True
+            if key == Key.END:
+                self.last_record()
+                return True
+            if key == Key.F2:
+                self.begin_edit()
+                return True
+            if key == Key.F3:
+                self.begin_insert()
+                return True
+            if key == Key.F4:
+                self.begin_query()
+                return True
+            if key == Key.F5:
+                self.refresh(keep_position=True)
+                self.message = "requeried"
+                return True
+            if key == Key.F8:
+                self.cycle_sort()
+                return True
+            if key == Key.F6:
+                self.delete_record()
+                return True
+            if key == Key.ESC:
+                self.cancel()
+                return True
+            return False
+        if self.mode in (Mode.EDIT, Mode.INSERT):
+            if key == Key.F2:
+                self.save()
+                return True
+            if key == Key.ESC:
+                self.cancel()
+                return True
+            return False
+        if self.mode is Mode.QUERY:
+            if key in (Key.ENTER, Key.F2):
+                self.execute_query()
+                return True
+            if key == Key.ESC:
+                self.cancel()
+                return True
+            return False
+        return False  # pragma: no cover
+
+    def status_line(self) -> str:
+        """The text the mode line shows."""
+        if self.rows:
+            position = f"{self.position + 1}/{len(self.rows)}"
+        else:
+            position = "0/0"
+        filtered = " [filtered]" if self.query_filter is not None else ""
+        linked = " [linked]" if self.extra_filter is not None else ""
+        text = f"{self.mode.value} {position}{filtered}{linked}"
+        if self.message:
+            text += f" | {self.message}"
+        return text

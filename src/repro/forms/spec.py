@@ -1,0 +1,147 @@
+"""Form specifications: the declarative description a form is built from.
+
+A :class:`FormSpec` can be written by hand or derived automatically from a
+view's schema (:mod:`repro.forms.generate`).  Specs are plain data — the
+runtime interprets them; the window layer renders them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import FormSpecError
+from repro.relational.types import ColumnType
+
+#: Default field display widths per column type (1983 form conventions).
+DEFAULT_WIDTHS = {
+    ColumnType.INT: 8,
+    ColumnType.FLOAT: 12,
+    ColumnType.TEXT: 20,
+    ColumnType.BOOL: 6,
+    ColumnType.DATE: 10,
+}
+
+
+@dataclass
+class PickList:
+    """A foreign-key pick list: legal values come from parent_table.
+
+    ``key_column`` supplies the stored value; ``label_column`` is shown to
+    the user alongside it.
+    """
+
+    parent_table: str
+    key_column: str
+    label_column: Optional[str] = None
+
+
+@dataclass
+class FieldSpec:
+    """One field of a form, bound to a column of the form's source.
+
+    Auto-generated forms leave ``x`` as None (the window lays labels and
+    fields out in two columns); painted forms (:mod:`repro.forms.paint`)
+    position each field explicitly at (x, row) in the content area.
+    """
+
+    column: str
+    label: str
+    ctype: ColumnType
+    width: int
+    row: int  # content-relative layout row
+    read_only: bool = False
+    in_key: bool = False
+    pick_list: Optional[PickList] = None
+    x: Optional[int] = None  # explicit content-relative column (painted forms)
+    #: validation clauses (enforced on save, before the engine sees values)
+    required: bool = False
+    minimum: Optional[object] = None
+    maximum: Optional[object] = None
+    pattern: Optional[str] = None  # LIKE pattern the text value must match
+    #: a computed display field: a SQL scalar expression over the source's
+    #: columns, evaluated per record; always read-only, never part of DML
+    expression: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise FormSpecError(f"field {self.column!r}: width must be >= 1")
+        if self.row < 0:
+            raise FormSpecError(f"field {self.column!r}: negative layout row")
+        if self.x is not None and self.x < 0:
+            raise FormSpecError(f"field {self.column!r}: negative x position")
+        if self.expression is not None and self.in_key:
+            raise FormSpecError(
+                f"field {self.column!r}: a computed field cannot be a key"
+            )
+
+    @property
+    def virtual(self) -> bool:
+        """True for computed display fields (not stored columns)."""
+        return self.expression is not None
+
+
+@dataclass
+class FormSpec:
+    """A complete form: source relation, title, and field layout.
+
+    ``decorations`` are literal text runs painted onto the content area at
+    (x, row) — used by painted forms for captions, rules, and boxes.
+    """
+
+    name: str
+    source: str  # table or view name
+    title: str
+    fields: List[FieldSpec] = field(default_factory=list)
+    order_by: List[str] = field(default_factory=list)
+    decorations: List[Tuple[int, int, str]] = field(default_factory=list)  # (x, row, text)
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for f in self.fields:
+            if f.column in seen:
+                raise FormSpecError(f"duplicate field for column {f.column!r}")
+            seen.add(f.column)
+
+    @property
+    def painted(self) -> bool:
+        """True if the layout uses explicit field positions."""
+        return any(f.x is not None for f in self.fields) or bool(self.decorations)
+
+    def field_for(self, column: str) -> FieldSpec:
+        for f in self.fields:
+            if f.column == column.lower():
+                return f
+        raise FormSpecError(f"form {self.name!r} has no field for column {column!r}")
+
+    @property
+    def columns(self) -> List[str]:
+        """All field names, in layout order (including computed fields)."""
+        return [f.column for f in self.fields]
+
+    @property
+    def data_columns(self) -> List[str]:
+        """Stored-column fields only (what DML may touch)."""
+        return [f.column for f in self.fields if not f.virtual]
+
+    @property
+    def layout_rows(self) -> int:
+        """Number of content rows the field layout occupies."""
+        field_rows = max((f.row for f in self.fields), default=0)
+        decoration_rows = max((row for _x, row, _t in self.decorations), default=0)
+        return 1 + max(field_rows, decoration_rows)
+
+    @property
+    def layout_width(self) -> int:
+        """Content width a painted layout needs (0 for auto layouts)."""
+        width = 0
+        for f in self.fields:
+            if f.x is not None:
+                width = max(width, f.x + f.width)
+        for x, _row, text in self.decorations:
+            width = max(width, x + len(text))
+        return width
+
+    @property
+    def label_width(self) -> int:
+        return max((len(f.label) for f in self.fields), default=0)

@@ -1,0 +1,158 @@
+"""Subforms: a master record with its detail rows in one window.
+
+Where master–detail *linking* puts two windows on screen, a subform embeds
+the relationship: the top of the window is a record-at-a-time form on the
+master; below it, a grid lists the current master's detail rows.  TAB moves
+between the master fields and the grid; all the usual form keys work on the
+master, and the grid scrolls independently.
+
+This is the direct ancestor of the Access form-with-subform.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.forms.generate import generate_form
+from repro.forms.runtime import FormController
+from repro.forms.spec import FormSpec
+from repro.relational import expr as E
+from repro.relational.database import Database
+from repro.relational.types import ColumnType, format_value
+from repro.windows.events import KeyEvent
+from repro.windows.geometry import Rect
+from repro.windows.screen import Attr
+from repro.windows.widgets import GridView, Label, StatusBar, TextField
+from repro.windows.window import Window
+
+_PADDING = 2
+_GRID_WIDTHS = {
+    ColumnType.INT: 6,
+    ColumnType.FLOAT: 9,
+    ColumnType.TEXT: 12,
+    ColumnType.BOOL: 5,
+    ColumnType.DATE: 10,
+}
+
+
+class SubformWindow(Window):
+    """A master form with an embedded detail grid."""
+
+    def __init__(
+        self,
+        db: Database,
+        master_source: str,
+        detail_source: str,
+        on: Sequence[Tuple[str, str]],
+        rect: Rect,
+        master_spec: Optional[FormSpec] = None,
+        detail_rows_visible: int = 6,
+    ) -> None:
+        if not on:
+            raise ValueError("a subform needs at least one (master, detail) column pair")
+        spec = master_spec or generate_form(db, master_source)
+        title = f"{spec.title} / {detail_source}"
+        super().__init__(title, rect)
+        self.db = db
+        self.controller = FormController(db, spec)
+        self.detail_source = detail_source
+        self.detail_schema = db.catalog.schema_of(detail_source)
+        self.on = list(on)
+        self.detail_rows: List[Tuple] = []
+
+        # Master fields.
+        label_width = spec.label_width
+        self.fields = {}
+        for field_spec in spec.fields:
+            self.add(Label(0, field_spec.row, field_spec.label.ljust(label_width)))
+            widget = TextField(
+                label_width + _PADDING,
+                field_spec.row,
+                field_spec.width,
+                on_change=self._make_on_change(field_spec.column),
+            )
+            self.fields[field_spec.column] = widget
+            self.add(widget)
+
+        # Detail grid below the fields.
+        content = self.content
+        grid_top = spec.layout_rows + 1
+        grid_height = min(detail_rows_visible + 1, content.height - grid_top - 1)
+        if grid_height < 2:
+            raise ValueError("window too small for the detail grid")
+        columns = [
+            (col.name, _GRID_WIDTHS[col.ctype]) for col in self.detail_schema.columns
+        ]
+        self.grid = GridView(
+            Rect(0, grid_top, content.width, grid_height), columns
+        )
+        self.add(self.grid)
+        self.status = StatusBar(0, content.height - 1, content.width)
+        self.add(self.status)
+
+        self._last_mode = self.controller.mode
+        self.controller.on_record_change.append(self._master_moved)
+        self._master_moved()
+
+    # -- synchronisation -------------------------------------------------
+
+    def _make_on_change(self, column: str):
+        def on_change(text: str) -> None:
+            self.controller.set_field(column, text)
+
+        return on_change
+
+    def _detail_filter(self) -> Optional[E.Expr]:
+        row = self.controller.current_row
+        if row is None:
+            return E.BinOp("=", E.Literal(1), E.Literal(0))
+        conjuncts: List[E.Expr] = []
+        for master_col, detail_col in self.on:
+            value = row[self.controller.spec.columns.index(master_col)]
+            ref = E.ColumnRef(detail_col)
+            conjuncts.append(
+                E.IsNull(ref) if value is None else E.BinOp("=", ref, E.Literal(value))
+            )
+        return E.conjoin(conjuncts)
+
+    def _master_moved(self) -> None:
+        predicate = self._detail_filter()
+        sql = f"SELECT * FROM {self.detail_source}"
+        if predicate is not None:
+            sql += f" WHERE {predicate.to_sql()}"
+        if self.detail_schema.primary_key:
+            sql += " ORDER BY " + ", ".join(self.detail_schema.primary_key)
+        self.detail_rows = self.db.query(sql)
+        self.grid.set_rows(
+            [[format_value(v) for v in row] for row in self.detail_rows]
+        )
+        self.sync()
+
+    def sync(self) -> None:
+        controller = self.controller
+        if controller.mode is not self._last_mode:
+            self._last_mode = controller.mode
+            first = next(iter(self.fields.values()), None)
+            if first is not None:
+                self.focus(first)
+        for column, widget in self.fields.items():
+            if widget.text != controller.field_texts[column]:
+                widget.text = controller.field_texts[column]
+                widget.cursor = len(widget.text)
+                widget.overwrite_pending = True
+            widget.read_only = not controller.editable(column)
+        detail_count = len(self.detail_rows)
+        self.status.set_message(
+            f"{controller.status_line()} | {detail_count} detail row(s)"
+        )
+
+    # -- events -----------------------------------------------------------
+
+    def handle_key(self, event: KeyEvent) -> bool:
+        consumed = super().handle_key(event)
+        if not consumed:
+            consumed = self.controller.handle_key(event)
+            if consumed and event.key in ("F2", "F5", "F6"):
+                self._master_moved()  # saves/deletes may change details too
+        self.sync()
+        return consumed

@@ -1,0 +1,328 @@
+"""The tabular form: many records in a grid, edited cell by cell.
+
+The complement of the record-at-a-time form (and the ancestor of the
+datasheet view): rows in a grid, a cell cursor, and in-place editing.
+
+Keys::
+
+    arrows / PGUP / PGDN     move the cell cursor
+    TAB / BACKTAB            next / previous column
+    any printable character  start editing the cell (type-over)
+    ENTER                    commit the cell edit (writes through at once,
+                             or into the pending insert row)
+    ESC                      cancel the cell edit / abandon pending insert
+    F3                       start a new (pending) bottom row
+    F2                       save the pending insert row
+    F6                       delete the current row
+    F5                       requery
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import FormModeError
+from repro.forms.generate import source_metadata
+from repro.relational import expr as E
+from repro.relational.database import Database
+from repro.relational.types import format_value, parse_input
+from repro.windows.events import Key, KeyEvent
+from repro.windows.geometry import Rect
+from repro.windows.screen import Attr, ScreenBuffer
+from repro.windows.widgets import StatusBar, Widget
+from repro.windows.window import Window
+
+_GRID_WIDTHS = {
+    "INT": 7,
+    "FLOAT": 10,
+    "TEXT": 14,
+    "BOOL": 6,
+    "DATE": 10,
+}
+
+
+class _CellGrid(Widget):
+    """The grid surface; all behaviour lives on the owning TableFormWindow."""
+
+    focusable = True
+
+    def __init__(self, owner: "TableFormWindow", rect: Rect) -> None:
+        super().__init__(rect)
+        self.owner = owner
+
+    def handle_key(self, event: KeyEvent) -> bool:
+        return self.owner.grid_key(event)
+
+    def render(self, screen: ScreenBuffer, dx: int, dy: int) -> None:
+        self.owner.render_grid(screen, dx, dy, self.rect)
+
+
+class TableFormWindow(Window):
+    """A window showing a relation as an editable grid."""
+
+    def __init__(self, db: Database, source: str, rect: Rect) -> None:
+        super().__init__(source, rect)
+        self.db = db
+        self.source = source
+        self.schema = db.catalog.schema_of(source)
+        self.metadata = source_metadata(db, source)
+        self.columns = list(self.schema.column_names)
+        self.widths = [
+            max(_GRID_WIDTHS[str(self.schema.column(c).ctype)], len(c))
+            for c in self.columns
+        ]
+        self.rows: List[Tuple[Any, ...]] = []
+        self.cursor_row = 0
+        self.cursor_col = 0
+        self.scroll = 0
+        self.edit_buffer: Optional[str] = None
+        self.pending_insert: Optional[Dict[str, Any]] = None
+        self.message = ""
+        content = self.content
+        self.grid = _CellGrid(self, Rect(0, 0, content.width, content.height - 1))
+        self.add(self.grid)
+        self.status = StatusBar(0, content.height - 1, content.width)
+        self.add(self.status)
+        self.refresh()
+
+    # -- data ----------------------------------------------------------------
+
+    @property
+    def body_height(self) -> int:
+        return self.grid.rect.height - 1  # minus header
+
+    @property
+    def display_row_count(self) -> int:
+        return len(self.rows) + (1 if self.pending_insert is not None else 0)
+
+    def refresh(self) -> None:
+        sql = f"SELECT {', '.join(self.columns)} FROM {self.source}"
+        order = self.metadata.key_columns or [self.columns[0]]
+        sql += " ORDER BY " + ", ".join(order)
+        self.rows = self.db.query(sql)
+        self.cursor_row = min(self.cursor_row, max(0, self.display_row_count - 1))
+        self._fix_scroll()
+        self._update_status()
+
+    def current_row(self) -> Optional[Tuple[Any, ...]]:
+        if self.pending_insert is not None and self.cursor_row == len(self.rows):
+            return None
+        if not self.rows or self.cursor_row >= len(self.rows):
+            return None
+        return self.rows[self.cursor_row]
+
+    def _key_predicate(self, row: Tuple[Any, ...]) -> E.Expr:
+        keys = self.metadata.key_columns or self.columns
+        conjuncts: List[E.Expr] = []
+        for column in keys:
+            value = row[self.columns.index(column)]
+            ref = E.ColumnRef(column)
+            conjuncts.append(
+                E.IsNull(ref) if value is None else E.BinOp("=", ref, E.Literal(value))
+            )
+        return E.conjoin(conjuncts)
+
+    # -- key handling ----------------------------------------------------
+
+    def grid_key(self, event: KeyEvent) -> bool:
+        key = event.key
+        if self.edit_buffer is not None:
+            return self._editing_key(event)
+        if key == Key.UP:
+            self._move(-1, 0)
+            return True
+        if key == Key.DOWN:
+            self._move(1, 0)
+            return True
+        if key == Key.LEFT or key == Key.BACKTAB:
+            self._move(0, -1)
+            return True
+        if key == Key.RIGHT or key == Key.TAB:
+            self._move(0, 1)
+            return True
+        if key == Key.PGUP:
+            self._move(-self.body_height, 0)
+            return True
+        if key == Key.PGDN:
+            self._move(self.body_height, 0)
+            return True
+        if key == Key.HOME:
+            self.cursor_row = 0
+            self._fix_scroll()
+            self._update_status()
+            return True
+        if key == Key.END:
+            self.cursor_row = max(0, self.display_row_count - 1)
+            self._fix_scroll()
+            self._update_status()
+            return True
+        if event.printable:
+            self.edit_buffer = event.key  # type-over: start fresh
+            self._update_status()
+            return True
+        if key == Key.F3:
+            self._start_insert()
+            return True
+        if key == Key.F2:
+            self._save_insert()
+            return True
+        if key == Key.F6:
+            self._delete_row()
+            return True
+        if key == Key.F5:
+            self.refresh()
+            self.message = "requeried"
+            self._update_status()
+            return True
+        if key == Key.ESC and self.pending_insert is not None:
+            self.pending_insert = None
+            self.cursor_row = min(self.cursor_row, max(0, self.display_row_count - 1))
+            self.message = "insert abandoned"
+            self._update_status()
+            return True
+        return False
+
+    def _editing_key(self, event: KeyEvent) -> bool:
+        if event.printable:
+            self.edit_buffer += event.key
+        elif event.key == Key.BACKSPACE:
+            self.edit_buffer = self.edit_buffer[:-1]
+        elif event.key == Key.ENTER:
+            self._commit_cell()
+        elif event.key == Key.ESC:
+            self.edit_buffer = None
+            self.message = "cell edit cancelled"
+        else:
+            return False
+        self._update_status()
+        return True
+
+    # -- operations ------------------------------------------------------
+
+    def _move(self, drow: int, dcol: int) -> None:
+        self.cursor_row = max(0, min(self.cursor_row + drow, self.display_row_count - 1))
+        self.cursor_col = max(0, min(self.cursor_col + dcol, len(self.columns) - 1))
+        self._fix_scroll()
+        self._update_status()
+
+    def _fix_scroll(self) -> None:
+        if self.cursor_row < self.scroll:
+            self.scroll = self.cursor_row
+        elif self.cursor_row >= self.scroll + self.body_height:
+            self.scroll = self.cursor_row - self.body_height + 1
+
+    def _commit_cell(self) -> None:
+        column = self.columns[self.cursor_col]
+        text = self.edit_buffer or ""
+        self.edit_buffer = None
+        try:
+            value = parse_input(text, self.schema.column(column).ctype)
+        except Exception as exc:
+            self.message = f"error: {exc}"
+            return
+        if self.pending_insert is not None and self.cursor_row == len(self.rows):
+            self.pending_insert[column] = value
+            self.message = f"{column} staged; F2 saves the row"
+            return
+        row = self.current_row()
+        if row is None:
+            self.message = "no record here"
+            return
+        try:
+            count = self.db.update(self.source, {column: value}, self._key_predicate(row))
+        except Exception as exc:
+            self.message = f"error: {exc}"
+            return
+        self.refresh()
+        self.message = f"{count} record(s) updated"
+
+    def _start_insert(self) -> None:
+        if self.pending_insert is not None:
+            raise FormModeError("an insert row is already pending")
+        self.pending_insert = {}
+        self.cursor_row = len(self.rows)
+        self.cursor_col = 0
+        self._fix_scroll()
+        self.message = "new row: type values, ENTER per cell, F2 saves"
+        self._update_status()
+
+    def _save_insert(self) -> None:
+        if self.pending_insert is None:
+            self.message = "nothing to save (F3 starts a new row)"
+            self._update_status()
+            return
+        try:
+            self.db.insert(self.source, self.pending_insert)
+        except Exception as exc:
+            self.message = f"error: {exc}"
+            self._update_status()
+            return
+        self.pending_insert = None
+        self.refresh()
+        self.message = "record inserted"
+        self._update_status()
+
+    def _delete_row(self) -> None:
+        row = self.current_row()
+        if row is None:
+            self.message = "no record to delete"
+            self._update_status()
+            return
+        try:
+            count = self.db.delete(self.source, self._key_predicate(row))
+        except Exception as exc:
+            self.message = f"error: {exc}"
+            self._update_status()
+            return
+        self.refresh()
+        self.message = f"{count} record(s) deleted"
+        self._update_status()
+
+    def _update_status(self) -> None:
+        position = f"{min(self.cursor_row + 1, self.display_row_count)}/{self.display_row_count}"
+        column = self.columns[self.cursor_col]
+        if self.edit_buffer is not None:
+            text = f"EDIT {column} = {self.edit_buffer}_"
+        elif self.pending_insert is not None:
+            text = f"INSERT {position} {column}"
+        else:
+            text = f"GRID {position} {column}"
+        if self.message:
+            text += f" | {self.message}"
+        self.status.set_message(text)
+
+    # -- rendering -----------------------------------------------------------
+
+    def render_grid(self, screen: ScreenBuffer, dx: int, dy: int, rect: Rect) -> None:
+        x0 = rect.x + dx
+        y0 = rect.y + dy
+        # Header.
+        x = x0
+        for column, width in zip(self.columns, self.widths):
+            screen.write(x, y0, column[:width].ljust(width), Attr.BOLD | Attr.UNDERLINE)
+            x += width + 1
+        # Body.
+        for line in range(self.body_height):
+            row_index = self.scroll + line
+            y = y0 + 1 + line
+            if row_index < len(self.rows):
+                values = [format_value(v) for v in self.rows[row_index]]
+            elif self.pending_insert is not None and row_index == len(self.rows):
+                values = [
+                    format_value(self.pending_insert.get(c)) if c in self.pending_insert else "*"
+                    for c in self.columns
+                ]
+            else:
+                continue
+            x = x0
+            for col_index, (value, width) in enumerate(zip(values, self.widths)):
+                attr = Attr.NORMAL
+                if row_index == self.cursor_row and self.focused_cell() == col_index:
+                    attr = Attr.REVERSE
+                    if self.edit_buffer is not None:
+                        value = self.edit_buffer
+                screen.write(x, y, value[:width].ljust(width), attr)
+                x += width + 1
+
+    def focused_cell(self) -> int:
+        return self.cursor_col

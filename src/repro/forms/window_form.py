@@ -1,0 +1,139 @@
+"""FormWindow: projects a FormController onto window widgets.
+
+The window owns one Label + TextField pair per form field, plus a mode line
+at the bottom.  After every dispatched key it re-syncs widget texts and
+read-only flags from the controller, so the screen always reflects the
+controller's state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.forms.runtime import FormController, Mode
+from repro.forms.spec import FormSpec
+from repro.relational.database import Database
+from repro.windows.events import KeyEvent
+from repro.windows.geometry import Rect
+from repro.windows.screen import Attr
+from repro.windows.widgets import Label, StatusBar, TextField
+from repro.windows.window import Window
+
+_PADDING = 2  # between label and field
+
+
+class FormWindow(Window):
+    """A window presenting one form."""
+
+    def __init__(
+        self,
+        db: Database,
+        spec: FormSpec,
+        x: int = 0,
+        y: int = 0,
+        controller: Optional[FormController] = None,
+    ) -> None:
+        self.controller = controller or FormController(db, spec)
+        spec = self.controller.spec
+        if spec.painted:
+            content_width = spec.layout_width
+        else:
+            label_width = spec.label_width
+            field_width = max((f.width for f in spec.fields), default=10)
+            content_width = label_width + _PADDING + field_width
+        width = max(content_width + 2, len(spec.title) + 6, 24)
+        height = spec.layout_rows + 3  # border (2) + mode line (1)
+        super().__init__(spec.title, Rect(x, y, width, height))
+
+        self.fields: Dict[str, TextField] = {}
+        if spec.painted:
+            for dec_x, dec_row, text in spec.decorations:
+                self.add(Label(dec_x, dec_row, text))
+        for field_spec in spec.fields:
+            if field_spec.x is not None:
+                field_x = field_spec.x
+            else:
+                self.add(
+                    Label(0, field_spec.row, field_spec.label.ljust(spec.label_width))
+                )
+                field_x = spec.label_width + _PADDING
+            text_field = TextField(
+                field_x,
+                field_spec.row,
+                field_spec.width,
+                on_change=self._make_on_change(field_spec.column),
+            )
+            self.fields[field_spec.column] = text_field
+            self.add(text_field)
+        self.mode_line = StatusBar(0, spec.layout_rows, self.content.width)
+        self.add(self.mode_line)
+        self._last_mode = self.controller.mode
+        #: set by WowApp: callback(form_window, column, choices) opening a
+        #: pick-list popup; None when the form runs headless.
+        self.open_popup = None
+        self.controller.on_record_change.append(self.sync)
+        self.sync()
+
+    def _make_on_change(self, column: str):
+        def on_change(text: str) -> None:
+            self.controller.set_field(column, text)
+
+        return on_change
+
+    # -- synchronisation -------------------------------------------------
+
+    def sync(self) -> None:
+        """Copy controller state into the widgets."""
+        controller = self.controller
+        if controller.mode is not self._last_mode:
+            # Mode transitions home the cursor to the first field, so key
+            # scripts are deterministic regardless of prior focus.
+            self._last_mode = controller.mode
+            if self.fields:
+                first = next(iter(self.fields.values()))
+                self.focus(first)
+        for column, widget in self.fields.items():
+            if widget.text != controller.field_texts[column]:
+                widget.text = controller.field_texts[column]
+                widget.cursor = len(widget.text)
+                widget.overwrite_pending = True  # reloaded: next key replaces
+            widget.read_only = not controller.editable(column)
+        self.mode_line.set_message(controller.status_line())
+
+    # -- events -----------------------------------------------------------
+
+    def handle_key(self, event: KeyEvent) -> bool:
+        if event.key == "F7" and self._try_open_pick_list():
+            return True
+        consumed = super().handle_key(event)
+        if not consumed:
+            consumed = self.controller.handle_key(event)
+        self.sync()
+        return consumed
+
+    def _try_open_pick_list(self) -> bool:
+        """Open a pick-list popup for the focused field, if applicable."""
+        if self.open_popup is None:
+            return False
+        widget = self.focused_widget
+        column = next(
+            (col for col, field in self.fields.items() if field is widget), None
+        )
+        if column is None:
+            return False
+        if not self.controller.editable(column):
+            return False
+        choices = self.controller.pick_values(column)
+        if not choices:
+            return False
+        self.open_popup(self, column, choices)
+        return True
+
+    def accept_pick(self, column: str, value) -> None:
+        """Receive a pick-list choice into *column* (called by the popup)."""
+        from repro.relational.types import format_value
+
+        text = format_value(value)
+        self.fields[column].set_text(text)
+        self.controller.set_field(column, text)
+        self.sync()

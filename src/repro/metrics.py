@@ -1,0 +1,95 @@
+"""Interaction-cost metrics shared by the forms UI and the baselines.
+
+The reconstructed evaluation measures three quantities:
+
+* **keystrokes** — every key a user presses, via :class:`KeystrokeMeter`
+  (both the forms UI and the raw-SQL baseline count through this class, so
+  Table 1 compares like with like);
+* **cells transmitted** — counted by the renderer (Fig 3/4);
+* **wall-clock time** — :class:`Timer`, used for engine-side latencies.
+
+:class:`TerminalCostModel` converts (keystrokes, cells) into seconds at
+1983 rates for the Fig 5 crossover: a competent typist and a 9600-baud
+serial line.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class KeystrokeMeter:
+    """Counts keystrokes, optionally per labelled task."""
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.by_task: Dict[str, int] = {}
+        self._current_task: Optional[str] = None
+
+    def start_task(self, name: str) -> None:
+        """Begin attributing keystrokes to *name* (resets its count)."""
+        self._current_task = name
+        self.by_task[name] = 0
+
+    def end_task(self) -> int:
+        """Stop attributing; returns the finished task's count."""
+        if self._current_task is None:
+            return 0
+        count = self.by_task[self._current_task]
+        self._current_task = None
+        return count
+
+    def record(self, count: int = 1) -> None:
+        """Count *count* keystrokes."""
+        self.total += count
+        if self._current_task is not None:
+            self.by_task[self._current_task] += count
+
+    def reset(self) -> None:
+        self.total = 0
+        self.by_task.clear()
+        self._current_task = None
+
+
+class Timer:
+    """A tiny perf_counter stopwatch with lap recording."""
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.laps: List[float] = []
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def lap(self) -> float:
+        """Seconds since start(); recorded and returned."""
+        if self._start is None:
+            raise RuntimeError("Timer.lap() before start()")
+        elapsed = time.perf_counter() - self._start
+        self.laps.append(elapsed)
+        self._start = time.perf_counter()
+        return elapsed
+
+    @property
+    def mean(self) -> float:
+        return sum(self.laps) / len(self.laps) if self.laps else 0.0
+
+
+@dataclass
+class TerminalCostModel:
+    """Seconds of user-visible cost at 1983 terminal rates.
+
+    Defaults: 2 keystrokes/second typing (a careful occasional user typing
+    queries, not a touch-typist on prose) and 960 characters/second down a
+    9600-baud line.
+    """
+
+    seconds_per_keystroke: float = 0.5
+    seconds_per_cell: float = 1.0 / 960.0
+
+    def cost(self, keystrokes: int, cells: int) -> float:
+        """Total seconds for an interaction."""
+        return keystrokes * self.seconds_per_keystroke + cells * self.seconds_per_cell

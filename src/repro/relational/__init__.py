@@ -1,0 +1,16 @@
+"""From-scratch relational engine: storage, indexes, algebra, planner, txns."""
+
+from repro.relational.database import Database, Result
+from repro.relational.planner import PlannerConfig
+from repro.relational.schema import Column, ForeignKey, TableSchema
+from repro.relational.types import ColumnType
+
+__all__ = [
+    "Database",
+    "Result",
+    "PlannerConfig",
+    "Column",
+    "ForeignKey",
+    "TableSchema",
+    "ColumnType",
+]

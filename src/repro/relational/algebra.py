@@ -1,0 +1,635 @@
+"""Physical relational operators (the executor's iterator tree).
+
+Every operator exposes:
+
+* ``layout`` — the :class:`~repro.relational.expr.RowLayout` of its output;
+* ``rows()`` — an iterator of plain tuples;
+* ``explain()`` — a nested textual plan, one line per operator.
+
+Predicates and projections arrive *bound* (column references resolved to
+positions in the child's layout); the planner is responsible for binding.
+All operators are restartable: ``rows()`` may be called repeatedly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError, PlanError
+from repro.relational.expr import Expr, RowLayout
+from repro.relational.indexes import BTreeIndex, Index
+from repro.relational.table import Table
+from repro.relational.types import ColumnType, sort_key
+
+Row = Tuple[Any, ...]
+
+
+class Operator:
+    """Base class for plan nodes."""
+
+    layout: RowLayout
+    #: optional cardinality estimate, set by the planner when ANALYZE
+    #: statistics are available; shown by EXPLAIN
+    est_rows: Optional[float] = None
+
+    def rows(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Operator", ...]:
+        return ()
+
+    def label(self) -> str:
+        return type(self).__name__
+
+    def explain(self, depth: int = 0) -> str:
+        text = self.label()
+        if self.est_rows is not None:
+            text += f"  [~{self.est_rows:.0f} rows]"
+        lines = ["  " * depth + text]
+        for child in self.children():
+            lines.append(child.explain(depth + 1))
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+
+class SeqScan(Operator):
+    """Full scan of a base table under an alias."""
+
+    def __init__(self, table: Table, alias: Optional[str] = None) -> None:
+        self.table = table
+        self.alias = (alias or table.name).lower()
+        self.layout = RowLayout.for_table(self.alias, table.schema)
+
+    def rows(self) -> Iterator[Row]:
+        return self.table.rows()
+
+    def label(self) -> str:
+        return f"SeqScan({self.table.name} AS {self.alias})"
+
+
+class IndexEqScan(Operator):
+    """Point lookup: rows whose index key equals *key*."""
+
+    def __init__(self, table: Table, index: Index, key: Tuple[Any, ...], alias: Optional[str] = None) -> None:
+        self.table = table
+        self.index = index
+        self.key = key
+        self.alias = (alias or table.name).lower()
+        self.layout = RowLayout.for_table(self.alias, table.schema)
+
+    def rows(self) -> Iterator[Row]:
+        for rid in self.index.lookup(self.key):
+            yield self.table.read(rid)
+
+    def label(self) -> str:
+        return f"IndexEqScan({self.table.name}.{self.index.name} = {self.key!r})"
+
+
+class IndexRangeScan(Operator):
+    """Ordered scan of a B+-tree index between two single-column bounds."""
+
+    def __init__(
+        self,
+        table: Table,
+        index: BTreeIndex,
+        low: Optional[Tuple[Any, ...]],
+        high: Optional[Tuple[Any, ...]],
+        include_low: bool = True,
+        include_high: bool = True,
+        alias: Optional[str] = None,
+    ) -> None:
+        if not index.ordered:
+            raise PlanError(f"index {index.name!r} does not support range scans")
+        self.table = table
+        self.index = index
+        self.low = low
+        self.high = high
+        self.include_low = include_low
+        self.include_high = include_high
+        self.alias = (alias or table.name).lower()
+        self.layout = RowLayout.for_table(self.alias, table.schema)
+
+    def rows(self) -> Iterator[Row]:
+        for _key, rid in self.index.range_scan(
+            self.low, self.high, self.include_low, self.include_high
+        ):
+            yield self.table.read(rid)
+
+    def label(self) -> str:
+        low = "-inf" if self.low is None else repr(self.low)
+        high = "+inf" if self.high is None else repr(self.high)
+        return f"IndexRangeScan({self.table.name}.{self.index.name} in [{low}, {high}])"
+
+
+class RowSource(Operator):
+    """Materialised rows with an explicit layout (views, VALUES, tests)."""
+
+    def __init__(self, layout: RowLayout, rows: Sequence[Row], name: str = "rows") -> None:
+        self.layout = layout
+        self._rows = list(rows)
+        self._name = name
+
+    def rows(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def label(self) -> str:
+        return f"RowSource({self._name}, {len(self._rows)} rows)"
+
+
+# ---------------------------------------------------------------------------
+# Unary operators
+# ---------------------------------------------------------------------------
+
+
+class Rename(Operator):
+    """Re-qualify a child's output columns under a new alias.
+
+    Used when a view appears in FROM: the view's plan produces unqualified
+    output columns; Rename exposes them as ``alias.column``.  Optionally
+    renames the columns themselves (CREATE VIEW v (a, b) AS ...).
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        alias: str,
+        column_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.child = child
+        self.alias = alias.lower()
+        old = child.layout.slots
+        if column_names is not None:
+            if len(column_names) != len(old):
+                raise PlanError(
+                    f"rename expects {len(old)} column names, got {len(column_names)}"
+                )
+            names = [n.lower() for n in column_names]
+        else:
+            names = [name for _q, name, _t in old]
+        self.layout = RowLayout(
+            [(self.alias, name, ctype) for name, (_q, _n, ctype) in zip(names, old)]
+        )
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Row]:
+        return self.child.rows()
+
+    def label(self) -> str:
+        return f"Rename({self.alias})"
+
+
+class Filter(Operator):
+    """Keep rows for which the bound predicate evaluates to True."""
+
+    def __init__(self, child: Operator, predicate: Expr) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.layout = child.layout
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Row]:
+        predicate = self.predicate
+        for row in self.child.rows():
+            if predicate.eval(row) is True:  # 3VL: NULL filters out
+                yield row
+
+    def label(self) -> str:
+        return f"Filter({self.predicate.to_sql()})"
+
+
+class Project(Operator):
+    """Compute output columns from bound expressions."""
+
+    def __init__(
+        self,
+        child: Operator,
+        exprs: Sequence[Expr],
+        names: Sequence[str],
+        types: Sequence[ColumnType],
+    ) -> None:
+        if not (len(exprs) == len(names) == len(types)):
+            raise PlanError("projection lists must have equal lengths")
+        self.child = child
+        self.exprs = tuple(exprs)
+        self.names = tuple(n.lower() for n in names)
+        self.layout = RowLayout([(None, n, t) for n, t in zip(self.names, types)])
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Row]:
+        exprs = self.exprs
+        for row in self.child.rows():
+            yield tuple(e.eval(row) for e in exprs)
+
+    def label(self) -> str:
+        return "Project(" + ", ".join(self.names) + ")"
+
+
+class Sort(Operator):
+    """Full in-memory sort; NULLs first within each key (engine convention)."""
+
+    def __init__(self, child: Operator, keys: Sequence[Tuple[Expr, bool]]) -> None:
+        """*keys* is a list of (bound expression, ascending?) pairs."""
+        self.child = child
+        self.keys = tuple(keys)
+        self.layout = child.layout
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Row]:
+        materialised = list(self.child.rows())
+        # Stable multi-key sort: apply keys right-to-left.
+        for expr, ascending in reversed(self.keys):
+            materialised.sort(
+                key=lambda row: sort_key(expr.eval(row)), reverse=not ascending
+            )
+        return iter(materialised)
+
+    def label(self) -> str:
+        parts = ", ".join(
+            f"{e.to_sql()} {'ASC' if asc else 'DESC'}" for e, asc in self.keys
+        )
+        return f"Sort({parts})"
+
+
+class Limit(Operator):
+    """LIMIT n OFFSET m."""
+
+    def __init__(self, child: Operator, limit: Optional[int], offset: int = 0) -> None:
+        if (limit is not None and limit < 0) or offset < 0:
+            raise PlanError("LIMIT/OFFSET must be non-negative")
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+        self.layout = child.layout
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Row]:
+        produced = 0
+        skipped = 0
+        for row in self.child.rows():
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            if self.limit is not None and produced >= self.limit:
+                return
+            produced += 1
+            yield row
+
+    def label(self) -> str:
+        return f"Limit({self.limit}, offset={self.offset})"
+
+
+class Distinct(Operator):
+    """Remove duplicate rows (hash-based; NULLs compare equal for DISTINCT)."""
+
+    def __init__(self, child: Operator) -> None:
+        self.child = child
+        self.layout = child.layout
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Row]:
+        seen = set()
+        for row in self.child.rows():
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+
+
+class NestedLoopJoin(Operator):
+    """Tuple-at-a-time join with an arbitrary bound predicate.
+
+    The inner input is materialised once.  ``left_outer=True`` emits
+    NULL-padded rows for unmatched outer tuples.
+    """
+
+    def __init__(
+        self,
+        outer: Operator,
+        inner: Operator,
+        predicate: Optional[Expr] = None,
+        left_outer: bool = False,
+    ) -> None:
+        self.outer = outer
+        self.inner = inner
+        self.predicate = predicate
+        self.left_outer = left_outer
+        self.layout = outer.layout + inner.layout
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.outer, self.inner)
+
+    def rows(self) -> Iterator[Row]:
+        inner_rows = list(self.inner.rows())
+        pad = (None,) * len(self.inner.layout)
+        predicate = self.predicate
+        for outer_row in self.outer.rows():
+            matched = False
+            for inner_row in inner_rows:
+                combined = outer_row + inner_row
+                if predicate is None or predicate.eval(combined) is True:
+                    matched = True
+                    yield combined
+            if self.left_outer and not matched:
+                yield outer_row + pad
+
+    def label(self) -> str:
+        kind = "LeftOuterNLJoin" if self.left_outer else "NestedLoopJoin"
+        cond = self.predicate.to_sql() if self.predicate else "TRUE"
+        return f"{kind}({cond})"
+
+
+class HashJoin(Operator):
+    """Equi-join: build a hash table on the inner keys, probe with the outer.
+
+    NULL keys never match (SQL semantics).  ``left_outer=True`` pads
+    unmatched outer rows.
+    """
+
+    def __init__(
+        self,
+        outer: Operator,
+        inner: Operator,
+        outer_key_positions: Sequence[int],
+        inner_key_positions: Sequence[int],
+        residual: Optional[Expr] = None,
+        left_outer: bool = False,
+    ) -> None:
+        if len(outer_key_positions) != len(inner_key_positions) or not outer_key_positions:
+            raise PlanError("hash join needs matching, non-empty key lists")
+        self.outer = outer
+        self.inner = inner
+        self.outer_keys = tuple(outer_key_positions)
+        self.inner_keys = tuple(inner_key_positions)
+        self.residual = residual
+        self.left_outer = left_outer
+        self.layout = outer.layout + inner.layout
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.outer, self.inner)
+
+    def rows(self) -> Iterator[Row]:
+        build: Dict[Tuple[Any, ...], List[Row]] = {}
+        for inner_row in self.inner.rows():
+            key = tuple(inner_row[p] for p in self.inner_keys)
+            if any(component is None for component in key):
+                continue
+            build.setdefault(key, []).append(inner_row)
+        pad = (None,) * len(self.inner.layout)
+        residual = self.residual
+        for outer_row in self.outer.rows():
+            key = tuple(outer_row[p] for p in self.outer_keys)
+            matched = False
+            if not any(component is None for component in key):
+                for inner_row in build.get(key, ()):
+                    combined = outer_row + inner_row
+                    if residual is None or residual.eval(combined) is True:
+                        matched = True
+                        yield combined
+            if self.left_outer and not matched:
+                yield outer_row + pad
+
+    def label(self) -> str:
+        kind = "LeftOuterHashJoin" if self.left_outer else "HashJoin"
+        pairs = ", ".join(
+            f"L[{o}]=R[{i}]" for o, i in zip(self.outer_keys, self.inner_keys)
+        )
+        return f"{kind}({pairs})"
+
+
+class MergeJoin(Operator):
+    """Equi-join over two inputs; sorts both sides, then merges.
+
+    Handles duplicate keys on both sides.  NULL keys never match.
+    """
+
+    def __init__(
+        self,
+        outer: Operator,
+        inner: Operator,
+        outer_key_positions: Sequence[int],
+        inner_key_positions: Sequence[int],
+    ) -> None:
+        if len(outer_key_positions) != len(inner_key_positions) or not outer_key_positions:
+            raise PlanError("merge join needs matching, non-empty key lists")
+        self.outer = outer
+        self.inner = inner
+        self.outer_keys = tuple(outer_key_positions)
+        self.inner_keys = tuple(inner_key_positions)
+        self.layout = outer.layout + inner.layout
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.outer, self.inner)
+
+    def rows(self) -> Iterator[Row]:
+        def key_of(row: Row, positions: Tuple[int, ...]) -> Optional[Tuple[Any, ...]]:
+            key = tuple(row[p] for p in positions)
+            return None if any(c is None for c in key) else key
+
+        left = sorted(
+            (row for row in self.outer.rows() if key_of(row, self.outer_keys)),
+            key=lambda r: tuple(sort_key(r[p]) for p in self.outer_keys),
+        )
+        right = sorted(
+            (row for row in self.inner.rows() if key_of(row, self.inner_keys)),
+            key=lambda r: tuple(sort_key(r[p]) for p in self.inner_keys),
+        )
+        i = j = 0
+        while i < len(left) and j < len(right):
+            lkey = tuple(sort_key(left[i][p]) for p in self.outer_keys)
+            rkey = tuple(sort_key(right[j][p]) for p in self.inner_keys)
+            if lkey < rkey:
+                i += 1
+            elif rkey < lkey:
+                j += 1
+            else:
+                # Gather the run of equal keys on both sides.
+                i_end = i
+                while i_end < len(left) and tuple(
+                    sort_key(left[i_end][p]) for p in self.outer_keys
+                ) == lkey:
+                    i_end += 1
+                j_end = j
+                while j_end < len(right) and tuple(
+                    sort_key(right[j_end][p]) for p in self.inner_keys
+                ) == rkey:
+                    j_end += 1
+                for a in range(i, i_end):
+                    for b in range(j, j_end):
+                        yield left[a] + right[b]
+                i, j = i_end, j_end
+
+    def label(self) -> str:
+        pairs = ", ".join(
+            f"L[{o}]=R[{i}]" for o, i in zip(self.outer_keys, self.inner_keys)
+        )
+        return f"MergeJoin({pairs})"
+
+
+class UnionAll(Operator):
+    """Concatenate two inputs with identical arities."""
+
+    def __init__(self, left: Operator, right: Operator) -> None:
+        if len(left.layout) != len(right.layout):
+            raise PlanError("UNION inputs must have the same arity")
+        self.left = left
+        self.right = right
+        self.layout = left.layout
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.left, self.right)
+
+    def rows(self) -> Iterator[Row]:
+        yield from self.left.rows()
+        yield from self.right.rows()
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+class AggSpec:
+    """One aggregate column: func in COUNT/SUM/AVG/MIN/MAX, arg may be None
+    (COUNT(*)), output name, output type."""
+
+    FUNCS = ("count", "sum", "avg", "min", "max")
+
+    def __init__(
+        self,
+        func: str,
+        arg: Optional[Expr],
+        name: str,
+        out_type: ColumnType,
+        distinct: bool = False,
+    ) -> None:
+        func = func.lower()
+        if func not in self.FUNCS:
+            raise PlanError(f"unknown aggregate {func!r}")
+        if func != "count" and arg is None:
+            raise PlanError(f"{func.upper()} requires an argument")
+        if distinct and arg is None:
+            raise PlanError("COUNT(DISTINCT *) is not valid")
+        self.func = func
+        self.arg = arg
+        self.name = name.lower()
+        self.out_type = out_type
+        self.distinct = distinct
+
+
+class _AggState:
+    """Accumulator for one aggregate within one group."""
+
+    __slots__ = ("func", "count", "total", "best", "seen")
+
+    def __init__(self, func: str, distinct: bool = False) -> None:
+        self.func = func
+        self.count = 0
+        self.total: Any = None
+        self.best: Any = None
+        self.seen: Any = set() if distinct else None
+
+    def add(self, value: Any) -> None:
+        if self.seen is not None:
+            if value is None or value in self.seen:
+                return
+            self.seen.add(value)
+        if self.func == "count":
+            # COUNT(*) passes a sentinel non-None; COUNT(x) skips NULLs.
+            if value is not None:
+                self.count += 1
+            return
+        if value is None:
+            return
+        self.count += 1
+        if self.func in ("sum", "avg"):
+            self.total = value if self.total is None else self.total + value
+        elif self.func == "min":
+            if self.best is None or sort_key(value) < sort_key(self.best):
+                self.best = value
+        elif self.func == "max":
+            if self.best is None or sort_key(self.best) < sort_key(value):
+                self.best = value
+
+    def result(self) -> Any:
+        if self.func == "count":
+            return self.count
+        if self.count == 0:
+            return None
+        if self.func == "sum":
+            return self.total
+        if self.func == "avg":
+            return self.total / self.count
+        return self.best
+
+
+class Aggregate(Operator):
+    """Hash aggregation with optional GROUP BY expressions.
+
+    Output rows are: group-key columns first (in group_exprs order), then one
+    column per AggSpec.  With no groups, exactly one row is produced even on
+    empty input (SQL semantics).
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        group_exprs: Sequence[Tuple[Expr, str, ColumnType]],
+        aggregates: Sequence[AggSpec],
+    ) -> None:
+        self.child = child
+        self.group_exprs = tuple(group_exprs)
+        self.aggregates = tuple(aggregates)
+        slots = [(None, name, ctype) for _e, name, ctype in self.group_exprs]
+        slots += [(None, spec.name, spec.out_type) for spec in self.aggregates]
+        if not slots:
+            raise PlanError("aggregate with neither groups nor aggregates")
+        self.layout = RowLayout(slots)
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Row]:
+        groups: Dict[Tuple[Any, ...], List[_AggState]] = {}
+        order: List[Tuple[Any, ...]] = []
+        for row in self.child.rows():
+            key = tuple(expr.eval(row) for expr, _n, _t in self.group_exprs)
+            states = groups.get(key)
+            if states is None:
+                states = [_AggState(spec.func, spec.distinct) for spec in self.aggregates]
+                groups[key] = states
+                order.append(key)
+            for spec, state in zip(self.aggregates, states):
+                if spec.arg is None:
+                    state.add(True)  # COUNT(*)
+                else:
+                    state.add(spec.arg.eval(row))
+        if not groups and not self.group_exprs:
+            groups[()] = [_AggState(spec.func) for spec in self.aggregates]
+            order.append(())
+        for key in order:
+            yield key + tuple(state.result() for state in groups[key])
+
+    def label(self) -> str:
+        groups = ", ".join(n for _e, n, _t in self.group_exprs)
+        aggs = ", ".join(f"{s.func}->{s.name}" for s in self.aggregates)
+        return f"Aggregate(groups=[{groups}], aggs=[{aggs}])"

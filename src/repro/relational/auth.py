@@ -1,0 +1,142 @@
+"""Authorization: users, ownership, GRANT/REVOKE — views as protection.
+
+The classic 1983 access-control model this system's architecture exists to
+serve: a clerk is granted privileges on a *view*, never on base tables.
+Because access through a view is checked against the view object only (the
+view executes with its owner's rights underneath), a view is a protection
+domain: the clerk's whole window on the world is exactly what the view
+shows.
+
+Model:
+
+* users are bare names (authentication belonged to the OS login in 1983);
+* the bootstrap user ``dba`` is a superuser;
+* whoever creates an object owns it; owners hold every privilege on it and
+  may GRANT/REVOKE it to others;
+* privileges are SELECT, INSERT, UPDATE, DELETE per object (``ALL`` expands
+  to all four).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.errors import WowError
+
+
+class AuthError(WowError):
+    """Privilege violation or illegal grant."""
+
+
+class Privilege(enum.Enum):
+    SELECT = "SELECT"
+    INSERT = "INSERT"
+    UPDATE = "UPDATE"
+    DELETE = "DELETE"
+
+    @classmethod
+    def from_name(cls, name: str) -> "Privilege":
+        try:
+            return cls(name.upper())
+        except ValueError as exc:
+            raise AuthError(f"unknown privilege {name!r}") from exc
+
+
+ALL_PRIVILEGES: FrozenSet[Privilege] = frozenset(Privilege)
+
+SUPERUSER = "dba"
+
+
+class AuthManager:
+    """Owners and grants for one database."""
+
+    def __init__(self) -> None:
+        self._owners: Dict[str, str] = {}  # object -> owner
+        self._grants: Dict[Tuple[str, str], Set[Privilege]] = {}
+
+    # -- ownership ----------------------------------------------------------
+
+    def record_owner(self, obj: str, owner: str) -> None:
+        self._owners[obj.lower()] = owner.lower()
+
+    def forget_object(self, obj: str) -> None:
+        obj = obj.lower()
+        self._owners.pop(obj, None)
+        for key in [k for k in self._grants if k[1] == obj]:
+            del self._grants[key]
+
+    def owner_of(self, obj: str) -> Optional[str]:
+        return self._owners.get(obj.lower())
+
+    def is_owner(self, user: str, obj: str) -> bool:
+        user = user.lower()
+        return user == SUPERUSER or self._owners.get(obj.lower()) == user
+
+    # -- grants -----------------------------------------------------------
+
+    def grant(
+        self, grantor: str, privileges: Set[Privilege], obj: str, grantee: str
+    ) -> None:
+        if not self.is_owner(grantor, obj):
+            raise AuthError(
+                f"user {grantor!r} may not grant on {obj!r} (not the owner)"
+            )
+        key = (grantee.lower(), obj.lower())
+        self._grants.setdefault(key, set()).update(privileges)
+
+    def revoke(
+        self, revoker: str, privileges: Set[Privilege], obj: str, grantee: str
+    ) -> None:
+        if not self.is_owner(revoker, obj):
+            raise AuthError(
+                f"user {revoker!r} may not revoke on {obj!r} (not the owner)"
+            )
+        key = (grantee.lower(), obj.lower())
+        held = self._grants.get(key)
+        if held:
+            held.difference_update(privileges)
+            if not held:
+                del self._grants[key]
+
+    # -- checks -----------------------------------------------------------
+
+    def check(self, user: str, privilege: Privilege, obj: str) -> None:
+        """Raise AuthError unless *user* holds *privilege* on *obj*."""
+        user = user.lower()
+        obj = obj.lower()
+        if user == SUPERUSER or self._owners.get(obj) == user:
+            return
+        held = self._grants.get((user, obj), ())
+        if privilege not in held:
+            raise AuthError(
+                f"user {user!r} lacks {privilege.value} on {obj!r}"
+            )
+
+    def privileges_of(self, user: str, obj: str) -> Set[Privilege]:
+        """The effective privilege set (owner/superuser hold everything)."""
+        user = user.lower()
+        if user == SUPERUSER or self._owners.get(obj.lower()) == user:
+            return set(ALL_PRIVILEGES)
+        return set(self._grants.get((user, obj.lower()), set()))
+
+    # -- persistence hooks --------------------------------------------------
+
+    def to_doc(self) -> dict:
+        return {
+            "owners": dict(self._owners),
+            "grants": [
+                {"user": user, "object": obj, "privileges": sorted(p.value for p in privs)}
+                for (user, obj), privs in sorted(self._grants.items())
+            ],
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "AuthManager":
+        manager = cls()
+        manager._owners = dict(doc.get("owners", {}))
+        for entry in doc.get("grants", []):
+            manager._grants[(entry["user"], entry["object"])] = {
+                Privilege(p) for p in entry["privileges"]
+            }
+        return manager

@@ -1,0 +1,200 @@
+"""An in-memory B+-tree keyed by comparable keys.
+
+Used by the ordered secondary indexes (`repro.relational.indexes`).  Leaves
+hold (key, payload) pairs and are chained left-to-right, so range scans are
+a leaf walk.  The tree maps each key to exactly one payload object; the
+index layer stores a list of RowIds as the payload for non-unique indexes.
+
+The implementation is a textbook order-``branching`` B+-tree with node
+splits on the way down (preemptive splitting keeps the code free of parent
+back-tracking).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf")
+
+    def __init__(self, leaf: bool) -> None:
+        self.keys: List[Any] = []
+        # Interior nodes use .children; leaves use .values and .next_leaf.
+        self.children: Optional[List["_Node"]] = None if leaf else []
+        self.values: Optional[List[Any]] = [] if leaf else None
+        self.next_leaf: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.values is not None
+
+
+class BPlusTree:
+    """Ordered map with range scans; keys must be mutually comparable."""
+
+    def __init__(self, branching: int = 64) -> None:
+        if branching < 4:
+            raise ValueError("branching factor must be >= 4")
+        self._branching = branching
+        self._root = _Node(leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Set ``tree[key] = value`` (replaces any existing payload)."""
+        root = self._root
+        if self._is_full(root):
+            new_root = _Node(leaf=False)
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+            root = new_root
+        self._insert_nonfull(root, key, value)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Payload stored at *key*, or *default*."""
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+        idx = bisect.bisect_left(node.keys, key)
+        if idx < len(node.keys) and not (node.keys[idx] < key or key < node.keys[idx]):
+            return node.values[idx]
+        return default
+
+    def delete(self, key: Any) -> bool:
+        """Remove *key*; returns True if it was present.
+
+        Uses lazy deletion at the leaf (no rebalancing).  Lookup and scan
+        performance degrade only if a workload deletes most of a large tree,
+        which the engine's table-rewrite path avoids by rebuilding indexes.
+        """
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+        idx = bisect.bisect_left(node.keys, key)
+        if idx < len(node.keys) and not (node.keys[idx] < key or key < node.keys[idx]):
+            node.keys.pop(idx)
+            node.values.pop(idx)
+            self._size -= 1
+            return True
+        return False
+
+    # -- scans ------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """All (key, payload) pairs in key order."""
+        node = self._leftmost_leaf()
+        while node is not None:
+            for key, value in zip(node.keys, node.values):
+                yield key, value
+            node = node.next_leaf
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Tuple[Any, Any]]:
+        """(key, payload) pairs with low <= key <= high (bounds optional)."""
+        if low is None:
+            node = self._leftmost_leaf()
+            idx = 0
+        else:
+            node = self._root
+            while not node.is_leaf:
+                child = bisect.bisect_right(node.keys, low)
+                node = node.children[child]
+            if include_low:
+                idx = bisect.bisect_left(node.keys, low)
+            else:
+                idx = bisect.bisect_right(node.keys, low)
+        while node is not None:
+            while idx < len(node.keys):
+                key = node.keys[idx]
+                if high is not None:
+                    if include_high:
+                        if high < key:
+                            return
+                    elif not key < high:
+                        return
+                yield key, node.values[idx]
+                idx += 1
+            node = node.next_leaf
+            idx = 0
+
+    def min_key(self) -> Any:
+        """Smallest key, or None if empty."""
+        node = self._leftmost_leaf()
+        while node is not None:
+            if node.keys:
+                return node.keys[0]
+            node = node.next_leaf
+        return None
+
+    def depth(self) -> int:
+        """Tree height (1 = a single leaf), for tests and stats."""
+        depth = 1
+        node = self._root
+        while not node.is_leaf:
+            depth += 1
+            node = node.children[0]
+        return depth
+
+    # -- internals ---------------------------------------------------------
+
+    def _is_full(self, node: _Node) -> bool:
+        return len(node.keys) >= 2 * self._branching - 1
+
+    def _leftmost_leaf(self) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    def _split_child(self, parent: _Node, idx: int) -> None:
+        child = parent.children[idx]
+        mid = len(child.keys) // 2
+        sibling = _Node(leaf=child.is_leaf)
+        if child.is_leaf:
+            sibling.keys = child.keys[mid:]
+            sibling.values = child.values[mid:]
+            child.keys = child.keys[:mid]
+            child.values = child.values[:mid]
+            sibling.next_leaf = child.next_leaf
+            child.next_leaf = sibling
+            separator = sibling.keys[0]
+        else:
+            separator = child.keys[mid]
+            sibling.keys = child.keys[mid + 1 :]
+            sibling.children = child.children[mid + 1 :]
+            child.keys = child.keys[:mid]
+            child.children = child.children[: mid + 1]
+        parent.keys.insert(idx, separator)
+        parent.children.insert(idx + 1, sibling)
+
+    def _insert_nonfull(self, node: _Node, key: Any, value: Any) -> None:
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            child = node.children[idx]
+            if self._is_full(child):
+                self._split_child(node, idx)
+                if node.keys[idx] < key:
+                    idx += 1
+                child = node.children[idx]
+            node = child
+        idx = bisect.bisect_left(node.keys, key)
+        if idx < len(node.keys) and not (node.keys[idx] < key or key < node.keys[idx]):
+            node.values[idx] = value
+        else:
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            self._size += 1

@@ -1,0 +1,151 @@
+"""CSV import/export — the bulk-data side door every 1983 site needed.
+
+Exports render values with the same formatter the forms use, so a round
+trip through CSV is lossless for every supported type (NULL becomes the
+empty string, and empty TEXT exports as a quoted empty string to stay
+distinguishable).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Optional, Sequence, TextIO, Union
+
+from repro.errors import SchemaError
+from repro.relational.database import Database
+from repro.relational.types import ColumnType, format_value, parse_input
+
+_NULL_TOKEN = ""
+
+
+def export_csv(
+    db: Database,
+    source: str,
+    out: Union[str, TextIO],
+    header: bool = True,
+    where: Optional[str] = None,
+) -> int:
+    """Write all rows of a table or view to CSV; returns the row count.
+
+    *out* is a file path or a writable text stream.
+    """
+    schema = db.catalog.schema_of(source)
+    sql = f"SELECT * FROM {source}"
+    if where:
+        sql += f" WHERE {where}"
+    if schema.primary_key:
+        sql += " ORDER BY " + ", ".join(schema.primary_key)
+    rows = db.query(sql)
+
+    def write(stream: TextIO) -> None:
+        writer = csv.writer(stream, lineterminator="\n")
+        if header:
+            writer.writerow(schema.column_names)
+        for row in rows:
+            writer.writerow(
+                [
+                    _NULL_TOKEN if value is None else format_value(value)
+                    for value in row
+                ]
+            )
+
+    if isinstance(out, str):
+        with open(out, "w", encoding="utf-8", newline="") as fh:
+            write(fh)
+    else:
+        write(out)
+    return len(rows)
+
+
+def import_csv(
+    db: Database,
+    target: str,
+    source: Union[str, TextIO],
+    header: bool = True,
+    columns: Optional[Sequence[str]] = None,
+) -> int:
+    """Load CSV rows into a table or updatable view; returns the row count.
+
+    With ``header=True`` (default) the first line names the columns; with
+    ``header=False`` the caller must pass *columns* (or the file must have
+    exactly the target's full width, in declaration order).  Values are
+    parsed with the same rules as form input: the empty string is NULL for
+    non-TEXT columns (TEXT keeps it as an empty string only when quoted —
+    csv cannot distinguish, so for TEXT the empty cell imports as NULL too;
+    use a placeholder if you need empty strings).  The whole import is one
+    statement: any bad row rolls everything back.
+    """
+    schema = db.catalog.schema_of(target)
+
+    def load(stream: TextIO) -> int:
+        reader = csv.reader(stream)
+        rows = list(reader)
+        if not rows:
+            return 0
+        if header:
+            names = [name.strip().lower() for name in rows[0]]
+            body = rows[1:]
+        elif columns is not None:
+            names = [name.lower() for name in columns]
+            body = rows
+        else:
+            names = list(schema.column_names)
+            body = rows
+        for name in names:
+            if not schema.has_column(name):
+                raise SchemaError(f"{target!r} has no column {name!r}")
+        count = 0
+        own_txn = not db.txn.active
+        if own_txn:
+            db.execute("BEGIN")
+        else:
+            db.execute("SAVEPOINT __csv_import")
+        try:
+            for line_no, raw in enumerate(body, start=2 if header else 1):
+                if not raw:
+                    continue
+                if len(raw) != len(names):
+                    raise SchemaError(
+                        f"CSV line {line_no}: expected {len(names)} values, "
+                        f"got {len(raw)}"
+                    )
+                values = {}
+                for name, text in zip(names, raw):
+                    ctype = schema.column(name).ctype
+                    if ctype is ColumnType.TEXT:
+                        # Preserve the cell exactly (whitespace included);
+                        # only a fully empty cell means NULL.
+                        values[name] = text if text != "" else None
+                    else:
+                        values[name] = parse_input(text, ctype)
+                db.insert(target, values)
+                count += 1
+        except Exception:
+            if own_txn:
+                db.execute("ROLLBACK")
+            else:
+                db.execute("ROLLBACK TO __csv_import")
+            raise
+        if own_txn:
+            db.execute("COMMIT")
+        else:
+            db.execute("RELEASE SAVEPOINT __csv_import")
+        return count
+
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8", newline="") as fh:
+            return load(fh)
+    return load(source)
+
+
+def export_csv_text(db: Database, source: str, **kwargs) -> str:
+    """Convenience: export to a string (tests and small dumps)."""
+    buffer = io.StringIO()
+    export_csv(db, source, buffer, **kwargs)
+    return buffer.getvalue()
+
+
+def import_csv_text(db: Database, target: str, text: str, **kwargs) -> int:
+    """Convenience: import from a string."""
+    return import_csv(db, target, io.StringIO(text), **kwargs)

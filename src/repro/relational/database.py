@@ -1,0 +1,1242 @@
+"""The public database facade: SQL execution, DML through views, durability.
+
+:class:`Database` wires together the catalog, planner, executor, transaction
+manager, and (for on-disk databases) the write-ahead log.  It is the only
+entry point the windowing/forms layers use.
+
+Two backends share every code path above storage:
+
+* ``Database()`` — in-memory (MemoryPager heaps, no WAL);
+* ``Database(path="/some/dir")`` — a directory holding ``catalog.json``,
+  one ``<table>.heap`` file per table, and ``wal.log``.  Recovery replays
+  the WAL over the last checkpoint on open.
+
+Statement-level atomicity: every statement (or programmatic DML call) either
+fully applies or fully rolls back, whether or not an explicit transaction is
+open.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import (
+    BindError,
+    CatalogError,
+    DatabaseError,
+    ExecutionError,
+    ForeignKeyError,
+    SqlError,
+    TransactionError,
+)
+from repro.relational import expr as E
+from repro.relational.catalog import Catalog
+from repro.relational.heap import HeapFile, RowId
+from repro.relational.pager import FilePager, MemoryPager
+from repro.relational.planner import Planner, PlannerConfig
+from repro.relational.schema import Column, ForeignKey, TableSchema
+from repro.relational.table import Table
+from repro.relational.txn import TransactionManager
+from repro.relational.types import ColumnType
+from repro.relational.wal import WriteAheadLog
+from repro.sql import ast_nodes as A
+from repro.sql.parser import parse_script, parse_statement
+from repro.views.definition import ViewDefinition
+from repro.views.update import UpdatableViewInfo, analyze_updatability
+
+Row = Tuple[Any, ...]
+
+
+@dataclass
+class Result:
+    """The outcome of one statement."""
+
+    columns: List[str] = field(default_factory=list)
+    rows: List[Row] = field(default_factory=list)
+    rowcount: int = 0
+    plan: Optional[str] = None
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result (raises otherwise)."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise ExecutionError(
+                f"scalar() needs a 1x1 result, got {len(self.rows)} rows"
+            )
+        return self.rows[0][0]
+
+    def mappings(self) -> List[Dict[str, Any]]:
+        """Rows as column-name dicts."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+class Database:
+    """A relational database instance (see module docstring)."""
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        fsync: bool = True,
+        planner_config: Optional[PlannerConfig] = None,
+    ) -> None:
+        self.path = path
+        self._pagers: Dict[str, FilePager] = {}
+        self.txn = TransactionManager()
+        self.planner_config = planner_config or PlannerConfig()
+        if path is None:
+            self.catalog = Catalog()
+            self.wal: Optional[WriteAheadLog] = None
+        else:
+            os.makedirs(path, exist_ok=True)
+            self.catalog = Catalog(heap_factory=self._disk_heap)
+            self.wal = WriteAheadLog(os.path.join(path, "wal.log"), fsync=fsync)
+            self._load_catalog()
+            self._recover()
+        self.planner = Planner(self.catalog, self.planner_config)
+        if self.wal is not None:
+            self.txn.on_commit.append(self.wal.commit)
+            self.txn.on_rollback.append(self.wal.discard_pending)
+        #: statement counters for tests/benchmarks
+        self.stats = {"selects": 0, "inserts": 0, "updates": 0, "deletes": 0}
+        #: open savepoints: name -> (txn mark, wal mark)
+        self._savepoints: Dict[str, Tuple[int, int]] = {}
+        if not hasattr(self, "auth"):
+            from repro.relational.auth import AuthManager
+
+            self.auth = AuthManager()
+        #: the user statements execute as; 'dba' is the superuser
+        self.current_user = "dba"
+
+    def set_user(self, name: str) -> None:
+        """Switch the session user (authentication was the OS's job in 1983)."""
+        self.current_user = name.lower()
+
+    # ------------------------------------------------------------------
+    # SQL entry points
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str) -> Result:
+        """Parse and execute a single SQL statement."""
+        statement = parse_statement(sql)
+        return self._execute_statement(statement, sql)
+
+    def execute_script(self, sql: str) -> List[Result]:
+        """Execute a ';'-separated script; returns one Result per statement."""
+        return [self._execute_statement(s, sql) for s in parse_script(sql)]
+
+    def query(self, sql: str) -> List[Row]:
+        """Shorthand: execute a SELECT and return its rows."""
+        return self.execute(sql).rows
+
+    def stream(self, sql: str) -> Tuple[List[str], Iterator[Row]]:
+        """Execute a SELECT lazily: (column names, row iterator).
+
+        Rows are produced as the plan pulls them — nothing is materialised
+        up front, so huge scans cost O(1) memory.  Do not run DML on the
+        tables being scanned while the iterator is live.
+        """
+        statement = parse_statement(sql)
+        if not isinstance(statement, A.Select):
+            raise SqlError("stream() takes a single SELECT")
+        self._check_select_privileges(statement)
+        plan = self.planner.plan_select(statement)
+        self.stats["selects"] += 1
+        return plan.layout.names(), plan.rows()
+
+    # ------------------------------------------------------------------
+    # Programmatic DML (used by the forms runtime)
+    # ------------------------------------------------------------------
+
+    def insert(self, target: str, values: Mapping[str, Any]) -> int:
+        """Insert one row into a table **or updatable view**; returns 1."""
+        self._check_dml_privilege(target, "INSERT")
+        with self._atomic():
+            self._insert_target(target, dict(values))
+        self.stats["inserts"] += 1
+        return 1
+
+    def bulk_insert(self, target: str, rows: Sequence[Mapping[str, Any]]) -> int:
+        """Insert many rows as one atomic unit (one WAL commit).
+
+        Much faster than per-row :meth:`insert` for loads: the undo/redo
+        machinery runs once per batch instead of once per row.
+        """
+        self._check_dml_privilege(target, "INSERT")
+        with self._atomic():
+            for values in rows:
+                self._insert_target(target, dict(values))
+        self.stats["inserts"] += 1
+        return len(rows)
+
+    def update(
+        self,
+        target: str,
+        changes: Mapping[str, Any],
+        where: Optional[Union[str, E.Expr]] = None,
+    ) -> int:
+        """Update rows of a table or updatable view; returns the row count."""
+        self._check_dml_privilege(target, "UPDATE")
+        predicate = self._parse_predicate(where)
+        with self._atomic():
+            count = self._update_target(target, dict(changes), predicate)
+        self.stats["updates"] += 1
+        return count
+
+    def delete(
+        self, target: str, where: Optional[Union[str, E.Expr]] = None
+    ) -> int:
+        """Delete rows of a table or updatable view; returns the row count."""
+        self._check_dml_privilege(target, "DELETE")
+        predicate = self._parse_predicate(where)
+        with self._atomic():
+            count = self._delete_target(target, predicate)
+        self.stats["deletes"] += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Flush all data to disk and truncate the WAL (no-op in memory)."""
+        if self.path is None:
+            return
+        for pager in self._pagers.values():
+            pager.flush()
+        self._save_catalog()
+        if self.wal is not None:
+            self.wal.truncate()
+
+    def close(self) -> None:
+        """Checkpoint (if persistent) and release every file handle."""
+        if self.path is not None:
+            self.checkpoint()
+            for pager in self._pagers.values():
+                pager.close()
+            self._pagers.clear()
+            if self.wal is not None:
+                self.wal.close()
+                self.wal = None
+
+    # ------------------------------------------------------------------
+    # Statement dispatch
+    # ------------------------------------------------------------------
+
+    def _execute_statement(self, statement: A.Statement, sql_text: str) -> Result:
+        if isinstance(statement, A.Select):
+            return self._run_select(statement)
+        if isinstance(statement, A.Union):
+            for arm in statement.selects:
+                self._check_select_privileges(arm)
+            plan = self.planner.plan_union(statement)
+            rows = list(plan.rows())
+            self.stats["selects"] += 1
+            return Result(columns=plan.layout.names(), rows=rows, rowcount=len(rows))
+        if isinstance(statement, A.AlterTable):
+            return self._run_alter_table(statement)
+        if isinstance(statement, (A.Grant, A.Revoke)):
+            return self._run_grant_revoke(statement)
+        if isinstance(statement, A.Analyze):
+            return self._run_analyze(statement)
+        if isinstance(statement, A.Savepoint):
+            self._create_savepoint(statement.name)
+            return Result()
+        if isinstance(statement, A.RollbackTo):
+            self._rollback_to_savepoint(statement.name)
+            return Result()
+        if isinstance(statement, A.ReleaseSavepoint):
+            self._release_savepoint(statement.name)
+            return Result()
+        if isinstance(statement, A.Explain):
+            plan = self.planner.plan_select(statement.query)
+            return Result(plan=plan.explain())
+        if isinstance(statement, A.Insert):
+            return self._run_insert(statement)
+        if isinstance(statement, A.Update):
+            return self._run_update(statement)
+        if isinstance(statement, A.Delete):
+            return self._run_delete(statement)
+        if isinstance(statement, A.CreateTable):
+            return self._run_create_table(statement)
+        if isinstance(statement, A.DropTable):
+            return self._run_drop_table(statement)
+        if isinstance(statement, A.CreateIndex):
+            return self._run_create_index(statement)
+        if isinstance(statement, A.DropIndex):
+            return self._run_drop_index(statement)
+        if isinstance(statement, A.CreateView):
+            return self._run_create_view(statement, sql_text)
+        if isinstance(statement, A.DropView):
+            return self._run_drop_view(statement)
+        if isinstance(statement, A.Begin):
+            self.txn.begin()
+            self._savepoints.clear()
+            return Result()
+        if isinstance(statement, A.Commit):
+            self.txn.commit()
+            self._savepoints.clear()
+            return Result()
+        if isinstance(statement, A.Rollback):
+            self.txn.rollback()
+            self._savepoints.clear()
+            return Result()
+        raise DatabaseError(f"unhandled statement {type(statement).__name__}")
+
+    # -- savepoints -----------------------------------------------------------
+
+    def _create_savepoint(self, name: str) -> None:
+        if not self.txn.active:
+            raise TransactionError("SAVEPOINT outside a transaction")
+        self._savepoints[name.lower()] = (
+            self.txn.mark(),
+            self.wal.mark() if self.wal is not None else 0,
+        )
+
+    def _rollback_to_savepoint(self, name: str) -> None:
+        marks = self._savepoints.get(name.lower())
+        if marks is None:
+            raise TransactionError(f"no savepoint named {name!r}")
+        txn_mark, wal_mark = marks
+        self.txn.rollback_to(txn_mark)
+        if self.wal is not None:
+            self.wal.discard_pending_from(wal_mark)
+        # Savepoints created after this one are gone.
+        self._savepoints = {
+            n: (t, w) for n, (t, w) in self._savepoints.items() if t <= txn_mark
+        }
+
+    def _release_savepoint(self, name: str) -> None:
+        if self._savepoints.pop(name.lower(), None) is None:
+            raise TransactionError(f"no savepoint named {name!r}")
+
+    # -- ALTER TABLE ---------------------------------------------------------
+
+    def _run_alter_table(self, statement: A.AlterTable) -> Result:
+        if self.txn.active:
+            raise TransactionError("ALTER TABLE is not allowed inside a transaction")
+        self._require_ownership(statement.table)
+        table = self.catalog.table(statement.table)
+        if statement.action == "add":
+            return self._alter_add_column(table, statement.column)
+        if statement.action == "drop":
+            return self._alter_drop_column(table, statement.column_name)
+        if statement.action == "rename":
+            return self._alter_rename(table, statement.new_name)
+        raise DatabaseError(f"unknown ALTER action {statement.action!r}")
+
+    def _dependent_views(self, table_name: str) -> List[str]:
+        from repro.relational.catalog import view_dependencies
+
+        return [
+            v.name
+            for v in self.catalog.views()
+            if table_name in view_dependencies(v)
+        ]
+
+    def _rebuild_table(
+        self,
+        old: Table,
+        new_schema: TableSchema,
+        transform,
+        keep_index: Callable[[Any], bool] = lambda index: True,
+    ) -> None:
+        """Replace *old* with a table of *new_schema*, copying rows through
+        *transform* and re-creating surviving secondary indexes."""
+        rows = [transform(row) for row in old.rows()]
+        secondary = [
+            (index.name, "btree" if index.ordered else "hash", index.columns, index.unique)
+            for index in old.indexes.values()
+            if not index.name.startswith(("pk_", "uq_"))
+        ]
+        # Drop the old storage.
+        self.catalog._tables.pop(old.name)
+        pager = self._pagers.pop(old.name, None)
+        if pager is not None:
+            pager.close()
+            with contextlib.suppress(FileNotFoundError):
+                os.remove(pager.path)
+        if new_schema.name != old.name:
+            owner = self.auth.owner_of(old.name) or self.current_user
+            self.auth.forget_object(old.name)
+            self.auth.record_owner(new_schema.name, owner)
+        new_table = self.catalog.create_table(new_schema)
+        for row in rows:
+            new_table.insert(row)
+        for name, kind, columns, unique in secondary:
+            if all(new_schema.has_column(c) for c in columns) and keep_index(columns):
+                new_table.add_index(name, kind, columns, unique)
+        self._ddl_checkpoint()
+
+    def _alter_add_column(self, table: Table, column: Column) -> Result:
+        if table.schema.has_column(column.name):
+            raise CatalogError(
+                f"table {table.name!r} already has a column {column.name!r}"
+            )
+        if not column.nullable and column.default is None and table.count() > 0:
+            raise CatalogError(
+                "cannot add a NOT NULL column without a DEFAULT to a non-empty table"
+            )
+        new_schema = TableSchema(
+            table.schema.name,
+            list(table.schema.columns) + [column],
+            primary_key=table.schema.primary_key or None,
+            unique=table.schema.unique,
+            foreign_keys=table.schema.foreign_keys,
+            checks=table.schema.checks,
+        )
+        self._rebuild_table(table, new_schema, lambda row: row + (column.default,))
+        return Result()
+
+    def _alter_drop_column(self, table: Table, column_name: str) -> Result:
+        column_name = column_name.lower()
+        position = table.schema.column_index(column_name)  # validates
+        if column_name in table.schema.primary_key:
+            raise CatalogError(f"cannot drop primary-key column {column_name!r}")
+        if any(column_name in group for group in table.schema.unique):
+            raise CatalogError(f"cannot drop UNIQUE column {column_name!r}")
+        if any(column_name in fk.columns for fk in table.schema.foreign_keys):
+            raise CatalogError(f"cannot drop foreign-key column {column_name!r}")
+        for other in self.catalog.tables():
+            for fk in other.schema.foreign_keys:
+                if (
+                    fk.parent_table.lower() == table.name
+                    and column_name in fk.parent_columns
+                ):
+                    raise CatalogError(
+                        f"{other.name!r} references {table.name}.{column_name}"
+                    )
+        dependants = self._dependent_views(table.name)
+        if dependants:
+            raise CatalogError(
+                f"cannot drop a column of {table.name!r}: views depend on it: "
+                f"{dependants}"
+            )
+        if table.schema.arity == 1:
+            raise CatalogError("cannot drop a table's only column")
+        new_columns = [
+            c for c in table.schema.columns if c.name != column_name
+        ]
+        new_schema = TableSchema(
+            table.schema.name,
+            new_columns,
+            primary_key=table.schema.primary_key or None,
+            unique=table.schema.unique,
+            foreign_keys=table.schema.foreign_keys,
+            checks=table.schema.checks,
+        )
+        self._rebuild_table(
+            table,
+            new_schema,
+            lambda row: row[:position] + row[position + 1 :],
+        )
+        return Result()
+
+    def _alter_rename(self, table: Table, new_name: str) -> Result:
+        dependants = self._dependent_views(table.name)
+        if dependants:
+            raise CatalogError(
+                f"cannot rename {table.name!r}: views depend on it: {dependants}"
+            )
+        for other in self.catalog.tables():
+            for fk in other.schema.foreign_keys:
+                if fk.parent_table.lower() == table.name and other.name != table.name:
+                    raise CatalogError(
+                        f"cannot rename {table.name!r}: {other.name!r} references it"
+                    )
+        new_schema = TableSchema(
+            new_name,
+            list(table.schema.columns),
+            primary_key=table.schema.primary_key or None,
+            unique=table.schema.unique,
+            foreign_keys=table.schema.foreign_keys,
+            checks=table.schema.checks,
+        )
+        self._rebuild_table(table, new_schema, lambda row: row)
+        return Result()
+
+    def _run_analyze(self, statement: A.Analyze) -> Result:
+        """Collect optimizer statistics for one table or all tables."""
+        from repro.relational.stats import analyze_table
+
+        if statement.table is not None:
+            tables = [self.catalog.table(statement.table)]
+        else:
+            tables = self.catalog.tables()
+        for table in tables:
+            self.planner.stats[table.name] = analyze_table(table)
+        return Result(rowcount=len(tables))
+
+    def _run_grant_revoke(self, statement) -> Result:
+        from repro.relational.auth import ALL_PRIVILEGES, Privilege
+
+        self.catalog.resolve(statement.object_name)  # must exist
+        if statement.privileges == ["ALL"]:
+            privileges = set(ALL_PRIVILEGES)
+        else:
+            privileges = {Privilege.from_name(p) for p in statement.privileges}
+        if isinstance(statement, A.Grant):
+            self.auth.grant(
+                self.current_user, privileges, statement.object_name, statement.grantee
+            )
+        else:
+            self.auth.revoke(
+                self.current_user, privileges, statement.object_name, statement.grantee
+            )
+        if self.path is not None and not self.txn.active:
+            self._save_catalog()
+        return Result()
+
+    # -- privilege checks ---------------------------------------------------
+
+    def _referenced_sources(self, select: A.Select) -> List[str]:
+        """Object names a SELECT reads: FROM/JOIN entries plus subqueries.
+
+        Access through a view requires privileges on the view only (the
+        view executes with its owner's rights) — so view expansion does NOT
+        contribute its underlying tables here.
+        """
+        from repro.relational.catalog import SYSTEM_TABLE_NAMES
+        from repro.sql.parser import SubqueryExpr
+
+        names: List[str] = []
+        if select.from_table is not None:
+            names.append(select.from_table.name.lower())
+        names.extend(join.table.name.lower() for join in select.joins)
+        exprs = [select.where, select.having]
+        exprs.extend(join.condition for join in select.joins)
+        exprs.extend(item.expr for item in select.order_by)
+        for item in select.items:
+            if item.expr is not None and isinstance(item.expr, E.Expr):
+                exprs.append(item.expr)
+        for expr in exprs:
+            if expr is None or not isinstance(expr, E.Expr):
+                continue
+            for node in expr.walk():
+                if isinstance(node, SubqueryExpr):
+                    names.extend(self._referenced_sources(node.select))
+        return [n for n in names if n not in SYSTEM_TABLE_NAMES]
+
+    def _check_select_privileges(self, select: A.Select) -> None:
+        from repro.relational.auth import Privilege
+
+        for name in self._referenced_sources(select):
+            self.auth.check(self.current_user, Privilege.SELECT, name)
+
+    def _check_dml_privilege(self, target: str, privilege_name: str) -> None:
+        from repro.relational.auth import Privilege
+
+        self.auth.check(
+            self.current_user, Privilege(privilege_name), target.lower()
+        )
+
+    def _run_select(self, select: A.Select) -> Result:
+        self._check_select_privileges(select)
+        plan = self.planner.plan_select(select)
+        rows = list(plan.rows())
+        self.stats["selects"] += 1
+        return Result(columns=plan.layout.names(), rows=rows, rowcount=len(rows))
+
+    # -- DML statements ------------------------------------------------------
+
+    def _run_insert(self, statement: A.Insert) -> Result:
+        self._check_dml_privilege(statement.table, "INSERT")
+        schema = self.catalog.schema_of(statement.table)
+        if statement.select is not None:
+            return self._run_insert_select(statement, schema)
+        count = 0
+        with self._atomic():
+            for value_row in statement.rows:
+                values = [_const_value(expr) for expr in value_row]
+                if statement.columns is not None:
+                    if len(values) != len(statement.columns):
+                        raise SqlError(
+                            f"INSERT has {len(values)} values for "
+                            f"{len(statement.columns)} columns"
+                        )
+                    mapping = dict(zip(statement.columns, values))
+                else:
+                    if len(values) != schema.arity:
+                        raise SqlError(
+                            f"INSERT has {len(values)} values; table "
+                            f"{schema.name!r} has {schema.arity} columns"
+                        )
+                    mapping = dict(zip(schema.column_names, values))
+                self._insert_target(statement.table, mapping)
+                count += 1
+        self.stats["inserts"] += 1
+        return Result(rowcount=count)
+
+    def _run_insert_select(self, statement: A.Insert, schema) -> Result:
+        """INSERT INTO t [(cols)] SELECT ... — rows map positionally."""
+        self._check_select_privileges(statement.select)
+        plan = self.planner.plan_select(statement.select)
+        target_columns = statement.columns or list(schema.column_names)
+        if len(plan.layout) != len(target_columns):
+            raise SqlError(
+                f"INSERT ... SELECT: query yields {len(plan.layout)} columns "
+                f"for {len(target_columns)} target columns"
+            )
+        # Materialise before writing: the source may be the target table.
+        source_rows = list(plan.rows())
+        count = 0
+        with self._atomic():
+            for row in source_rows:
+                self._insert_target(
+                    statement.table, dict(zip(target_columns, row))
+                )
+                count += 1
+        self.stats["inserts"] += 1
+        return Result(rowcount=count)
+
+    def _run_update(self, statement: A.Update) -> Result:
+        self._check_dml_privilege(statement.table, "UPDATE")
+        changes = {}
+        for column, expr in statement.assignments:
+            expr = self.planner._resolve_subqueries(expr)
+            changes[column] = _const_value(expr) if _is_const(expr) else expr
+        with self._atomic():
+            count = self._update_target(statement.table, changes, statement.where)
+        self.stats["updates"] += 1
+        return Result(rowcount=count)
+
+    def _run_delete(self, statement: A.Delete) -> Result:
+        self._check_dml_privilege(statement.table, "DELETE")
+        with self._atomic():
+            count = self._delete_target(statement.table, statement.where)
+        self.stats["deletes"] += 1
+        return Result(rowcount=count)
+
+    # -- DDL statements ------------------------------------------------------
+
+    def _run_create_table(self, statement: A.CreateTable) -> Result:
+        if statement.if_not_exists and self.catalog.has_table(statement.name):
+            return Result()
+        schema = TableSchema(
+            statement.name,
+            statement.columns,
+            primary_key=statement.primary_key,
+            unique=statement.unique,
+            foreign_keys=statement.foreign_keys,
+            checks=statement.checks,
+        )
+        for fk in schema.foreign_keys:
+            self._validate_fk_target(schema, fk)
+        for check in schema.checks:
+            # Validate the expression binds against this table's columns.
+            E.bind(check, E.RowLayout.for_table(schema.name, schema))
+        self.catalog.create_table(schema)
+        self.auth.record_owner(schema.name, self.current_user)
+        self._ddl_checkpoint()
+        return Result()
+
+    def _run_drop_table(self, statement: A.DropTable) -> Result:
+        name = statement.name.lower()
+        if not self.catalog.has_table(name):
+            if statement.if_exists:
+                return Result()
+            raise CatalogError(f"no table named {name!r}")
+        for other in self.catalog.tables():
+            if other.name == name:
+                continue
+            for fk in other.schema.foreign_keys:
+                if fk.parent_table.lower() == name:
+                    raise CatalogError(
+                        f"cannot drop {name!r}: {other.name!r} references it"
+                    )
+        self._require_ownership(name)
+        self.catalog.drop_table(name)
+        self.auth.forget_object(name)
+        pager = self._pagers.pop(name, None)
+        if pager is not None:
+            pager.close()
+            with contextlib.suppress(FileNotFoundError):
+                os.remove(pager.path)
+        self._ddl_checkpoint()
+        return Result()
+
+    def _require_ownership(self, obj: str) -> None:
+        from repro.relational.auth import AuthError
+
+        if not self.auth.is_owner(self.current_user, obj):
+            raise AuthError(
+                f"user {self.current_user!r} does not own {obj!r}"
+            )
+
+    def _run_create_index(self, statement: A.CreateIndex) -> Result:
+        self._require_ownership(statement.table)
+        table = self.catalog.table(statement.table)
+        table.add_index(
+            statement.name, statement.kind, statement.columns, statement.unique
+        )
+        self._ddl_checkpoint()
+        return Result()
+
+    def _run_drop_index(self, statement: A.DropIndex) -> Result:
+        self._require_ownership(statement.table)
+        table = self.catalog.table(statement.table)
+        table.drop_index(statement.name)
+        self._ddl_checkpoint()
+        return Result()
+
+    def _run_create_view(self, statement: A.CreateView, sql_text: str) -> Result:
+        # Creating a view requires SELECT on everything it reads.
+        self._check_select_privileges(statement.query)
+        schema = self.planner.output_schema(statement.query, statement.name)
+        if statement.column_names is not None:
+            if len(statement.column_names) != schema.arity:
+                raise SqlError(
+                    f"view column list has {len(statement.column_names)} names "
+                    f"for {schema.arity} outputs"
+                )
+            schema = TableSchema(
+                statement.name,
+                [
+                    Column(new_name, col.ctype, col.nullable, col.default)
+                    for new_name, col in zip(statement.column_names, schema.columns)
+                ],
+            )
+        view = ViewDefinition(
+            name=statement.name.lower(),
+            query=statement.query,
+            schema=schema,
+            check_option=statement.check_option,
+            sql_text=sql_text.strip(),
+        )
+        if statement.check_option:
+            # WITH CHECK OPTION only makes sense on an updatable view.
+            analyze_updatability(view, self.catalog)
+        self.catalog.create_view(view)
+        self.auth.record_owner(view.name, self.current_user)
+        self._ddl_checkpoint()
+        return Result()
+
+    def _run_drop_view(self, statement: A.DropView) -> Result:
+        if not self.catalog.has_view(statement.name):
+            if statement.if_exists:
+                return Result()
+            raise CatalogError(f"no view named {statement.name!r}")
+        self._require_ownership(statement.name)
+        self.catalog.drop_view(statement.name)
+        self.auth.forget_object(statement.name)
+        self._ddl_checkpoint()
+        return Result()
+
+    def _ddl_checkpoint(self) -> None:
+        """DDL is made durable immediately (documented simplification)."""
+        if self.path is not None and not self.txn.active:
+            self.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Row-level operations with constraint enforcement and logging
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _reject_system_table_dml(target: str) -> None:
+        from repro.relational.catalog import SYSTEM_TABLE_NAMES
+
+        if target.lower() in SYSTEM_TABLE_NAMES:
+            raise CatalogError(f"system table {target!r} is read-only")
+
+    def _insert_target(self, target: str, values: Dict[str, Any]) -> None:
+        self._reject_system_table_dml(target)
+        entity = self.catalog.resolve(target)
+        if isinstance(entity, ViewDefinition):
+            info = analyze_updatability(entity, self.catalog)
+            base_values = info.translate_changes(values)
+            for column, value in info.predicate_defaults().items():
+                base_values.setdefault(column, value)
+            row = info.base.schema.row_from_mapping(base_values)
+            info.enforce_check_option(row)
+            self._apply_insert(info.base, row)
+        else:
+            row = entity.schema.row_from_mapping(values)
+            self._apply_insert(entity, row)
+
+    def _update_target(
+        self,
+        target: str,
+        changes: Dict[str, Any],
+        where: Optional[E.Expr],
+    ) -> int:
+        self._reject_system_table_dml(target)
+        entity = self.catalog.resolve(target)
+        if isinstance(entity, ViewDefinition):
+            return self._update_view(entity, changes, where)
+        return self._update_table(entity, changes, where)
+
+    def _delete_target(self, target: str, where: Optional[E.Expr]) -> int:
+        self._reject_system_table_dml(target)
+        entity = self.catalog.resolve(target)
+        if isinstance(entity, ViewDefinition):
+            return self._delete_view(entity, where)
+        return self._delete_table(entity, where)
+
+    # -- base-table paths ------------------------------------------------
+
+    def _update_table(
+        self, table: Table, changes: Dict[str, Any], where: Optional[E.Expr]
+    ) -> int:
+        victims = self._matching_rids(table, where)
+        count = 0
+        for rid in victims:
+            old_row = table.read(rid)
+            new_row = list(old_row)
+            for column, value in changes.items():
+                position = table.schema.column_index(column)
+                new_row[position] = self._change_value(value, table, old_row)
+            self._apply_update(table, rid, tuple(new_row))
+            count += 1
+        return count
+
+    def _delete_table(self, table: Table, where: Optional[E.Expr]) -> int:
+        victims = self._matching_rids(table, where)
+        for rid in victims:
+            self._apply_delete(table, rid)
+        return len(victims)
+
+    # -- view paths ----------------------------------------------------------
+
+    def _update_view(
+        self, view: ViewDefinition, changes: Dict[str, Any], where: Optional[E.Expr]
+    ) -> int:
+        info = analyze_updatability(view, self.catalog)
+        base_changes = info.translate_changes(
+            {k: v for k, v in changes.items()}
+        )
+        base_where = self._translate_view_predicate(info, where)
+        victims = [
+            rid
+            for rid in self._matching_rids(info.base, base_where)
+            if info.row_visible(info.base.read(rid))
+        ]
+        count = 0
+        for rid in victims:
+            old_row = info.base.read(rid)
+            new_row = list(old_row)
+            for column, value in base_changes.items():
+                position = info.base.schema.column_index(column)
+                new_row[position] = self._change_value(value, info.base, old_row)
+            info.enforce_check_option(tuple(new_row))
+            self._apply_update(info.base, rid, tuple(new_row))
+            count += 1
+        return count
+
+    def _delete_view(self, view: ViewDefinition, where: Optional[E.Expr]) -> int:
+        info = analyze_updatability(view, self.catalog)
+        base_where = self._translate_view_predicate(info, where)
+        victims = [
+            rid
+            for rid in self._matching_rids(info.base, base_where)
+            if info.row_visible(info.base.read(rid))
+        ]
+        for rid in victims:
+            self._apply_delete(info.base, rid)
+        return len(victims)
+
+    @staticmethod
+    def _translate_view_predicate(
+        info: UpdatableViewInfo, where: Optional[E.Expr]
+    ) -> Optional[E.Expr]:
+        """Rewrite a predicate over view columns into base-table columns."""
+        if where is None:
+            return None
+
+        def fix(node: E.Expr) -> Optional[E.Expr]:
+            if isinstance(node, E.ColumnRef):
+                base_col = info.column_map.get(node.name)
+                if base_col is None:
+                    raise BindError(
+                        f"view {info.view.name!r} has no column {node.name!r}"
+                    )
+                return E.ColumnRef(base_col)
+            return None
+
+        return E.rewrite(where, fix)
+
+    def _change_value(self, value: Any, table: Table, old_row: Row) -> Any:
+        """Evaluate a SET value: a constant or an expression over the old row."""
+        if isinstance(value, E.Expr):
+            layout = E.RowLayout.for_table(table.name, table.schema)
+            return E.bind(value, layout).eval(old_row)
+        return value
+
+    def _matching_rids(self, table: Table, where: Optional[E.Expr]) -> List[RowId]:
+        """RowIds satisfying *where* (index-accelerated when possible)."""
+        if where is None:
+            return [rid for rid, _row in table.scan()]
+        where = self.planner._resolve_subqueries(where)
+        layout = E.RowLayout.for_table(table.name, table.schema)
+        conjuncts = E.split_conjuncts(where)
+        # Try an equality conjunct with a matching index.
+        for conjunct in conjuncts:
+            hit = E.const_comparison(conjunct)
+            if hit is None or hit[1] != "=" or hit[2] is None:
+                continue
+            column, _op, value = hit
+            if not table.schema.has_column(column.name):
+                continue
+            index = table.index_on([column.name])
+            if index is None:
+                continue
+            coerced = table.schema.column(column.name).ctype
+            bound = E.bind(where, layout)
+            rids = []
+            from repro.relational.types import coerce
+
+            for rid in index.lookup((coerce(value, coerced),)):
+                if bound.eval(table.read(rid)) is True:
+                    rids.append(rid)
+            return rids
+        bound = E.bind(where, layout)
+        return [rid for rid, row in table.scan() if bound.eval(row) is True]
+
+    # -- physical ops with FK checks and logging -----------------------------
+
+    def _check_table_checks(self, table: Table, row: Row) -> None:
+        """Enforce CHECK constraints: a check fails only on FALSE (not NULL)."""
+        from repro.errors import CheckConstraintError
+
+        for check in table.schema.checks:
+            layout = E.RowLayout.for_table(table.name, table.schema)
+            if E.bind(check, layout).eval(row) is False:
+                raise CheckConstraintError(
+                    f"row violates CHECK {check.to_sql()} on {table.name!r}"
+                )
+
+    def _apply_insert(self, table: Table, row: Row) -> RowId:
+        row = table.schema.validate_row(row)
+        self._check_table_checks(table, row)
+        self._check_fk_child_side(table, row)
+        rid = table.insert(row)
+        self.txn.log_insert(table, rid)
+        if self.wal is not None:
+            self.wal.log_insert(table.name, row)
+        return rid
+
+    def _apply_delete(self, table: Table, rid: RowId) -> None:
+        row = table.read(rid)
+        self._check_fk_parent_side(table, row, ignore_rid=rid)
+        table.delete(rid)
+        self.txn.log_delete(table, row)
+        if self.wal is not None:
+            self.wal.log_delete(table.name, row)
+
+    def _apply_update(self, table: Table, rid: RowId, new_row: Row) -> RowId:
+        new_row = table.schema.validate_row(new_row)
+        old_row = table.read(rid)
+        if new_row == old_row:
+            return rid
+        self._check_table_checks(table, new_row)
+        self._check_fk_child_side(table, new_row)
+        self._check_fk_parent_key_change(table, old_row, new_row, rid)
+        new_rid, _ = table.update(rid, new_row)
+        self.txn.log_update(table, new_rid, old_row)
+        if new_rid != rid:
+            self.txn.note_rid_moved(table, rid, new_rid)
+        if self.wal is not None:
+            self.wal.log_update(table.name, old_row, new_row)
+        return new_rid
+
+    # -- foreign keys ------------------------------------------------------
+
+    def _validate_fk_target(self, child_schema: TableSchema, fk: ForeignKey) -> None:
+        parent = self.catalog.table(fk.parent_table)  # raises if missing
+        for column in fk.parent_columns:
+            parent.schema.column(column)
+        parent_cols = tuple(c.lower() for c in fk.parent_columns)
+        if parent.schema.primary_key != parent_cols and parent_cols not in parent.schema.unique:
+            raise CatalogError(
+                f"foreign key must reference a primary key or UNIQUE columns "
+                f"of {fk.parent_table!r}"
+            )
+
+    def _check_fk_child_side(self, table: Table, row: Row) -> None:
+        """Every FK value combination must exist in its parent table."""
+        for fk in table.schema.foreign_keys:
+            key = tuple(
+                row[table.schema.column_index(c)] for c in fk.columns
+            )
+            if any(component is None for component in key):
+                continue
+            parent = self.catalog.table(fk.parent_table)
+            index = parent.index_on(fk.parent_columns)
+            if index is not None:
+                if index.lookup(key):
+                    continue
+            else:
+                positions = [
+                    parent.schema.column_index(c) for c in fk.parent_columns
+                ]
+                if any(
+                    tuple(parent_row[p] for p in positions) == key
+                    for parent_row in parent.rows()
+                ):
+                    continue
+            raise ForeignKeyError(
+                f"{table.name}.{fk.columns} = {key!r} has no parent in "
+                f"{fk.parent_table}({', '.join(fk.parent_columns)})"
+            )
+
+    def _check_fk_parent_side(
+        self, table: Table, row: Row, ignore_rid: Optional[RowId]
+    ) -> None:
+        """No child row may still reference *row* (RESTRICT semantics)."""
+        for child in self.catalog.tables():
+            for fk in child.schema.foreign_keys:
+                if fk.parent_table.lower() != table.name:
+                    continue
+                key = tuple(
+                    row[table.schema.column_index(c)] for c in fk.parent_columns
+                )
+                if any(component is None for component in key):
+                    continue
+                index = child.index_on(fk.columns)
+                if index is not None:
+                    referencing = index.lookup(key)
+                else:
+                    positions = [child.schema.column_index(c) for c in fk.columns]
+                    referencing = [
+                        rid
+                        for rid, child_row in child.scan()
+                        if tuple(child_row[p] for p in positions) == key
+                    ]
+                if referencing:
+                    raise ForeignKeyError(
+                        f"cannot delete from {table.name!r}: "
+                        f"{child.name}.{fk.columns} still references {key!r}"
+                    )
+
+    def _check_fk_parent_key_change(
+        self, table: Table, old_row: Row, new_row: Row, rid: RowId
+    ) -> None:
+        """Treat a referenced-key change as a delete of the old key."""
+        for child in self.catalog.tables():
+            for fk in child.schema.foreign_keys:
+                if fk.parent_table.lower() != table.name:
+                    continue
+                positions = [table.schema.column_index(c) for c in fk.parent_columns]
+                old_key = tuple(old_row[p] for p in positions)
+                new_key = tuple(new_row[p] for p in positions)
+                if old_key != new_key:
+                    self._check_fk_parent_side(table, old_row, ignore_rid=rid)
+                    return
+
+    # ------------------------------------------------------------------
+    # Statement atomicity
+    # ------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _atomic(self) -> Iterator[None]:
+        """Make the enclosed DML all-or-nothing."""
+        if self.txn.active:
+            txn_mark = self.txn.mark()
+            wal_mark = self.wal.mark() if self.wal is not None else 0
+            try:
+                yield
+            except Exception:
+                self.txn.rollback_to(txn_mark)
+                if self.wal is not None:
+                    self.wal.discard_pending_from(wal_mark)
+                raise
+        else:
+            self.txn.begin()
+            try:
+                yield
+            except Exception:
+                self.txn.rollback()
+                raise
+            else:
+                self.txn.commit()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def _disk_heap(self, name: str) -> HeapFile:
+        pager = FilePager(os.path.join(self.path, f"{name}.heap"))
+        self._pagers[name] = pager
+        return HeapFile(pager)
+
+    def _catalog_path(self) -> str:
+        return os.path.join(self.path, "catalog.json")
+
+    def _save_catalog(self) -> None:
+        doc = {
+            "tables": [
+                {
+                    "name": table.name,
+                    "columns": [
+                        {
+                            "name": col.name,
+                            "type": str(col.ctype),
+                            "nullable": col.nullable,
+                            "default": _json_value(col.default),
+                        }
+                        for col in table.schema.columns
+                    ],
+                    "primary_key": list(table.schema.primary_key),
+                    "unique": [list(g) for g in table.schema.unique],
+                    "foreign_keys": [
+                        {
+                            "columns": list(fk.columns),
+                            "parent_table": fk.parent_table,
+                            "parent_columns": list(fk.parent_columns),
+                        }
+                        for fk in table.schema.foreign_keys
+                    ],
+                    "checks": [check.to_sql() for check in table.schema.checks],
+                    "indexes": [
+                        {
+                            "name": index.name,
+                            "kind": "btree" if index.ordered else "hash",
+                            "columns": list(index.columns),
+                            "unique": index.unique,
+                        }
+                        for index in table.indexes.values()
+                        if not index.name.startswith(("pk_", "uq_"))
+                    ],
+                }
+                for table in self.catalog.tables()
+            ],
+            "views": [
+                {"name": view.name, "sql": view.sql_text}
+                for view in self.catalog.views()
+            ],
+            "auth": self.auth.to_doc() if hasattr(self, "auth") else {},
+        }
+        tmp_path = self._catalog_path() + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1)
+        os.replace(tmp_path, self._catalog_path())
+
+    def _load_catalog(self) -> None:
+        if not os.path.exists(self._catalog_path()):
+            return
+        with open(self._catalog_path(), "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if doc.get("auth"):
+            from repro.relational.auth import AuthManager
+
+            self.auth = AuthManager.from_doc(doc["auth"])
+        for spec in doc.get("tables", []):
+            schema = TableSchema(
+                spec["name"],
+                [
+                    Column(
+                        c["name"],
+                        ColumnType.from_name(c["type"]),
+                        c["nullable"],
+                        c["default"],
+                    )
+                    for c in spec["columns"]
+                ],
+                primary_key=spec["primary_key"] or None,
+                unique=spec["unique"],
+                foreign_keys=[
+                    ForeignKey(
+                        tuple(fk["columns"]),
+                        fk["parent_table"],
+                        tuple(fk["parent_columns"]),
+                    )
+                    for fk in spec["foreign_keys"]
+                ],
+                checks=[
+                    self._parse_predicate(text) for text in spec.get("checks", [])
+                ],
+            )
+            table = self.catalog.create_table(schema)
+            for index_spec in spec.get("indexes", []):
+                table.add_index(
+                    index_spec["name"],
+                    index_spec["kind"],
+                    index_spec["columns"],
+                    index_spec["unique"],
+                )
+        # Views are re-created by re-parsing their original SQL; a planner
+        # bound to this catalog is needed to re-derive schemas.
+        planner = Planner(self.catalog, self.planner_config)
+        for view_spec in doc.get("views", []):
+            statement = parse_statement(view_spec["sql"])
+            assert isinstance(statement, A.CreateView)
+            schema = planner.output_schema(statement.query, statement.name)
+            if statement.column_names is not None:
+                schema = TableSchema(
+                    statement.name,
+                    [
+                        Column(new_name, col.ctype, col.nullable, col.default)
+                        for new_name, col in zip(statement.column_names, schema.columns)
+                    ],
+                )
+            self.catalog.create_view(
+                ViewDefinition(
+                    name=statement.name.lower(),
+                    query=statement.query,
+                    schema=schema,
+                    check_option=statement.check_option,
+                    sql_text=view_spec["sql"],
+                )
+            )
+
+    def _recover(self) -> None:
+        """Replay committed WAL records over the checkpointed data files."""
+        if self.wal is None:
+            return
+
+        def apply(op: dict) -> None:
+            table = self.catalog.table(op["tab"])
+            if op["t"] == "insert":
+                table.insert(table.schema.validate_row(op["row"]))
+            elif op["t"] == "delete":
+                image = table.schema.validate_row(op["old" if "old" in op else "row"])
+                for rid, row in table.scan():
+                    if row == image:
+                        table.delete(rid)
+                        break
+            elif op["t"] == "update":
+                old_image = table.schema.validate_row(op["old"])
+                new_image = table.schema.validate_row(op["new"])
+                for rid, row in table.scan():
+                    if row == old_image:
+                        table.update(rid, new_image)
+                        break
+
+        self.wal.replay(apply)
+
+    # -- misc helpers -------------------------------------------------------
+
+    def _parse_predicate(self, where: Optional[Union[str, E.Expr]]) -> Optional[E.Expr]:
+        if where is None or isinstance(where, E.Expr):
+            return where
+        # Parse the text as the WHERE clause of a dummy statement.
+        statement = parse_statement(f"DELETE FROM __predicate_host WHERE {where}")
+        assert isinstance(statement, A.Delete)
+        return statement.where
+
+    def table_names(self) -> List[str]:
+        return [t.name for t in self.catalog.tables()]
+
+    def view_names(self) -> List[str]:
+        return [v.name for v in self.catalog.views()]
+
+
+def _is_const(expr: E.Expr) -> bool:
+    return not any(isinstance(node, E.ColumnRef) for node in expr.walk())
+
+
+def _const_value(expr: E.Expr) -> Any:
+    if not _is_const(expr):
+        raise BindError(
+            f"VALUES entries must be constants, got {expr.to_sql()}"
+        )
+    return expr.eval(())
+
+
+def _json_value(value: Any) -> Any:
+    import datetime
+
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    return value

@@ -1,0 +1,273 @@
+"""Slotted-page heap files.
+
+A heap stores variable-length byte records in fixed-size pages obtained from
+a :class:`~repro.relational.pager.Pager`.  Records are addressed by a stable
+:class:`RowId` = (page, slot).  Updates that still fit are done in place;
+updates that grow beyond the page's free space move the record and return a
+new RowId (the table layer fixes up indexes).
+
+Page layout::
+
+    bytes 0..2   slot_count  (uint16 BE)
+    bytes 2..4   free_end    (uint16 BE) -- records occupy [free_end, PAGE_SIZE)
+    then slot_count slot entries of 4 bytes each:
+        offset (uint16 BE; 0xFFFF = dead slot)
+        length (uint16 BE)
+    records grow downward from the end of the page.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.relational.pager import PAGE_SIZE, Pager
+
+_HEADER = struct.Struct(">HH")
+_SLOT = struct.Struct(">HH")
+_DEAD = 0xFFFF
+_HEADER_SIZE = _HEADER.size
+_SLOT_SIZE = _SLOT.size
+
+#: Largest record a page can hold (header + one slot overhead).
+MAX_RECORD_SIZE = PAGE_SIZE - _HEADER_SIZE - _SLOT_SIZE
+
+
+@dataclass(frozen=True, order=True)
+class RowId:
+    """Stable address of a record: (page number, slot number)."""
+
+    page: int
+    slot: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RowId({self.page}:{self.slot})"
+
+
+class _PageView:
+    """Structured accessor over one page's bytearray."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytearray) -> None:
+        self.data = data
+
+    @property
+    def slot_count(self) -> int:
+        return _HEADER.unpack_from(self.data, 0)[0]
+
+    @property
+    def free_end(self) -> int:
+        value = _HEADER.unpack_from(self.data, 0)[1]
+        return value if value else PAGE_SIZE  # fresh zeroed page
+
+    def set_header(self, slot_count: int, free_end: int) -> None:
+        _HEADER.pack_into(self.data, 0, slot_count, free_end)
+
+    def slot(self, slot_no: int) -> Tuple[int, int]:
+        return _SLOT.unpack_from(self.data, _HEADER_SIZE + slot_no * _SLOT_SIZE)
+
+    def set_slot(self, slot_no: int, offset: int, length: int) -> None:
+        _SLOT.pack_into(self.data, _HEADER_SIZE + slot_no * _SLOT_SIZE, offset, length)
+
+    def slots_end(self) -> int:
+        return _HEADER_SIZE + self.slot_count * _SLOT_SIZE
+
+    def contiguous_free(self) -> int:
+        return self.free_end - self.slots_end()
+
+    def live_bytes(self) -> int:
+        total = 0
+        for slot_no in range(self.slot_count):
+            offset, length = self.slot(slot_no)
+            if offset != _DEAD:
+                total += length
+        return total
+
+    def fragmented_free(self) -> int:
+        """Free space recoverable by compaction (excluding slot reuse)."""
+        return PAGE_SIZE - self.slots_end() - self.live_bytes()
+
+    def find_dead_slot(self) -> Optional[int]:
+        for slot_no in range(self.slot_count):
+            if self.slot(slot_no)[0] == _DEAD:
+                return slot_no
+        return None
+
+    def compact(self) -> None:
+        """Slide all live records to the end of the page, closing holes."""
+        records: List[Tuple[int, bytes]] = []
+        for slot_no in range(self.slot_count):
+            offset, length = self.slot(slot_no)
+            if offset != _DEAD:
+                records.append((slot_no, bytes(self.data[offset : offset + length])))
+        write_pos = PAGE_SIZE
+        for slot_no, record in records:
+            write_pos -= len(record)
+            self.data[write_pos : write_pos + len(record)] = record
+            self.set_slot(slot_no, write_pos, len(record))
+        self.set_header(self.slot_count, write_pos)
+
+
+class HeapFile:
+    """A bag of byte records over a pager, addressed by RowId."""
+
+    def __init__(self, pager: Pager) -> None:
+        self._pager = pager
+        # Page numbers that recently had free room, checked before extending.
+        self._free_hint: Optional[int] = None
+        self._count: Optional[int] = None  # lazy live-record count cache
+
+    # -- basic operations ------------------------------------------------
+
+    def insert(self, record: bytes) -> RowId:
+        """Store *record*; return its RowId."""
+        if len(record) > MAX_RECORD_SIZE:
+            raise StorageError(
+                f"record of {len(record)} bytes exceeds max {MAX_RECORD_SIZE}"
+            )
+        rid = self._try_insert_into_hint(record)
+        if rid is None:
+            rid = self._insert_scan(record)
+        if self._count is not None:
+            self._count += 1
+        return rid
+
+    def read(self, rid: RowId) -> bytes:
+        """Return the record at *rid*; StorageError if dead or out of range."""
+        view = self._view(rid.page)
+        if rid.slot >= view.slot_count:
+            raise StorageError(f"no slot {rid.slot} on page {rid.page}")
+        offset, length = view.slot(rid.slot)
+        if offset == _DEAD:
+            raise StorageError(f"record {rid} was deleted")
+        return bytes(view.data[offset : offset + length])
+
+    def delete(self, rid: RowId) -> None:
+        """Remove the record at *rid* (its slot may be reused later)."""
+        view = self._view(rid.page)
+        if rid.slot >= view.slot_count or view.slot(rid.slot)[0] == _DEAD:
+            raise StorageError(f"record {rid} already deleted or absent")
+        view.set_slot(rid.slot, _DEAD, 0)
+        self._pager.mark_dirty(rid.page)
+        self._free_hint = rid.page
+        if self._count is not None:
+            self._count -= 1
+
+    def update(self, rid: RowId, record: bytes) -> RowId:
+        """Replace the record at *rid*; returns the (possibly new) RowId."""
+        if len(record) > MAX_RECORD_SIZE:
+            raise StorageError(
+                f"record of {len(record)} bytes exceeds max {MAX_RECORD_SIZE}"
+            )
+        view = self._view(rid.page)
+        if rid.slot >= view.slot_count:
+            raise StorageError(f"no slot {rid.slot} on page {rid.page}")
+        offset, length = view.slot(rid.slot)
+        if offset == _DEAD:
+            raise StorageError(f"record {rid} was deleted")
+        if len(record) <= length:
+            # In-place overwrite; surplus bytes become a hole until compaction.
+            view.data[offset : offset + len(record)] = record
+            view.set_slot(rid.slot, offset, len(record))
+            self._pager.mark_dirty(rid.page)
+            return rid
+        # Try to grow within the same page via its contiguous region.
+        needed = len(record)
+        if view.contiguous_free() >= needed or view.fragmented_free() >= needed:
+            view.set_slot(rid.slot, _DEAD, 0)
+            view.compact()
+            new_end = view.free_end - needed
+            view.data[new_end : new_end + needed] = record
+            view.set_slot(rid.slot, new_end, needed)
+            view.set_header(view.slot_count, new_end)
+            self._pager.mark_dirty(rid.page)
+            return rid
+        # Relocate to another page.
+        self.delete(rid)
+        new_rid = self.insert(record)
+        if self._count is not None:
+            self._count -= 1  # insert() counted the moved record twice
+        return new_rid
+
+    # -- iteration ---------------------------------------------------------
+
+    def scan(self) -> Iterator[Tuple[RowId, bytes]]:
+        """Yield every live (RowId, record) in page order."""
+        for page_no in range(self._pager.page_count()):
+            view = self._view(page_no)
+            for slot_no in range(view.slot_count):
+                offset, length = view.slot(slot_no)
+                if offset != _DEAD:
+                    yield (
+                        RowId(page_no, slot_no),
+                        bytes(view.data[offset : offset + length]),
+                    )
+
+    def count(self) -> int:
+        """Number of live records (cached after first full scan)."""
+        if self._count is None:
+            self._count = sum(1 for _ in self.scan())
+        return self._count
+
+    def page_count(self) -> int:
+        """Number of pages the heap occupies."""
+        return self._pager.page_count()
+
+    def flush(self) -> None:
+        """Flush underlying pager."""
+        self._pager.flush()
+
+    # -- internals -----------------------------------------------------------
+
+    def _view(self, page_no: int) -> _PageView:
+        return _PageView(self._pager.read_page(page_no))
+
+    def _try_insert_into_hint(self, record: bytes) -> Optional[RowId]:
+        if self._free_hint is None or self._free_hint >= self._pager.page_count():
+            return None
+        rid = self._insert_into_page(self._free_hint, record)
+        if rid is None:
+            self._free_hint = None
+        return rid
+
+    def _insert_scan(self, record: bytes) -> RowId:
+        # Try the last page, then extend.  (Scanning every page on every
+        # insert would be quadratic; the hint plus last-page check keeps the
+        # common append workload linear.)
+        page_count = self._pager.page_count()
+        if page_count:
+            rid = self._insert_into_page(page_count - 1, record)
+            if rid is not None:
+                self._free_hint = page_count - 1
+                return rid
+        page_no = self._pager.allocate_page()
+        rid = self._insert_into_page(page_no, record)
+        if rid is None:  # pragma: no cover - record size already validated
+            raise StorageError("fresh page cannot hold record")
+        self._free_hint = page_no
+        return rid
+
+    def _insert_into_page(self, page_no: int, record: bytes) -> Optional[RowId]:
+        view = self._view(page_no)
+        needed = len(record)
+        dead_slot = view.find_dead_slot()
+        slot_overhead = 0 if dead_slot is not None else _SLOT_SIZE
+        if view.contiguous_free() < needed + slot_overhead:
+            if view.fragmented_free() >= needed + slot_overhead:
+                view.compact()
+            else:
+                return None
+        if dead_slot is None:
+            slot_no = view.slot_count
+            view.set_header(slot_no + 1, view.free_end)
+        else:
+            slot_no = dead_slot
+        new_end = view.free_end - needed
+        view.data[new_end : new_end + needed] = record
+        view.set_slot(slot_no, new_end, needed)
+        view.set_header(view.slot_count, new_end)
+        self._pager.mark_dirty(page_no)
+        return RowId(page_no, slot_no)

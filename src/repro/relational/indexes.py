@@ -1,0 +1,193 @@
+"""Secondary indexes: hash (equality) and B+-tree (equality + range).
+
+An index maps a key — the tuple of the indexed columns' values — to the
+RowIds of the rows bearing that key.  Unique indexes reject duplicate keys,
+except that (per SQL convention) keys containing NULL never conflict.
+
+Indexes are maintained eagerly by the table layer on every insert, delete,
+and update, and can be rebuilt from a full scan after recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConstraintError, SchemaError
+from repro.relational.btree import BPlusTree
+from repro.relational.heap import RowId
+from repro.relational.types import sort_key
+
+Key = Tuple[Any, ...]
+
+
+def _has_null(key: Key) -> bool:
+    return any(component is None for component in key)
+
+
+class Index:
+    """Common interface for all index kinds."""
+
+    #: True if this index supports ordered range scans.
+    ordered = False
+
+    def __init__(self, name: str, table: str, columns: Sequence[str], unique: bool) -> None:
+        if not columns:
+            raise SchemaError("an index needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise SchemaError(f"duplicate column in index {name!r}")
+        self.name = name
+        self.table = table
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self.unique = unique
+
+    def insert(self, key: Key, rid: RowId) -> None:
+        raise NotImplementedError
+
+    def delete(self, key: Key, rid: RowId) -> None:
+        raise NotImplementedError
+
+    def lookup(self, key: Key) -> List[RowId]:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def _check_unique(self, key: Key, existing: Sequence[RowId]) -> None:
+        if self.unique and existing and not _has_null(key):
+            raise ConstraintError(
+                f"duplicate key {key!r} for unique index {self.name!r}"
+            )
+
+
+class HashIndex(Index):
+    """Equality-only index backed by a dict of key -> [RowId]."""
+
+    def __init__(self, name: str, table: str, columns: Sequence[str], unique: bool = False) -> None:
+        super().__init__(name, table, columns, unique)
+        self._map: Dict[Key, List[RowId]] = {}
+
+    def insert(self, key: Key, rid: RowId) -> None:
+        bucket = self._map.setdefault(key, [])
+        self._check_unique(key, bucket)
+        bucket.append(rid)
+
+    def delete(self, key: Key, rid: RowId) -> None:
+        bucket = self._map.get(key)
+        if not bucket or rid not in bucket:
+            raise SchemaError(f"index {self.name!r} has no entry {key!r} -> {rid}")
+        bucket.remove(rid)
+        if not bucket:
+            del self._map[key]
+
+    def lookup(self, key: Key) -> List[RowId]:
+        return list(self._map.get(key, ()))
+
+    def clear(self) -> None:
+        self._map.clear()
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._map.values())
+
+
+class _OrderedKey:
+    """Comparable wrapper giving tuple keys the engine's NULLS FIRST order."""
+
+    __slots__ = ("raw", "wrapped")
+
+    def __init__(self, raw: Key) -> None:
+        self.raw = raw
+        self.wrapped = tuple(sort_key(component) for component in raw)
+
+    def __lt__(self, other: "_OrderedKey") -> bool:
+        return self.wrapped < other.wrapped
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _OrderedKey):
+            return NotImplemented
+        return self.wrapped == other.wrapped
+
+
+class BTreeIndex(Index):
+    """Ordered index supporting equality and range scans."""
+
+    ordered = True
+
+    def __init__(
+        self,
+        name: str,
+        table: str,
+        columns: Sequence[str],
+        unique: bool = False,
+        branching: int = 64,
+    ) -> None:
+        super().__init__(name, table, columns, unique)
+        self._tree = BPlusTree(branching=branching)
+        self._size = 0
+
+    def insert(self, key: Key, rid: RowId) -> None:
+        wrapped = _OrderedKey(key)
+        bucket = self._tree.get(wrapped)
+        if bucket is None:
+            bucket = []
+            self._tree.insert(wrapped, bucket)
+        self._check_unique(key, bucket)
+        bucket.append(rid)
+        self._size += 1
+
+    def delete(self, key: Key, rid: RowId) -> None:
+        wrapped = _OrderedKey(key)
+        bucket = self._tree.get(wrapped)
+        if not bucket or rid not in bucket:
+            raise SchemaError(f"index {self.name!r} has no entry {key!r} -> {rid}")
+        bucket.remove(rid)
+        if not bucket:
+            self._tree.delete(wrapped)
+        self._size -= 1
+
+    def lookup(self, key: Key) -> List[RowId]:
+        bucket = self._tree.get(_OrderedKey(key))
+        return list(bucket) if bucket else []
+
+    def range_scan(
+        self,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Tuple[Key, RowId]]:
+        """Yield (key, rid) in key order for low <= key <= high.
+
+        A one-sided or unbounded scan is expressed by passing None for the
+        missing bound.  Bounds are full key tuples (prefix bounds are the
+        planner's job: it pads with -inf/+inf semantics by using one-sided
+        scans plus residual filters).
+        """
+        wrapped_low = _OrderedKey(low) if low is not None else None
+        wrapped_high = _OrderedKey(high) if high is not None else None
+        for wrapped, bucket in self._tree.range(
+            wrapped_low, wrapped_high, include_low, include_high
+        ):
+            for rid in bucket:
+                yield wrapped.raw, rid
+
+    def clear(self) -> None:
+        self._tree = BPlusTree()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+
+def make_index(
+    kind: str, name: str, table: str, columns: Sequence[str], unique: bool = False
+) -> Index:
+    """Factory used by the catalog: kind is 'hash' or 'btree'."""
+    kind = kind.lower()
+    if kind == "hash":
+        return HashIndex(name, table, columns, unique)
+    if kind == "btree":
+        return BTreeIndex(name, table, columns, unique)
+    raise SchemaError(f"unknown index kind {kind!r}")

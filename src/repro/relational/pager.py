@@ -1,0 +1,190 @@
+"""Fixed-size pages and a buffer-pool pager.
+
+The on-disk backend stores each heap in its own file of 4 KiB pages.  The
+:class:`Pager` mediates all page I/O through an LRU buffer pool with a dirty
+set, so the heap layer never touches the file directly.  An in-memory pager
+shares the same interface, which keeps the heap code identical across
+backends and lets tests inject failures at the page boundary.
+"""
+
+from __future__ import annotations
+
+import collections
+import os
+from typing import Dict, Optional
+
+from repro.errors import StorageError
+
+PAGE_SIZE = 4096
+
+
+class Pager:
+    """Abstract pager interface: numbered, fixed-size mutable pages."""
+
+    def page_count(self) -> int:
+        raise NotImplementedError
+
+    def allocate_page(self) -> int:
+        """Extend the file by one zeroed page; return its page number."""
+        raise NotImplementedError
+
+    def read_page(self, page_no: int) -> bytearray:
+        """Return the (mutable, pooled) contents of page *page_no*."""
+        raise NotImplementedError
+
+    def mark_dirty(self, page_no: int) -> None:
+        """Record that the pooled copy of *page_no* was modified."""
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Write all dirty pages to stable storage."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources."""
+        self.flush()
+
+
+class MemoryPager(Pager):
+    """A pager backed by a plain list of bytearrays (no persistence)."""
+
+    def __init__(self) -> None:
+        self._pages: list = []
+
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def allocate_page(self) -> int:
+        self._pages.append(bytearray(PAGE_SIZE))
+        return len(self._pages) - 1
+
+    def read_page(self, page_no: int) -> bytearray:
+        try:
+            return self._pages[page_no]
+        except IndexError as exc:
+            raise StorageError(f"no such page {page_no}") from exc
+
+    def mark_dirty(self, page_no: int) -> None:
+        if not 0 <= page_no < len(self._pages):
+            raise StorageError(f"no such page {page_no}")
+
+    def flush(self) -> None:
+        pass
+
+
+class FilePager(Pager):
+    """A pager over a single file with an LRU buffer pool.
+
+    Parameters
+    ----------
+    path:
+        File to open (created if missing).
+    pool_size:
+        Maximum number of pages resident in the pool; evictions write back
+        dirty pages.  Must be >= 1.
+    """
+
+    def __init__(self, path: str, pool_size: int = 256) -> None:
+        if pool_size < 1:
+            raise StorageError("pool_size must be >= 1")
+        self.path = path
+        self._pool_size = pool_size
+        self._pool: "collections.OrderedDict[int, bytearray]" = collections.OrderedDict()
+        self._dirty: set = set()
+        flags = os.O_RDWR | os.O_CREAT
+        self._fd: Optional[int] = os.open(path, flags, 0o644)
+        size = os.fstat(self._fd).st_size
+        if size % PAGE_SIZE != 0:
+            raise StorageError(
+                f"{path!r} is torn: size {size} is not a multiple of {PAGE_SIZE}"
+            )
+        self._page_count = size // PAGE_SIZE
+        #: statistics counters, exposed for benchmarks and tests
+        self.stats: Dict[str, int] = {"hits": 0, "misses": 0, "evictions": 0, "writes": 0}
+
+    # -- Pager interface -----------------------------------------------------
+
+    def page_count(self) -> int:
+        return self._page_count
+
+    def allocate_page(self) -> int:
+        self._require_open()
+        page_no = self._page_count
+        self._page_count += 1
+        page = bytearray(PAGE_SIZE)
+        self._admit(page_no, page)
+        self._dirty.add(page_no)
+        return page_no
+
+    def read_page(self, page_no: int) -> bytearray:
+        self._require_open()
+        if not 0 <= page_no < self._page_count:
+            raise StorageError(f"no such page {page_no} in {self.path!r}")
+        if page_no in self._pool:
+            self.stats["hits"] += 1
+            self._pool.move_to_end(page_no)
+            return self._pool[page_no]
+        self.stats["misses"] += 1
+        os.lseek(self._fd, page_no * PAGE_SIZE, os.SEEK_SET)
+        data = os.read(self._fd, PAGE_SIZE)
+        if len(data) != PAGE_SIZE:
+            # The page was allocated but never flushed; it is all zeros.
+            data = data.ljust(PAGE_SIZE, b"\0")
+        page = bytearray(data)
+        self._admit(page_no, page)
+        return page
+
+    def mark_dirty(self, page_no: int) -> None:
+        if page_no not in self._pool:
+            raise StorageError(
+                f"page {page_no} not resident; read it before mutating"
+            )
+        self._dirty.add(page_no)
+
+    def flush(self) -> None:
+        if self._fd is None:
+            return
+        for page_no in sorted(self._dirty):
+            self._write_back(page_no)
+        self._dirty.clear()
+        os.fsync(self._fd)
+        # Shrink an overflowed pool back to its target (oldest-first).
+        while len(self._pool) > self._pool_size:
+            self._pool.popitem(last=False)
+            self.stats["evictions"] += 1
+
+    def close(self) -> None:
+        if self._fd is None:
+            return
+        self.flush()
+        os.close(self._fd)
+        self._fd = None
+        self._pool.clear()
+
+    # -- internals -----------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self._fd is None:
+            raise StorageError(f"pager for {self.path!r} is closed")
+
+    def _admit(self, page_no: int, page: bytearray) -> None:
+        # No-steal policy: only clean pages may be evicted, so the data file
+        # never reflects uncommitted (un-checkpointed) state and WAL replay
+        # from the last checkpoint is exact.  If every pooled page is dirty
+        # the pool grows past its target size until the next flush().
+        if len(self._pool) >= self._pool_size:
+            for victim_no in self._pool:
+                if victim_no not in self._dirty:
+                    del self._pool[victim_no]
+                    self.stats["evictions"] += 1
+                    break
+            else:
+                self.stats["pool_overflows"] = self.stats.get("pool_overflows", 0) + 1
+        self._pool[page_no] = page
+
+    def _write_back(self, page_no: int, page: Optional[bytearray] = None) -> None:
+        if page is None:
+            page = self._pool[page_no]
+        os.lseek(self._fd, page_no * PAGE_SIZE, os.SEEK_SET)
+        os.write(self._fd, bytes(page))
+        self.stats["writes"] += 1

@@ -1,0 +1,141 @@
+"""Binary row serialization for the slotted-page heap.
+
+Rows are stored as a null bitmap followed by per-column encoded values.
+The codec is schema-driven: both directions require the row's
+:class:`~repro.relational.schema.TableSchema`, so no type tags are stored
+per value (saving space, as the 1983-era systems did).
+
+Wire format::
+
+    [null bitmap: ceil(arity/8) bytes, LSB-first per column]
+    then for each non-NULL column, in schema order:
+      INT    -> varint (zig-zag)
+      FLOAT  -> 8 bytes IEEE-754 big-endian
+      TEXT   -> varint length + UTF-8 bytes
+      BOOL   -> 1 byte (0/1)
+      DATE   -> varint ordinal (days since 0001-01-01)
+"""
+
+from __future__ import annotations
+
+import datetime
+import struct
+from typing import Any, List, Sequence, Tuple
+
+from repro.errors import StorageError
+from repro.relational.schema import TableSchema
+from repro.relational.types import ColumnType
+
+
+def _zigzag(n: int) -> int:
+    return (n << 1) ^ (n >> 63) if n < 0 else (n << 1)
+
+
+def _unzigzag(z: int) -> int:
+    return (z >> 1) ^ -(z & 1)
+
+
+def write_varint(out: bytearray, value: int) -> None:
+    """Append an unsigned LEB128 varint to *out*."""
+    if value < 0:
+        raise StorageError(f"varint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_varint(buf: bytes, pos: int) -> Tuple[int, int]:
+    """Read an unsigned LEB128 varint from *buf* at *pos*; return (value, new_pos)."""
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(buf):
+            raise StorageError("truncated varint")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise StorageError("varint too long")
+
+
+def encode_row(schema: TableSchema, row: Sequence[Any]) -> bytes:
+    """Serialize a validated row tuple to bytes."""
+    arity = schema.arity
+    if len(row) != arity:
+        raise StorageError(
+            f"row arity {len(row)} != schema arity {arity} for {schema.name!r}"
+        )
+    bitmap = bytearray((arity + 7) // 8)
+    body = bytearray()
+    for i, (col, value) in enumerate(zip(schema.columns, row)):
+        if value is None:
+            bitmap[i // 8] |= 1 << (i % 8)
+            continue
+        ctype = col.ctype
+        if ctype is ColumnType.INT:
+            write_varint(body, _zigzag(value))
+        elif ctype is ColumnType.FLOAT:
+            body += struct.pack(">d", value)
+        elif ctype is ColumnType.TEXT:
+            raw = value.encode("utf-8")
+            write_varint(body, len(raw))
+            body += raw
+        elif ctype is ColumnType.BOOL:
+            body.append(1 if value else 0)
+        elif ctype is ColumnType.DATE:
+            write_varint(body, value.toordinal())
+        else:  # pragma: no cover - exhaustive over ColumnType
+            raise StorageError(f"cannot encode type {ctype}")
+    return bytes(bitmap) + bytes(body)
+
+
+def decode_row(schema: TableSchema, data: bytes) -> Tuple[Any, ...]:
+    """Inverse of :func:`encode_row`."""
+    arity = schema.arity
+    bitmap_len = (arity + 7) // 8
+    if len(data) < bitmap_len:
+        raise StorageError("row record shorter than its null bitmap")
+    pos = bitmap_len
+    values: List[Any] = []
+    for i, col in enumerate(schema.columns):
+        if data[i // 8] & (1 << (i % 8)):
+            values.append(None)
+            continue
+        ctype = col.ctype
+        if ctype is ColumnType.INT:
+            z, pos = read_varint(data, pos)
+            values.append(_unzigzag(z))
+        elif ctype is ColumnType.FLOAT:
+            if pos + 8 > len(data):
+                raise StorageError("truncated FLOAT value")
+            values.append(struct.unpack_from(">d", data, pos)[0])
+            pos += 8
+        elif ctype is ColumnType.TEXT:
+            length, pos = read_varint(data, pos)
+            if pos + length > len(data):
+                raise StorageError("truncated TEXT value")
+            values.append(data[pos : pos + length].decode("utf-8"))
+            pos += length
+        elif ctype is ColumnType.BOOL:
+            if pos >= len(data):
+                raise StorageError("truncated BOOL value")
+            values.append(bool(data[pos]))
+            pos += 1
+        elif ctype is ColumnType.DATE:
+            ordinal, pos = read_varint(data, pos)
+            values.append(datetime.date.fromordinal(ordinal))
+        else:  # pragma: no cover
+            raise StorageError(f"cannot decode type {ctype}")
+    if pos != len(data):
+        raise StorageError(
+            f"trailing bytes after row record ({len(data) - pos} extra)"
+        )
+    return tuple(values)

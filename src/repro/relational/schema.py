@@ -1,0 +1,223 @@
+"""Table schemas: columns, constraints, and row validation.
+
+A :class:`TableSchema` is an immutable description of a relation: an ordered
+list of :class:`Column` plus table-level constraints (primary key, unique
+sets, foreign keys).  Rows flowing through the engine are plain tuples whose
+positions match the schema's column order; the schema is the single authority
+for turning user-supplied dicts into validated tuples and back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConstraintError, SchemaError
+from repro.relational.types import ColumnType, coerce
+
+_IDENT_OK = set("abcdefghijklmnopqrstuvwxyz0123456789_")
+
+
+def check_identifier(name: str, what: str = "identifier") -> str:
+    """Validate and normalise an identifier (lower-cased, [a-z_][a-z0-9_]*)."""
+    lowered = name.lower()
+    if not lowered or lowered[0].isdigit() or not set(lowered) <= _IDENT_OK:
+        raise SchemaError(f"invalid {what}: {name!r}")
+    return lowered
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single attribute of a relation."""
+
+    name: str
+    ctype: ColumnType
+    nullable: bool = True
+    default: Any = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", check_identifier(self.name, "column name"))
+        if self.default is not None:
+            object.__setattr__(self, "default", coerce(self.default, self.ctype))
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A referential constraint: columns -> parent_table(parent_columns)."""
+
+    columns: Tuple[str, ...]
+    parent_table: str
+    parent_columns: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(self.parent_columns):
+            raise SchemaError("foreign key column count mismatch")
+        if not self.columns:
+            raise SchemaError("foreign key needs at least one column")
+
+
+class TableSchema:
+    """Ordered columns plus table-level constraints for one relation.
+
+    Parameters
+    ----------
+    name:
+        Table name (normalised to lower case).
+    columns:
+        Ordered column definitions; at least one, names unique.
+    primary_key:
+        Optional sequence of column names forming the primary key.  Primary
+        key columns are implicitly NOT NULL.
+    unique:
+        Optional iterable of column-name sequences, each enforced unique.
+    foreign_keys:
+        Optional iterable of :class:`ForeignKey`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Optional[Sequence[str]] = None,
+        unique: Optional[Iterable[Sequence[str]]] = None,
+        foreign_keys: Optional[Iterable[ForeignKey]] = None,
+        checks: Optional[Iterable[Any]] = None,
+    ) -> None:
+        self.name = check_identifier(name, "table name")
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        self._index_of: Dict[str, int] = {}
+        for pos, col in enumerate(self.columns):
+            if col.name in self._index_of:
+                raise SchemaError(f"duplicate column {col.name!r} in {name!r}")
+            self._index_of[col.name] = pos
+
+        self.primary_key: Tuple[str, ...] = tuple(
+            self._require(c) for c in (primary_key or ())
+        )
+        if len(set(self.primary_key)) != len(self.primary_key):
+            raise SchemaError("duplicate column in primary key")
+        if self.primary_key:
+            # PK columns are implicitly NOT NULL.
+            fixed = []
+            for col in self.columns:
+                if col.name in self.primary_key and col.nullable:
+                    fixed.append(Column(col.name, col.ctype, False, col.default))
+                else:
+                    fixed.append(col)
+            self.columns = tuple(fixed)
+
+        self.unique: Tuple[Tuple[str, ...], ...] = tuple(
+            tuple(self._require(c) for c in group) for group in (unique or ())
+        )
+        for group in self.unique:
+            if len(set(group)) != len(group):
+                raise SchemaError("duplicate column in unique constraint")
+
+        self.foreign_keys: Tuple[ForeignKey, ...] = tuple(foreign_keys or ())
+        for fk in self.foreign_keys:
+            for col in fk.columns:
+                self._require(col)
+
+        #: CHECK constraint expressions (unbound Expr trees over this
+        #: table's columns); enforced by the database layer on every write.
+        self.checks: Tuple[Any, ...] = tuple(checks or ())
+
+    # -- column addressing --------------------------------------------------
+
+    def _require(self, name: str) -> str:
+        lowered = name.lower()
+        if lowered not in self._index_of:
+            raise SchemaError(f"no column {name!r} in table {self.name!r}")
+        return lowered
+
+    def column_index(self, name: str) -> int:
+        """Position of column *name* (case-insensitive); SchemaError if absent."""
+        return self._index_of[self._require(name)]
+
+    def column(self, name: str) -> Column:
+        """The :class:`Column` named *name*."""
+        return self.columns[self.column_index(name)]
+
+    def has_column(self, name: str) -> bool:
+        """True if a column of that (case-insensitive) name exists."""
+        return name.lower() in self._index_of
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        """Column names in declaration order."""
+        return tuple(col.name for col in self.columns)
+
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return len(self.columns)
+
+    # -- row construction and validation ------------------------------------
+
+    def row_from_mapping(self, values: Mapping[str, Any]) -> Tuple[Any, ...]:
+        """Build a validated row tuple from a column-name -> value mapping.
+
+        Missing columns take their default (or NULL); unknown keys raise.
+        """
+        unknown = [k for k in values if not self.has_column(k)]
+        if unknown:
+            raise SchemaError(
+                f"unknown column(s) {unknown!r} for table {self.name!r}"
+            )
+        normalised = {k.lower(): v for k, v in values.items()}
+        row = []
+        for col in self.columns:
+            if col.name in normalised:
+                row.append(coerce(normalised[col.name], col.ctype))
+            else:
+                row.append(col.default)
+        return self.validate_row(tuple(row))
+
+    def validate_row(self, row: Sequence[Any]) -> Tuple[Any, ...]:
+        """Coerce and NOT-NULL-check a positional row; returns the clean tuple."""
+        if len(row) != self.arity:
+            raise SchemaError(
+                f"table {self.name!r} expects {self.arity} values, got {len(row)}"
+            )
+        clean = []
+        for col, value in zip(self.columns, row):
+            value = coerce(value, col.ctype)
+            if value is None and not col.nullable:
+                raise ConstraintError(
+                    f"column {self.name}.{col.name} is NOT NULL"
+                )
+            clean.append(value)
+        return tuple(clean)
+
+    def row_to_mapping(self, row: Sequence[Any]) -> Dict[str, Any]:
+        """Inverse of :meth:`row_from_mapping` (no validation)."""
+        return dict(zip(self.column_names, row))
+
+    def key_of(self, row: Sequence[Any]) -> Tuple[Any, ...]:
+        """Extract the primary-key values of *row* (empty tuple if keyless)."""
+        return tuple(row[self.column_index(c)] for c in self.primary_key)
+
+    def project(self, names: Sequence[str]) -> "TableSchema":
+        """A new anonymous schema with just *names*, preserving their types."""
+        cols = [self.column(n) for n in names]
+        return TableSchema(self.name, cols)
+
+    # -- misc ----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TableSchema):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.columns == other.columns
+            and self.primary_key == other.primary_key
+            and self.unique == other.unique
+            and self.foreign_keys == other.foreign_keys
+            and self.checks == other.checks
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{c.name} {c.ctype}" for c in self.columns)
+        return f"TableSchema({self.name}: {cols})"

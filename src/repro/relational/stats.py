@@ -1,0 +1,114 @@
+"""Table statistics (ANALYZE) and selectivity estimation.
+
+A single pass over a table collects, per column: distinct-value count,
+null count, and min/max.  The planner uses these for its greedy join
+ordering and the estimator exposes classic System-R-style selectivities:
+
+* ``col = literal``  ->  1 / n_distinct
+* range predicate    ->  1/3 (the textbook default)
+* IS NULL            ->  null_fraction
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.relational import expr as E
+from repro.relational.table import Table
+from repro.relational.types import sort_key
+
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_EQ_SELECTIVITY = 0.1
+
+
+@dataclass
+class ColumnStats:
+    n_distinct: int = 0
+    null_count: int = 0
+    min_value: Any = None
+    max_value: Any = None
+
+
+@dataclass
+class TableStats:
+    row_count: int = 0
+    columns: Dict[str, ColumnStats] = field(default_factory=dict)
+
+    def selectivity(self, conjunct: E.Expr) -> float:
+        """Estimated fraction of rows satisfying one conjunct."""
+        if isinstance(conjunct, E.IsNull):
+            operand = conjunct.operand
+            if isinstance(operand, E.ColumnRef) and self.row_count:
+                column = self.columns.get(operand.name)
+                if column is not None:
+                    fraction = column.null_count / self.row_count
+                    return (1.0 - fraction) if conjunct.negated else fraction
+            return DEFAULT_EQ_SELECTIVITY
+        hit = E.const_comparison(conjunct)
+        if hit is not None:
+            column_ref, op, _value = hit
+            column = self.columns.get(column_ref.name)
+            if op == "=":
+                if column is not None and column.n_distinct > 0:
+                    return 1.0 / column.n_distinct
+                return DEFAULT_EQ_SELECTIVITY
+            if op == "!=":
+                if column is not None and column.n_distinct > 0:
+                    return 1.0 - 1.0 / column.n_distinct
+                return 1.0 - DEFAULT_EQ_SELECTIVITY
+            return DEFAULT_RANGE_SELECTIVITY
+        if isinstance(conjunct, E.Like):
+            return DEFAULT_RANGE_SELECTIVITY
+        if isinstance(conjunct, E.InList):
+            column = None
+            if isinstance(conjunct.operand, E.ColumnRef):
+                column = self.columns.get(conjunct.operand.name)
+            per_item = (
+                1.0 / column.n_distinct
+                if column is not None and column.n_distinct > 0
+                else DEFAULT_EQ_SELECTIVITY
+            )
+            return min(1.0, per_item * len(conjunct.items))
+        return 0.5  # unknown shapes: coin flip
+
+    def estimate_rows(self, conjuncts) -> float:
+        """Estimated output rows for an AND of *conjuncts* over this table."""
+        rows = float(self.row_count)
+        for conjunct in conjuncts:
+            rows *= self.selectivity(conjunct)
+        return rows
+
+
+def analyze_table(table: Table) -> TableStats:
+    """One full scan collecting row count and per-column statistics."""
+    stats = TableStats()
+    distinct: Dict[str, set] = {c: set() for c in table.schema.column_names}
+    nulls: Dict[str, int] = {c: 0 for c in table.schema.column_names}
+    minmax: Dict[str, Optional[tuple]] = {c: None for c in table.schema.column_names}
+    for row in table.rows():
+        stats.row_count += 1
+        for column, value in zip(table.schema.column_names, row):
+            if value is None:
+                nulls[column] += 1
+                continue
+            distinct[column].add(value)
+            current = minmax[column]
+            if current is None:
+                minmax[column] = (value, value)
+            else:
+                low, high = current
+                if sort_key(value) < sort_key(low):
+                    low = value
+                if sort_key(high) < sort_key(value):
+                    high = value
+                minmax[column] = (low, high)
+    for column in table.schema.column_names:
+        bounds = minmax[column]
+        stats.columns[column] = ColumnStats(
+            n_distinct=len(distinct[column]),
+            null_count=nulls[column],
+            min_value=bounds[0] if bounds else None,
+            max_value=bounds[1] if bounds else None,
+        )
+    return stats

@@ -1,0 +1,141 @@
+"""Transactions: an undo log with rollback, plus savepoint-free semantics.
+
+The engine runs in autocommit mode unless ``BEGIN`` opens an explicit
+transaction.  While a transaction is open, every row-level change appends an
+undo entry; ``ROLLBACK`` replays them in reverse.
+
+RowIds are not stable across updates that move a record between pages, so
+rollback maintains a translation map: whenever undoing an entry moves a row,
+later (earlier-in-time) entries' RowIds are translated through the map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import TransactionError
+from repro.relational.heap import RowId
+from repro.relational.table import Table
+
+
+@dataclass
+class UndoEntry:
+    """One logged row-level change.
+
+    kind is 'insert' (undo = delete rid), 'delete' (undo = re-insert row),
+    or 'update' (undo = write old_row back at rid).
+    """
+
+    kind: str
+    table: Table
+    rid: Optional[RowId] = None
+    row: Optional[Tuple[Any, ...]] = None
+
+
+class TransactionManager:
+    """Tracks the open transaction (if any) and performs rollback."""
+
+    def __init__(self) -> None:
+        self._entries: Optional[List[UndoEntry]] = None
+        self._txn_counter = 0
+        #: callbacks fired after COMMIT/ROLLBACK, e.g. WAL hooks
+        self.on_commit: List[Callable[[], None]] = []
+        self.on_rollback: List[Callable[[], None]] = []
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True while an explicit transaction is open."""
+        return self._entries is not None
+
+    def begin(self) -> int:
+        """Open a transaction; returns its id.  Nested BEGIN is an error."""
+        if self.active:
+            raise TransactionError("a transaction is already open")
+        self._entries = []
+        self._txn_counter += 1
+        return self._txn_counter
+
+    def commit(self) -> None:
+        """Close the open transaction, keeping its effects."""
+        if not self.active:
+            raise TransactionError("COMMIT without BEGIN")
+        self._entries = None
+        for hook in self.on_commit:
+            hook()
+
+    def rollback(self) -> None:
+        """Undo every change of the open transaction, newest first."""
+        if not self.active:
+            raise TransactionError("ROLLBACK without BEGIN")
+        entries = self._entries
+        self._entries = None  # log nothing while undoing
+        self._undo(entries)
+        for hook in self.on_rollback:
+            hook()
+
+    def mark(self) -> int:
+        """Current undo-log position (for statement-level atomicity)."""
+        return len(self._entries) if self._entries is not None else 0
+
+    def rollback_to(self, mark: int) -> None:
+        """Undo entries logged after *mark*, keeping the transaction open."""
+        if self._entries is None:
+            raise TransactionError("rollback_to outside a transaction")
+        tail = self._entries[mark:]
+        del self._entries[mark:]
+        keep, self._entries = self._entries, None  # log nothing while undoing
+        try:
+            self._undo(tail)
+        finally:
+            self._entries = keep
+
+    def _undo(self, entries: List[UndoEntry]) -> None:
+        translation: Dict[Tuple[int, RowId], RowId] = {}
+
+        def resolve(table: Table, rid: RowId) -> RowId:
+            return translation.get((id(table), rid), rid)
+
+        for entry in reversed(entries):
+            if entry.kind == "insert":
+                entry.table.delete(resolve(entry.table, entry.rid))
+            elif entry.kind == "delete":
+                entry.table.insert(entry.row)
+            elif entry.kind == "update":
+                current = resolve(entry.table, entry.rid)
+                new_rid, _old = entry.table.update(current, entry.row)
+                if new_rid != current:
+                    translation[(id(entry.table), entry.rid)] = new_rid
+            else:  # pragma: no cover - exhaustive
+                raise TransactionError(f"unknown undo kind {entry.kind!r}")
+
+    # -- logging -----------------------------------------------------------
+
+    def log_insert(self, table: Table, rid: RowId) -> None:
+        if self._entries is not None:
+            self._entries.append(UndoEntry("insert", table, rid=rid))
+
+    def log_delete(self, table: Table, row: Tuple[Any, ...]) -> None:
+        if self._entries is not None:
+            self._entries.append(UndoEntry("delete", table, row=row))
+
+    def log_update(self, table: Table, new_rid: RowId, old_row: Tuple[Any, ...]) -> None:
+        if self._entries is not None:
+            self._entries.append(
+                UndoEntry("update", table, rid=new_rid, row=old_row)
+            )
+
+    def note_rid_moved(self, table: Table, old_rid: RowId, new_rid: RowId) -> None:
+        """Fix up logged rids when a later update moves a row.
+
+        If an earlier entry in the open transaction references *old_rid*, it
+        must now reference *new_rid* (the undo walk resolves newest-first, so
+        rewriting in place is simplest and exact).
+        """
+        if self._entries is None:
+            return
+        for entry in self._entries:
+            if entry.table is table and entry.rid == old_rid:
+                entry.rid = new_rid

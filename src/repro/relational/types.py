@@ -1,0 +1,289 @@
+"""Column types, value coercion, and SQL three-valued-logic helpers.
+
+The engine supports five scalar types::
+
+    INT    -- Python int
+    FLOAT  -- Python float (an INT coerces up when stored in a FLOAT column)
+    TEXT   -- Python str
+    BOOL   -- Python bool
+    DATE   -- datetime.date (accepted also as an ISO 'YYYY-MM-DD' string)
+
+``None`` is the SQL NULL and is a legal value of every type (subject to
+NOT NULL constraints enforced at the schema layer).  Comparison helpers in
+this module implement SQL's three-valued logic: any comparison against NULL
+yields ``None`` ("unknown"), and ``and_``/``or_``/``not_`` propagate unknowns
+the way the SQL standard prescribes.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from typing import Any, Optional
+
+from repro.errors import TypeMismatchError
+
+
+class ColumnType(enum.Enum):
+    """The scalar types a column may be declared with."""
+
+    INT = "INT"
+    FLOAT = "FLOAT"
+    TEXT = "TEXT"
+    BOOL = "BOOL"
+    DATE = "DATE"
+
+    @classmethod
+    def from_name(cls, name: str) -> "ColumnType":
+        """Resolve a type name as written in SQL (case-insensitive).
+
+        Common synonyms are accepted: INTEGER, REAL/DOUBLE, VARCHAR/CHAR/
+        STRING, BOOLEAN.
+        """
+        canonical = _TYPE_SYNONYMS.get(name.strip().upper())
+        if canonical is None:
+            raise TypeMismatchError(f"unknown column type: {name!r}")
+        return cls(canonical)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_TYPE_SYNONYMS = {
+    "INT": "INT",
+    "INTEGER": "INT",
+    "SMALLINT": "INT",
+    "BIGINT": "INT",
+    "FLOAT": "FLOAT",
+    "REAL": "FLOAT",
+    "DOUBLE": "FLOAT",
+    "NUMERIC": "FLOAT",
+    "DECIMAL": "FLOAT",
+    "TEXT": "TEXT",
+    "STRING": "TEXT",
+    "CHAR": "TEXT",
+    "VARCHAR": "TEXT",
+    "BOOL": "BOOL",
+    "BOOLEAN": "BOOL",
+    "DATE": "DATE",
+}
+
+#: Python types acceptable (post-coercion) for each column type.
+_PYTHON_TYPES = {
+    ColumnType.INT: int,
+    ColumnType.FLOAT: float,
+    ColumnType.TEXT: str,
+    ColumnType.BOOL: bool,
+    ColumnType.DATE: datetime.date,
+}
+
+
+def coerce(value: Any, ctype: ColumnType) -> Any:
+    """Coerce *value* to column type *ctype*, or raise TypeMismatchError.
+
+    NULL (``None``) passes through unchanged.  Coercions performed:
+
+    * INT accepts bool-free ints and int-valued floats (``3.0`` -> ``3``).
+    * FLOAT accepts ints and floats.
+    * TEXT accepts only str (no implicit stringification — explicit beats
+      implicit).
+    * BOOL accepts bool and the ints 0/1.
+    * DATE accepts ``datetime.date`` (not datetime) and ISO-format strings.
+    """
+    if value is None:
+        return None
+    if ctype is ColumnType.INT:
+        if isinstance(value, bool):
+            raise TypeMismatchError(f"BOOL value {value!r} is not an INT")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise TypeMismatchError(f"cannot store {value!r} in an INT column")
+    if ctype is ColumnType.FLOAT:
+        if isinstance(value, bool):
+            raise TypeMismatchError(f"BOOL value {value!r} is not a FLOAT")
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise TypeMismatchError(f"cannot store {value!r} in a FLOAT column")
+    if ctype is ColumnType.TEXT:
+        if isinstance(value, str):
+            return value
+        raise TypeMismatchError(f"cannot store {value!r} in a TEXT column")
+    if ctype is ColumnType.BOOL:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int) and value in (0, 1):
+            return bool(value)
+        raise TypeMismatchError(f"cannot store {value!r} in a BOOL column")
+    if ctype is ColumnType.DATE:
+        if isinstance(value, datetime.datetime):
+            raise TypeMismatchError("DATE columns store dates, not datetimes")
+        if isinstance(value, datetime.date):
+            return value
+        if isinstance(value, str):
+            try:
+                return datetime.date.fromisoformat(value)
+            except ValueError as exc:
+                raise TypeMismatchError(
+                    f"{value!r} is not an ISO date (YYYY-MM-DD)"
+                ) from exc
+        raise TypeMismatchError(f"cannot store {value!r} in a DATE column")
+    raise TypeMismatchError(f"unhandled column type {ctype!r}")  # pragma: no cover
+
+
+def is_valid(value: Any, ctype: ColumnType) -> bool:
+    """Return True if *value* is already a legal stored value for *ctype*."""
+    if value is None:
+        return True
+    expected = _PYTHON_TYPES[ctype]
+    if ctype is ColumnType.INT or ctype is ColumnType.FLOAT:
+        # bool is a subclass of int; reject it explicitly.
+        return isinstance(value, expected) and not isinstance(value, bool)
+    if ctype is ColumnType.DATE:
+        return isinstance(value, datetime.date) and not isinstance(
+            value, datetime.datetime
+        )
+    return isinstance(value, expected)
+
+
+def infer_type(value: Any) -> ColumnType:
+    """Infer the column type of a literal Python value (bools before ints)."""
+    if isinstance(value, bool):
+        return ColumnType.BOOL
+    if isinstance(value, int):
+        return ColumnType.INT
+    if isinstance(value, float):
+        return ColumnType.FLOAT
+    if isinstance(value, str):
+        return ColumnType.TEXT
+    if isinstance(value, datetime.date) and not isinstance(value, datetime.datetime):
+        return ColumnType.DATE
+    raise TypeMismatchError(f"cannot infer a column type for {value!r}")
+
+
+# ---------------------------------------------------------------------------
+# Three-valued logic
+# ---------------------------------------------------------------------------
+
+def and_(a: Optional[bool], b: Optional[bool]) -> Optional[bool]:
+    """SQL AND: False dominates, otherwise NULL propagates."""
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return True
+
+
+def or_(a: Optional[bool], b: Optional[bool]) -> Optional[bool]:
+    """SQL OR: True dominates, otherwise NULL propagates."""
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return False
+
+
+def not_(a: Optional[bool]) -> Optional[bool]:
+    """SQL NOT: NOT NULL is NULL."""
+    if a is None:
+        return None
+    return not a
+
+
+def compare(a: Any, b: Any) -> Optional[int]:
+    """Three-valued comparison: -1/0/+1, or None if either side is NULL.
+
+    Mixed INT/FLOAT comparisons are allowed; any other cross-type comparison
+    raises :class:`TypeMismatchError` (the engine is strictly typed, so this
+    indicates a binder bug or a bad ad-hoc expression).
+    """
+    if a is None or b is None:
+        return None
+    if isinstance(a, bool) != isinstance(b, bool):
+        raise TypeMismatchError(f"cannot compare {a!r} with {b!r}")
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return (a > b) - (a < b)
+    # DATE literals arrive from SQL as strings; coerce for the comparison.
+    if isinstance(a, datetime.date) and isinstance(b, str):
+        b = coerce(b, ColumnType.DATE)
+    elif isinstance(b, datetime.date) and isinstance(a, str):
+        a = coerce(a, ColumnType.DATE)
+    if type(a) is not type(b):
+        raise TypeMismatchError(f"cannot compare {a!r} with {b!r}")
+    return (a > b) - (a < b)
+
+
+class _NullsFirstKey:
+    """Sort key wrapper ordering NULL before every non-NULL value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_NullsFirstKey") -> bool:
+        if self.value is None:
+            return other.value is not None
+        if other.value is None:
+            return False
+        return compare(self.value, other.value) < 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _NullsFirstKey):
+            return NotImplemented
+        if self.value is None or other.value is None:
+            return self.value is None and other.value is None
+        return compare(self.value, other.value) == 0
+
+
+def sort_key(value: Any) -> _NullsFirstKey:
+    """Total-order sort key placing NULLs first (engine-wide convention)."""
+    return _NullsFirstKey(value)
+
+
+def format_value(value: Any) -> str:
+    """Render a stored value for display in a form field or grid cell."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    if isinstance(value, float):
+        # Trim trailing noise but keep floats recognisably floats.
+        text = f"{value:.6g}"
+        return text
+    return str(value)
+
+
+def parse_input(text: str, ctype: ColumnType) -> Any:
+    """Parse text typed by a user in a form field into a stored value.
+
+    An empty string means NULL.  This is the single point where keyboard
+    input becomes a typed value, shared by the forms runtime and the
+    query-by-form predicate builder.
+    """
+    text = text.strip()
+    if text == "":
+        return None
+    if ctype is ColumnType.INT:
+        try:
+            return int(text)
+        except ValueError as exc:
+            raise TypeMismatchError(f"{text!r} is not an integer") from exc
+    if ctype is ColumnType.FLOAT:
+        try:
+            return float(text)
+        except ValueError as exc:
+            raise TypeMismatchError(f"{text!r} is not a number") from exc
+    if ctype is ColumnType.BOOL:
+        lowered = text.lower()
+        if lowered in ("true", "t", "yes", "y", "1"):
+            return True
+        if lowered in ("false", "f", "no", "n", "0"):
+            return False
+        raise TypeMismatchError(f"{text!r} is not a boolean")
+    if ctype is ColumnType.DATE:
+        return coerce(text, ColumnType.DATE)
+    return text

@@ -1,0 +1,146 @@
+"""The report writer: formatted, paginated text reports from any relation.
+
+Every 1983 forms system shipped with a report writer — the batch complement
+to the interactive form.  A :class:`ReportSpec` names a source (table or
+view), the columns to print, an optional group column with per-group
+subtotals, and aggregate columns; :func:`run_report` renders the classic
+line-printer layout: page headers, column rules, group breaks, subtotals,
+and a grand-total line.
+
+Example::
+
+    spec = ReportSpec(
+        title="Salaries by department",
+        source="emp",
+        columns=["name", "salary"],
+        group_by="dept_id",
+        totals=["salary"],
+    )
+    print(run_report(db, spec))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import WowError
+from repro.relational.database import Database
+from repro.relational.types import ColumnType, format_value
+
+
+@dataclass
+class ReportSpec:
+    """Declarative description of a report."""
+
+    title: str
+    source: str
+    columns: List[str]
+    group_by: Optional[str] = None
+    totals: List[str] = field(default_factory=list)  # numeric columns to sum
+    where: Optional[str] = None
+    order_by: Optional[List[str]] = None
+    page_length: int = 40  # body lines per page
+    column_width: int = 14
+
+
+def run_report(db: Database, spec: ReportSpec) -> str:
+    """Render the report as a string of pages."""
+    schema = db.catalog.schema_of(spec.source)
+    for column in spec.columns + ([spec.group_by] if spec.group_by else []) + spec.totals:
+        if not schema.has_column(column):
+            raise WowError(f"{spec.source!r} has no column {column!r}")
+    for column in spec.totals:
+        if schema.column(column).ctype not in (ColumnType.INT, ColumnType.FLOAT):
+            raise WowError(f"cannot total non-numeric column {column!r}")
+        if column not in spec.columns:
+            raise WowError(f"totalled column {column!r} must be printed")
+
+    select_columns = list(spec.columns)
+    if spec.group_by and spec.group_by not in select_columns:
+        select_columns = [spec.group_by] + select_columns
+    order = spec.order_by or ([spec.group_by] if spec.group_by else list(schema.primary_key))
+    sql = f"SELECT {', '.join(select_columns)} FROM {spec.source}"
+    if spec.where:
+        sql += f" WHERE {spec.where}"
+    if order:
+        sql += " ORDER BY " + ", ".join(order)
+    rows = db.query(sql)
+
+    width = spec.column_width
+    printed = spec.columns
+    line_width = (width + 2) * len(printed) - 2
+
+    def fmt_row(values: Sequence[Any]) -> str:
+        return "  ".join(
+            format_value(v)[:width].ljust(width) for v in values
+        )
+
+    header = fmt_row(printed)
+    rule = "-" * line_width
+
+    group_index = select_columns.index(spec.group_by) if spec.group_by else None
+    printed_indexes = [select_columns.index(c) for c in printed]
+    total_indexes = {c: select_columns.index(c) for c in spec.totals}
+    total_positions = {c: printed.index(c) for c in spec.totals}
+
+    pages: List[List[str]] = []
+    body: List[str] = []
+
+    def new_page() -> None:
+        pages.append([])
+        page = pages[-1]
+        page.append(spec.title.center(line_width))
+        page.append(f"page {len(pages)}".rjust(line_width))
+        page.append(rule)
+        page.append(header)
+        page.append(rule)
+
+    def emit(line: str) -> None:
+        if not pages or len(pages[-1]) - 5 >= spec.page_length:
+            new_page()
+        pages[-1].append(line)
+
+    def totals_line(label: str, sums: Dict[str, Any], count: int) -> str:
+        cells = [""] * len(printed)
+        cells[0] = f"{label} ({count})"
+        for column, total in sums.items():
+            cells[total_positions[column]] = format_value(total)
+        return fmt_row(cells)
+
+    grand: Dict[str, Any] = {c: 0 for c in spec.totals}
+    grand_count = 0
+    group_sums: Dict[str, Any] = {c: 0 for c in spec.totals}
+    group_count = 0
+    current_group: Any = object()  # sentinel: no group yet
+
+    def close_group() -> None:
+        nonlocal group_sums, group_count
+        if spec.group_by and group_count:
+            emit(rule)
+            emit(totals_line("subtotal", group_sums, group_count))
+            emit("")
+        group_sums = {c: 0 for c in spec.totals}
+        group_count = 0
+
+    for row in rows:
+        if spec.group_by is not None:
+            group_value = row[group_index]
+            if group_value != current_group:
+                if group_count:
+                    close_group()
+                current_group = group_value
+                emit(f"{spec.group_by} = {format_value(group_value)}")
+        emit(fmt_row([row[i] for i in printed_indexes]))
+        group_count += 1
+        grand_count += 1
+        for column, src in total_indexes.items():
+            value = row[src]
+            if value is not None:
+                group_sums[column] += value
+                grand[column] += value
+    close_group()
+    emit(rule)
+    emit(totals_line("TOTAL", grand, grand_count))
+
+    return "\n\f\n".join("\n".join(page) for page in pages) + "\n"

@@ -1,0 +1,5 @@
+"""SQL front-end: lexer, parser, statement AST."""
+
+from repro.sql.parser import parse_script, parse_statement
+
+__all__ = ["parse_script", "parse_statement"]

@@ -1,0 +1,244 @@
+"""Statement-level AST for the SQL subset.
+
+Scalar expressions reuse :mod:`repro.relational.expr` node types directly
+(unbound: column references carry names, not positions).  This module adds
+the statement shapes the parser produces and the planner consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.relational.expr import Expr
+from repro.relational.schema import Column, ForeignKey
+
+
+class Statement:
+    """Base class for parsed statements."""
+
+
+# -- queries -----------------------------------------------------------------
+
+
+@dataclass
+class SelectItem:
+    """One item of a select list.
+
+    ``star`` with ``qualifier=None`` is ``*``; with a qualifier it is
+    ``alias.*``.  Otherwise ``expr`` (possibly an aggregate call represented
+    as :class:`AggCall`) with an optional output alias.
+    """
+
+    star: bool = False
+    qualifier: Optional[str] = None
+    expr: Optional[Any] = None  # Expr or AggCall
+    alias: Optional[str] = None
+
+
+@dataclass
+class AggCall:
+    """An aggregate invocation in a select list or HAVING clause."""
+
+    func: str  # count/sum/avg/min/max
+    arg: Optional[Expr]  # None = COUNT(*)
+    distinct: bool = False
+
+
+@dataclass
+class TableRef:
+    """A named table or view, with an optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding_name(self) -> str:
+        return (self.alias or self.name).lower()
+
+
+@dataclass
+class JoinClause:
+    """One JOIN step: kind is 'inner', 'left', or 'cross'."""
+
+    kind: str
+    table: TableRef
+    condition: Optional[Expr] = None
+
+
+@dataclass
+class OrderItem:
+    """ORDER BY expr [ASC|DESC]."""
+
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass
+class Select(Statement):
+    """A SELECT query (no subqueries; views provide composition)."""
+
+    items: List[SelectItem]
+    from_table: Optional[TableRef]
+    joins: List[JoinClause] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: List[Expr] = field(default_factory=list)
+    having: Optional[Any] = None  # Expr over group outputs / AggCall comparisons
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: int = 0
+    distinct: bool = False
+
+
+@dataclass
+class Union(Statement):
+    """UNION [ALL] chain of selects; ORDER BY/LIMIT apply to the whole."""
+
+    selects: List[Select]
+    all_flags: List[bool]  # one per UNION operator (len = len(selects) - 1)
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: int = 0
+
+
+# -- DML -----------------------------------------------------------------
+
+
+@dataclass
+class Insert(Statement):
+    table: str
+    columns: Optional[List[str]]  # None = full-width positional
+    rows: List[List[Expr]] = field(default_factory=list)  # VALUES form
+    select: Optional[Select] = None  # INSERT ... SELECT form
+
+
+@dataclass
+class Update(Statement):
+    table: str
+    assignments: List[Tuple[str, Expr]]
+    where: Optional[Expr] = None
+
+
+@dataclass
+class Delete(Statement):
+    table: str
+    where: Optional[Expr] = None
+
+
+# -- DDL -----------------------------------------------------------------
+
+
+@dataclass
+class CreateTable(Statement):
+    name: str
+    columns: List[Column]
+    primary_key: Optional[List[str]] = None
+    unique: List[List[str]] = field(default_factory=list)
+    foreign_keys: List[ForeignKey] = field(default_factory=list)
+    checks: List[Expr] = field(default_factory=list)
+    if_not_exists: bool = False
+
+
+@dataclass
+class DropTable(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class CreateIndex(Statement):
+    name: str
+    table: str
+    columns: List[str]
+    unique: bool = False
+    kind: str = "btree"  # or 'hash'
+
+
+@dataclass
+class DropIndex(Statement):
+    name: str
+    table: str
+
+
+@dataclass
+class CreateView(Statement):
+    name: str
+    column_names: Optional[List[str]]
+    query: Select
+    check_option: bool = False
+
+
+@dataclass
+class DropView(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class AlterTable(Statement):
+    """ALTER TABLE t ADD COLUMN col / DROP COLUMN col / RENAME TO new."""
+
+    table: str
+    action: str  # 'add' | 'drop' | 'rename'
+    column: Optional[Column] = None  # for 'add'
+    column_name: Optional[str] = None  # for 'drop'
+    new_name: Optional[str] = None  # for 'rename'
+
+
+# -- transactions & misc -------------------------------------------------
+
+
+@dataclass
+class Begin(Statement):
+    pass
+
+
+@dataclass
+class Grant(Statement):
+    privileges: List[str]  # 'SELECT', ... or ['ALL']
+    object_name: str
+    grantee: str
+
+
+@dataclass
+class Revoke(Statement):
+    privileges: List[str]
+    object_name: str
+    grantee: str
+
+
+@dataclass
+class Savepoint(Statement):
+    name: str
+
+
+@dataclass
+class RollbackTo(Statement):
+    name: str
+
+
+@dataclass
+class ReleaseSavepoint(Statement):
+    name: str
+
+
+@dataclass
+class Commit(Statement):
+    pass
+
+
+@dataclass
+class Rollback(Statement):
+    pass
+
+
+@dataclass
+class Explain(Statement):
+    query: Select
+
+
+@dataclass
+class Analyze(Statement):
+    """ANALYZE [table] — collect optimizer statistics."""
+
+    table: Optional[str] = None

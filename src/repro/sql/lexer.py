@@ -1,0 +1,130 @@
+"""Hand-rolled SQL lexer.
+
+Produces a flat list of :class:`Token`.  Keywords are recognised
+case-insensitively and tokenized as KEYWORD with an upper-case value;
+everything else alphanumeric is an IDENT (lower-cased).  String literals use
+single quotes with ``''`` as the escape for a quote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import LexError
+
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE AND OR NOT NULL IS LIKE IN BETWEEN AS DISTINCT
+    INSERT INTO VALUES UPDATE SET DELETE
+    CREATE TABLE DROP VIEW INDEX UNIQUE PRIMARY KEY FOREIGN REFERENCES
+    DEFAULT CHECK OPTION WITH USING IF EXISTS
+    JOIN INNER LEFT OUTER CROSS ON
+    GROUP BY HAVING ORDER ASC DESC LIMIT OFFSET
+    BEGIN COMMIT ROLLBACK EXPLAIN SAVEPOINT TO RELEASE
+    UNION ALL ALTER ADD COLUMN RENAME GRANT REVOKE ANALYZE
+    CASE WHEN THEN ELSE END
+    TRUE FALSE
+    COUNT SUM AVG MIN MAX
+    """.split()
+)
+
+#: Multi-character operators, longest first.
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCT = "(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD, IDENT, INT, FLOAT, STRING, OP, PUNCT, EOF
+    value: str
+    pos: int  # character offset, for error messages
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind}:{self.value}"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Lex *text* into tokens ending with an EOF token."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            newline = text.find("\n", i)
+            i = n if newline == -1 else newline + 1
+            continue
+        if ch == "'":
+            value, i = _lex_string(text, i)
+            tokens.append(Token("STRING", value, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            while i < n and (text[i].isdigit() or text[i] == "."):
+                i += 1
+            # scientific notation
+            if i < n and text[i] in "eE":
+                j = i + 1
+                if j < n and text[j] in "+-":
+                    j += 1
+                if j < n and text[j].isdigit():
+                    i = j
+                    while i < n and text[i].isdigit():
+                        i += 1
+            literal = text[start:i]
+            if literal.count(".") > 1:
+                raise LexError(f"bad number {literal!r} at {start}")
+            kind = "FLOAT" if ("." in literal or "e" in literal or "E" in literal) else "INT"
+            tokens.append(Token(kind, literal, start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, start))
+            else:
+                tokens.append(Token("IDENT", word.lower(), start))
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                canonical = "!=" if op == "<>" else op
+                tokens.append(Token("OP", canonical, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token("PUNCT", ch, i))
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("EOF", "", n))
+    return tokens
+
+
+def _lex_string(text: str, i: int) -> tuple:
+    """Lex a single-quoted string starting at *i*; returns (value, next_pos)."""
+    assert text[i] == "'"
+    i += 1
+    out = []
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                out.append("'")
+                i += 2
+                continue
+            return "".join(out), i + 1
+        out.append(ch)
+        i += 1
+    raise LexError("unterminated string literal")

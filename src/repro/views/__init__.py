@@ -1,0 +1,6 @@
+"""View machinery: definitions, expansion into plans, and updates through views."""
+
+from repro.views.definition import ViewDefinition
+from repro.views.update import UpdatableViewInfo, analyze_updatability
+
+__all__ = ["ViewDefinition", "UpdatableViewInfo", "analyze_updatability"]

@@ -1,0 +1,43 @@
+"""View definitions.
+
+A view is a named, typed query.  Its output schema is derived once, when the
+view is created (by planning its query), and stored here so that forms and
+other views can treat it exactly like a table schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.relational.schema import TableSchema
+from repro.sql import ast_nodes as A
+
+
+@dataclass
+class ViewDefinition:
+    """A named query with a derived schema.
+
+    Attributes
+    ----------
+    name:
+        View name (lower case, unique across tables and views).
+    query:
+        The parsed SELECT the view stands for.
+    schema:
+        The derived output schema (column names and types).  ``schema.name``
+        equals the view name, so code paths that only need names/types can
+        treat views and tables uniformly.
+    check_option:
+        True if created WITH CHECK OPTION: DML through the view must not
+        produce rows that escape the view's predicate.
+    sql_text:
+        The original CREATE VIEW text (kept for the catalog and for dump/
+        restore).
+    """
+
+    name: str
+    query: A.Select
+    schema: TableSchema
+    check_option: bool = False
+    sql_text: str = ""

@@ -1,0 +1,213 @@
+"""Updatable-view analysis and DML translation.
+
+The classical (1983-era) updatable subset: a view is updatable iff it is a
+**select–project query over a single updatable source** — no joins, no
+aggregation, no DISTINCT, no LIMIT — and every output column is a plain
+column reference.  Views over views compose: the analysis recurses and
+flattens the column mapping and predicates down to the base table.
+
+The result of the analysis, :class:`UpdatableViewInfo`, is everything DML
+translation needs:
+
+* ``base`` — the base :class:`~repro.relational.table.Table`;
+* ``column_map`` — view column -> base column (names);
+* ``predicate`` — the conjunction of every WHERE along the view chain,
+  rewritten in terms of base-table columns (or None);
+* ``check_option`` — True if *any* view in the chain was created WITH CHECK
+  OPTION (the strictest interpretation, matching CASCADED semantics).
+
+Row visibility and the check option share one evaluator: a row *belongs* to
+the view iff the predicate evaluates to True on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.errors import CheckOptionError, ViewNotUpdatable
+from repro.relational import expr as E
+from repro.relational.table import Table
+from repro.sql import ast_nodes as A
+from repro.views.definition import ViewDefinition
+
+if TYPE_CHECKING:  # imported lazily to avoid a catalog <-> views cycle
+    from repro.relational.catalog import Catalog
+
+
+@dataclass
+class UpdatableViewInfo:
+    """Flattened description of an updatable view chain."""
+
+    view: ViewDefinition
+    base: Table
+    column_map: Dict[str, str]  # view column name -> base column name
+    predicate: Optional[E.Expr]  # over base columns, unqualified refs
+    check_option: bool
+
+    def translate_changes(self, changes: Dict[str, Any]) -> Dict[str, Any]:
+        """Map a {view column: value} dict to base-table columns."""
+        translated = {}
+        for name, value in changes.items():
+            base_name = self.column_map.get(name.lower())
+            if base_name is None:
+                raise ViewNotUpdatable(
+                    f"view {self.view.name!r} has no updatable column {name!r}"
+                )
+            translated[base_name] = value
+        return translated
+
+    def row_visible(self, base_row: Tuple[Any, ...]) -> bool:
+        """True iff *base_row* satisfies the view's (flattened) predicate."""
+        if self.predicate is None:
+            return True
+        layout = E.RowLayout.for_table(self.base.name, self.base.schema)
+        bound = E.bind(self.predicate, layout)
+        return bound.eval(base_row) is True
+
+    def enforce_check_option(self, base_row: Tuple[Any, ...]) -> None:
+        """Raise CheckOptionError if *base_row* would escape the view."""
+        if self.check_option and not self.row_visible(base_row):
+            raise CheckOptionError(
+                f"row violates WITH CHECK OPTION of view {self.view.name!r}"
+            )
+
+    def predicate_defaults(self) -> Dict[str, Any]:
+        """Base-column values implied by equality conjuncts of the predicate.
+
+        For a view ``... WHERE dept_id = 1``, an insert through the view that
+        cannot set ``dept_id`` (it is not a view column) defaults it to 1.
+        This is the classic forms-over-views auto-fill: without it, WITH
+        CHECK OPTION views would reject every insert that omits a predicate
+        column.
+        """
+        defaults: Dict[str, Any] = {}
+        for conjunct in E.split_conjuncts(self.predicate):
+            hit = E.const_comparison(conjunct)
+            if hit is not None and hit[1] == "=":
+                column, _op, value = hit
+                defaults[column.name] = value
+        return defaults
+
+    def view_row(self, base_row: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        """Project a base row into the view's column order."""
+        return tuple(
+            base_row[self.base.schema.column_index(self.column_map[col.name])]
+            for col in self.view.schema.columns
+        )
+
+
+def analyze_updatability(view: ViewDefinition, catalog: "Catalog") -> UpdatableViewInfo:
+    """Analyse *view* (recursively through views-on-views) or raise.
+
+    Raises :class:`ViewNotUpdatable` with a reason when the view falls
+    outside the select–project subset.
+    """
+    query = view.query
+    reason = _reject_reason(query)
+    if reason is not None:
+        raise ViewNotUpdatable(f"view {view.name!r} is not updatable: {reason}")
+
+    source_name = query.from_table.name.lower()
+    # view column name -> source column name (both lower case)
+    local_map = _column_mapping(view, catalog, source_name)
+    local_predicate = _strip_qualifiers(query.where) if query.where else None
+
+    source = catalog.resolve(source_name)
+    if isinstance(source, Table):
+        return UpdatableViewInfo(
+            view=view,
+            base=source,
+            column_map=local_map,
+            predicate=local_predicate,
+            check_option=view.check_option,
+        )
+
+    # Source is itself a view: recurse, then compose.
+    inner = analyze_updatability(source, catalog)
+    composed_map = {}
+    for view_col, source_col in local_map.items():
+        base_col = inner.column_map.get(source_col)
+        if base_col is None:
+            raise ViewNotUpdatable(
+                f"view {view.name!r} selects {source_col!r} which is not "
+                f"updatable in {source.name!r}"
+            )
+        composed_map[view_col] = base_col
+    predicate = None
+    if local_predicate is not None:
+        # Rewrite our predicate's column names into base-table names.
+        def to_base(node: E.Expr) -> Optional[E.Expr]:
+            if isinstance(node, E.ColumnRef):
+                base_col = inner.column_map.get(node.name)
+                if base_col is None:
+                    raise ViewNotUpdatable(
+                        f"predicate of {view.name!r} references {node.name!r}, "
+                        f"which is not a simple column of the base table"
+                    )
+                return E.ColumnRef(base_col)
+            return None
+
+        predicate = E.rewrite(local_predicate, to_base)
+    conjuncts = E.split_conjuncts(predicate) + E.split_conjuncts(inner.predicate)
+    return UpdatableViewInfo(
+        view=view,
+        base=inner.base,
+        column_map=composed_map,
+        predicate=E.conjoin(conjuncts),
+        check_option=view.check_option or inner.check_option,
+    )
+
+
+def _reject_reason(query: A.Select) -> Optional[str]:
+    if query.from_table is None:
+        return "no FROM clause"
+    if query.joins:
+        return "it contains a join"
+    if query.group_by or query.having is not None:
+        return "it aggregates"
+    if query.distinct:
+        return "it uses DISTINCT"
+    if query.limit is not None or query.offset:
+        return "it uses LIMIT/OFFSET"
+    for item in query.items:
+        if item.star:
+            continue
+        if isinstance(item.expr, A.AggCall):
+            return "it aggregates"
+        if not isinstance(item.expr, E.ColumnRef):
+            return f"output column {item.expr.to_sql()} is computed"
+    return None
+
+
+def _column_mapping(
+    view: ViewDefinition, catalog: "Catalog", source_name: str
+) -> Dict[str, str]:
+    """Map each view output column to the source column it projects."""
+    source_schema = catalog.schema_of(source_name)
+    mapping: Dict[str, str] = {}
+    source_columns: List[str] = []
+    for item in view.query.items:
+        if item.star:
+            source_columns.extend(source_schema.column_names)
+        else:
+            assert isinstance(item.expr, E.ColumnRef)
+            source_columns.append(item.expr.name)
+    if len(source_columns) != view.schema.arity:
+        raise ViewNotUpdatable(
+            f"view {view.name!r}: column count mismatch during analysis"
+        )
+    for view_col, source_col in zip(view.schema.column_names, source_columns):
+        mapping[view_col] = source_col
+    return mapping
+
+
+def _strip_qualifiers(expr: E.Expr) -> E.Expr:
+    """Drop table qualifiers (single-table predicate, so they are redundant)."""
+
+    def fix(node: E.Expr) -> Optional[E.Expr]:
+        if isinstance(node, E.ColumnRef) and node.qualifier is not None:
+            return E.ColumnRef(node.name)
+        return None
+
+    return E.rewrite(expr, fix)

@@ -1,0 +1,36 @@
+"""Character-cell windowing substrate: screens, windows, widgets, events.
+
+A pure-Python stand-in for a 1983 CRT terminal: a :class:`ScreenBuffer` of
+character cells, a differential :class:`Renderer` that counts cell writes
+(the quantity a 9600-baud line made precious), a :class:`WindowManager`
+compositing overlapping windows, and a small widget set (labels, text
+fields, grids, status bars) that the forms runtime builds on.
+
+Everything is deterministic and headless — benchmarks and tests drive it
+with synthetic key events and read frames back as text.
+"""
+
+from repro.windows.events import Key, KeyEvent
+from repro.windows.geometry import Rect
+from repro.windows.manager import WindowManager
+from repro.windows.render import Renderer
+from repro.windows.screen import Attr, Cell, ScreenBuffer
+from repro.windows.widgets import Button, GridView, Label, StatusBar, TextField
+from repro.windows.window import Window
+
+__all__ = [
+    "Attr",
+    "Button",
+    "Cell",
+    "GridView",
+    "Key",
+    "KeyEvent",
+    "Label",
+    "Rect",
+    "Renderer",
+    "ScreenBuffer",
+    "StatusBar",
+    "TextField",
+    "Window",
+    "WindowManager",
+]

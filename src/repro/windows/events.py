@@ -1,0 +1,109 @@
+"""Keyboard events and the key-script notation.
+
+Printable keys are single characters.  Special keys use the :class:`Key`
+constants.  Key scripts — the notation tests, examples, and benchmarks use
+to drive the UI — write special keys in angle brackets::
+
+    "ada<TAB>100<ENTER>"   ->  a d a TAB 1 0 0 ENTER
+
+``parse_keys`` turns such a script into KeyEvent objects; every event counts
+as exactly one keystroke for the interaction-cost metrics (as it did on a
+real terminal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class Key:
+    """Names of non-printable keys."""
+
+    ENTER = "ENTER"
+    ESC = "ESC"
+    TAB = "TAB"
+    BACKTAB = "BACKTAB"
+    BACKSPACE = "BACKSPACE"
+    DELETE = "DELETE"
+    UP = "UP"
+    DOWN = "DOWN"
+    LEFT = "LEFT"
+    RIGHT = "RIGHT"
+    HOME = "HOME"
+    END = "END"
+    PGUP = "PGUP"
+    PGDN = "PGDN"
+    F1 = "F1"
+    F2 = "F2"
+    F3 = "F3"
+    F4 = "F4"
+    F5 = "F5"
+    F6 = "F6"
+    F7 = "F7"
+    F8 = "F8"
+    F9 = "F9"
+    F10 = "F10"
+
+    ALL = frozenset(
+        [
+            ENTER, ESC, TAB, BACKTAB, BACKSPACE, DELETE,
+            UP, DOWN, LEFT, RIGHT, HOME, END, PGUP, PGDN,
+            F1, F2, F3, F4, F5, F6, F7, F8, F9, F10,
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class KeyEvent:
+    """One keystroke: either a printable character or a Key name."""
+
+    key: str
+
+    @property
+    def printable(self) -> bool:
+        return len(self.key) == 1
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.key if self.printable else f"<{self.key}>"
+
+
+def parse_keys(script: str) -> List[KeyEvent]:
+    """Parse a key script ("abc<ENTER><F2>") into KeyEvents.
+
+    A literal ``<`` is written ``<<``.
+    """
+    events: List[KeyEvent] = []
+    i = 0
+    while i < len(script):
+        ch = script[i]
+        if ch == "<":
+            if script.startswith("<<", i):
+                events.append(KeyEvent("<"))
+                i += 2
+                continue
+            end = script.find(">", i)
+            if end == -1:
+                raise ValueError(f"unterminated key name at offset {i} in {script!r}")
+            name = script[i + 1 : end].upper()
+            if name not in Key.ALL:
+                raise ValueError(f"unknown key <{name}> in {script!r}")
+            events.append(KeyEvent(name))
+            i = end + 1
+        else:
+            events.append(KeyEvent(ch))
+            i += 1
+    return events
+
+
+def format_keys(events: List[KeyEvent]) -> str:
+    """Inverse of :func:`parse_keys` (for error messages and logs)."""
+    parts = []
+    for event in events:
+        if event.key == "<":
+            parts.append("<<")
+        elif event.printable:
+            parts.append(event.key)
+        else:
+            parts.append(f"<{event.key}>")
+    return "".join(parts)

@@ -1,0 +1,56 @@
+"""Rectangles on the character grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import GeometryError
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A rectangle: top-left (x, y), width, height — all in character cells."""
+
+    x: int
+    y: int
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise GeometryError(f"degenerate rectangle {self!r}")
+
+    @property
+    def right(self) -> int:
+        """One past the last column."""
+        return self.x + self.width
+
+    @property
+    def bottom(self) -> int:
+        """One past the last row."""
+        return self.y + self.height
+
+    def contains(self, x: int, y: int) -> bool:
+        return self.x <= x < self.right and self.y <= y < self.bottom
+
+    def intersect(self, other: "Rect") -> Optional["Rect"]:
+        """The overlapping rectangle, or None if disjoint."""
+        x = max(self.x, other.x)
+        y = max(self.y, other.y)
+        right = min(self.right, other.right)
+        bottom = min(self.bottom, other.bottom)
+        if right <= x or bottom <= y:
+            return None
+        return Rect(x, y, right - x, bottom - y)
+
+    def inset(self, dx: int, dy: int) -> "Rect":
+        """Shrink by dx columns on each side and dy rows on each side."""
+        return Rect(self.x + dx, self.y + dy, self.width - 2 * dx, self.height - 2 * dy)
+
+    def moved(self, dx: int, dy: int) -> "Rect":
+        return Rect(self.x + dx, self.y + dy, self.width, self.height)
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height

@@ -1,0 +1,168 @@
+"""The character-cell screen buffer.
+
+A :class:`ScreenBuffer` is a fixed grid of :class:`Cell` (character +
+attribute bits).  All drawing clips to the buffer (and optionally to a clip
+rectangle), so widgets can draw naively.  The buffer records nothing about
+what changed — diffing is the renderer's job — but it counts raw cell
+writes, which benchmarks use as the "bytes down the terminal line" measure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import GeometryError
+from repro.windows.geometry import Rect
+
+
+class Attr(enum.IntFlag):
+    """Display attributes a 1983 terminal could render."""
+
+    NORMAL = 0
+    BOLD = 1
+    REVERSE = 2
+    UNDERLINE = 4
+    DIM = 8
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One character cell."""
+
+    char: str = " "
+    attr: Attr = Attr.NORMAL
+
+    def __post_init__(self) -> None:
+        if len(self.char) != 1:
+            raise GeometryError(f"a cell holds exactly one character, got {self.char!r}")
+
+
+BLANK = Cell()
+
+
+class ScreenBuffer:
+    """A width x height grid of cells with clipped drawing primitives."""
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 1 or height < 1:
+            raise GeometryError(f"bad screen size {width}x{height}")
+        self.width = width
+        self.height = height
+        self._cells: List[List[Cell]] = [
+            [BLANK for _ in range(width)] for _ in range(height)
+        ]
+        self._clip: Optional[Rect] = None
+        #: total individual cell writes since construction (or reset_stats)
+        self.cells_written = 0
+
+    # -- clipping -----------------------------------------------------------
+
+    def set_clip(self, rect: Optional[Rect]) -> None:
+        """Restrict subsequent writes to *rect* (None = whole screen)."""
+        self._clip = rect
+
+    def _writable(self, x: int, y: int) -> bool:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            return False
+        if self._clip is not None and not self._clip.contains(x, y):
+            return False
+        return True
+
+    # -- drawing ------------------------------------------------------------
+
+    def put(self, x: int, y: int, char: str, attr: Attr = Attr.NORMAL) -> None:
+        """Write one character (clipped)."""
+        if self._writable(x, y):
+            self._cells[y][x] = Cell(char, attr)
+            self.cells_written += 1
+
+    def write(self, x: int, y: int, text: str, attr: Attr = Attr.NORMAL) -> None:
+        """Write a string left-to-right starting at (x, y) (clipped)."""
+        for offset, ch in enumerate(text):
+            self.put(x + offset, y, ch, attr)
+
+    def fill(self, rect: Rect, char: str = " ", attr: Attr = Attr.NORMAL) -> None:
+        """Fill a rectangle with one character (clipped)."""
+        for y in range(rect.y, rect.bottom):
+            for x in range(rect.x, rect.right):
+                self.put(x, y, char, attr)
+
+    def hline(self, x: int, y: int, length: int, char: str = "-", attr: Attr = Attr.NORMAL) -> None:
+        for offset in range(length):
+            self.put(x + offset, y, char, attr)
+
+    def vline(self, x: int, y: int, length: int, char: str = "|", attr: Attr = Attr.NORMAL) -> None:
+        for offset in range(length):
+            self.put(x, y + offset, char, attr)
+
+    def box(self, rect: Rect, attr: Attr = Attr.NORMAL) -> None:
+        """Draw a border box on the edge of *rect* with +-| characters."""
+        self.hline(rect.x + 1, rect.y, rect.width - 2, "-", attr)
+        self.hline(rect.x + 1, rect.bottom - 1, rect.width - 2, "-", attr)
+        self.vline(rect.x, rect.y + 1, rect.height - 2, "|", attr)
+        self.vline(rect.right - 1, rect.y + 1, rect.height - 2, "|", attr)
+        for cx, cy in (
+            (rect.x, rect.y),
+            (rect.right - 1, rect.y),
+            (rect.x, rect.bottom - 1),
+            (rect.right - 1, rect.bottom - 1),
+        ):
+            self.put(cx, cy, "+", attr)
+
+    def clear(self) -> None:
+        """Blank the whole buffer (ignores the clip rectangle)."""
+        for y in range(self.height):
+            row = self._cells[y]
+            for x in range(self.width):
+                row[x] = BLANK
+        self.cells_written += self.width * self.height
+
+    # -- reading ----------------------------------------------------------
+
+    def cell(self, x: int, y: int) -> Cell:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise GeometryError(f"cell ({x},{y}) outside {self.width}x{self.height}")
+        return self._cells[y][x]
+
+    def row_text(self, y: int) -> str:
+        """The characters of row *y* as a string."""
+        return "".join(cell.char for cell in self._cells[y])
+
+    def to_text(self) -> str:
+        """The whole frame as newline-joined rows (tests and examples)."""
+        return "\n".join(self.row_text(y) for y in range(self.height))
+
+    def find(self, needle: str) -> Optional[Tuple[int, int]]:
+        """(x, y) of the first occurrence of *needle* in row text, or None."""
+        for y in range(self.height):
+            x = self.row_text(y).find(needle)
+            if x != -1:
+                return (x, y)
+        return None
+
+    # -- diffing support ----------------------------------------------------
+
+    def diff(self, other: "ScreenBuffer") -> List[Tuple[int, int, Cell]]:
+        """Cells where *self* differs from *other* (same dimensions)."""
+        if (other.width, other.height) != (self.width, self.height):
+            raise GeometryError("cannot diff screens of different sizes")
+        changes = []
+        for y in range(self.height):
+            mine = self._cells[y]
+            theirs = other._cells[y]
+            for x in range(self.width):
+                if mine[x] != theirs[x]:
+                    changes.append((x, y, mine[x]))
+        return changes
+
+    def copy_from(self, other: "ScreenBuffer") -> None:
+        """Make this buffer identical to *other* (no write accounting)."""
+        if (other.width, other.height) != (self.width, self.height):
+            raise GeometryError("cannot copy screens of different sizes")
+        for y in range(self.height):
+            self._cells[y] = list(other._cells[y])
+
+    def reset_stats(self) -> None:
+        self.cells_written = 0

@@ -1,0 +1,319 @@
+"""The widget set: labels, editable fields, grids, buttons, status bars.
+
+Widgets draw into a :class:`~repro.windows.screen.ScreenBuffer` at
+coordinates relative to their parent window's content area (the window
+offsets them when rendering) and handle :class:`KeyEvent`s when focused.
+
+``handle_key`` returns True if the widget consumed the event; unconsumed
+events bubble to the window (TAB traversal) and then to the application
+(function keys).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import GeometryError
+from repro.windows.events import Key, KeyEvent
+from repro.windows.geometry import Rect
+from repro.windows.screen import Attr, ScreenBuffer
+
+
+class Widget:
+    """Base class: a rectangle plus focus and key-handling behaviour."""
+
+    focusable = False
+
+    def __init__(self, rect: Rect) -> None:
+        self.rect = rect
+        self.focused = False
+        self.visible = True
+
+    def render(self, screen: ScreenBuffer, dx: int, dy: int) -> None:
+        """Draw at my rect offset by (dx, dy)."""
+        raise NotImplementedError
+
+    def handle_key(self, event: KeyEvent) -> bool:
+        """Process a key while focused; True if consumed."""
+        return False
+
+    def on_focus(self) -> None:
+        """Called by the window when focus arrives at this widget."""
+
+
+class Label(Widget):
+    """Static text."""
+
+    def __init__(self, x: int, y: int, text: str, attr: Attr = Attr.NORMAL) -> None:
+        super().__init__(Rect(x, y, max(1, len(text)), 1))
+        self.text = text
+        self.attr = attr
+
+    def render(self, screen: ScreenBuffer, dx: int, dy: int) -> None:
+        screen.write(self.rect.x + dx, self.rect.y + dy, self.text, self.attr)
+
+
+class TextField(Widget):
+    """A single-line editable field with a cursor and horizontal scrolling.
+
+    The field is the forms system's atom: every form column binds to one.
+    ``on_change`` fires after any edit; ``read_only`` fields take focus (so
+    the cursor can rest on them) but reject edits.
+    """
+
+    focusable = True
+
+    def __init__(
+        self,
+        x: int,
+        y: int,
+        width: int,
+        text: str = "",
+        read_only: bool = False,
+        on_change: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if width < 1:
+            raise GeometryError("TextField width must be >= 1")
+        super().__init__(Rect(x, y, width, 1))
+        self._text = text
+        self.cursor = len(text)
+        self.scroll = 0
+        self.read_only = read_only
+        self.on_change = on_change
+        #: 1983 type-over: the next printable key replaces the whole text.
+        #: Set when focus arrives or the text is (re)loaded; cleared by any
+        #: cursor/editing key.
+        self.overwrite_pending = False
+
+    @property
+    def text(self) -> str:
+        return self._text
+
+    @text.setter
+    def text(self, value: str) -> None:
+        self._text = value
+        self.cursor = min(self.cursor, len(value))
+        self._fix_scroll()
+
+    def set_text(self, value: str) -> None:
+        """Replace content and put the cursor at the end."""
+        self._text = value
+        self.cursor = len(value)
+        self._fix_scroll()
+
+    def clear(self) -> None:
+        self.set_text("")
+
+    def on_focus(self) -> None:
+        self.overwrite_pending = True
+
+    def handle_key(self, event: KeyEvent) -> bool:
+        key = event.key
+        if self.read_only and not event.printable:
+            # A read-only field has no cursor to move: let navigation and
+            # editing keys bubble to the window/form (record navigation).
+            return False
+        if event.printable:
+            if self.read_only:
+                return True  # swallow: typing on a read-only field is a no-op
+            if self.overwrite_pending:
+                self._text = ""
+                self.cursor = 0
+                self.scroll = 0
+                self.overwrite_pending = False
+            self._text = self._text[: self.cursor] + key + self._text[self.cursor :]
+            self.cursor += 1
+            self._edited()
+            return True
+        self.overwrite_pending = False
+        if key == Key.BACKSPACE:
+            if not self.read_only and self.cursor > 0:
+                self._text = self._text[: self.cursor - 1] + self._text[self.cursor :]
+                self.cursor -= 1
+                self._edited()
+            return True
+        if key == Key.DELETE:
+            if not self.read_only and self.cursor < len(self._text):
+                self._text = self._text[: self.cursor] + self._text[self.cursor + 1 :]
+                self._edited()
+            return True
+        if key == Key.LEFT:
+            self.cursor = max(0, self.cursor - 1)
+            self._fix_scroll()
+            return True
+        if key == Key.RIGHT:
+            self.cursor = min(len(self._text), self.cursor + 1)
+            self._fix_scroll()
+            return True
+        if key == Key.HOME:
+            self.cursor = 0
+            self._fix_scroll()
+            return True
+        if key == Key.END:
+            self.cursor = len(self._text)
+            self._fix_scroll()
+            return True
+        return False
+
+    def _edited(self) -> None:
+        self._fix_scroll()
+        if self.on_change is not None:
+            self.on_change(self._text)
+
+    def _fix_scroll(self) -> None:
+        width = self.rect.width
+        if self.cursor < self.scroll:
+            self.scroll = self.cursor
+        elif self.cursor >= self.scroll + width:
+            self.scroll = self.cursor - width + 1
+
+    def render(self, screen: ScreenBuffer, dx: int, dy: int) -> None:
+        width = self.rect.width
+        visible = self._text[self.scroll : self.scroll + width].ljust(width)
+        attr = Attr.REVERSE if self.focused else Attr.UNDERLINE
+        if self.read_only:
+            attr |= Attr.DIM
+        screen.write(self.rect.x + dx, self.rect.y + dy, visible, attr)
+        if self.focused:
+            cursor_col = self.rect.x + dx + (self.cursor - self.scroll)
+            if self.cursor - self.scroll < width:
+                ch = visible[self.cursor - self.scroll]
+                screen.put(cursor_col, self.rect.y + dy, ch, attr | Attr.BOLD)
+
+
+class Button(Widget):
+    """A focusable action trigger (ENTER or space activates)."""
+
+    focusable = True
+
+    def __init__(self, x: int, y: int, label: str, on_press: Callable[[], None]) -> None:
+        super().__init__(Rect(x, y, len(label) + 2, 1))
+        self.label = label
+        self.on_press = on_press
+
+    def handle_key(self, event: KeyEvent) -> bool:
+        if event.key in (Key.ENTER, " "):
+            self.on_press()
+            return True
+        return False
+
+    def render(self, screen: ScreenBuffer, dx: int, dy: int) -> None:
+        attr = Attr.REVERSE if self.focused else Attr.NORMAL
+        screen.write(self.rect.x + dx, self.rect.y + dy, f"[{self.label}]", attr)
+
+
+class GridView(Widget):
+    """A scrolling table of rows: the browse surface of the system.
+
+    Rows are sequences of display strings.  The grid keeps a selected row,
+    scrolls it into view, and exposes ``on_select`` (selection moved) and
+    ``on_activate`` (ENTER on a row).
+    """
+
+    focusable = True
+
+    def __init__(
+        self,
+        rect: Rect,
+        columns: Sequence[Tuple[str, int]],
+        on_select: Optional[Callable[[int], None]] = None,
+        on_activate: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if rect.height < 2:
+            raise GeometryError("GridView needs at least a header row and one body row")
+        super().__init__(rect)
+        self.columns: List[Tuple[str, int]] = list(columns)
+        self.rows: List[Sequence[str]] = []
+        self.selected = 0
+        self.scroll = 0
+        self.on_select = on_select
+        self.on_activate = on_activate
+
+    @property
+    def body_height(self) -> int:
+        return self.rect.height - 1  # minus header
+
+    def set_rows(self, rows: Sequence[Sequence[str]]) -> None:
+        self.rows = list(rows)
+        self.selected = min(self.selected, max(0, len(self.rows) - 1))
+        self._fix_scroll()
+
+    def select(self, index: int) -> None:
+        if self.rows:
+            old = self.selected
+            self.selected = max(0, min(index, len(self.rows) - 1))
+            self._fix_scroll()
+            if self.selected != old and self.on_select is not None:
+                self.on_select(self.selected)
+
+    def handle_key(self, event: KeyEvent) -> bool:
+        key = event.key
+        if key == Key.UP:
+            self.select(self.selected - 1)
+            return True
+        if key == Key.DOWN:
+            self.select(self.selected + 1)
+            return True
+        if key == Key.PGUP:
+            self.select(self.selected - self.body_height)
+            return True
+        if key == Key.PGDN:
+            self.select(self.selected + self.body_height)
+            return True
+        if key == Key.HOME:
+            self.select(0)
+            return True
+        if key == Key.END:
+            self.select(len(self.rows) - 1)
+            return True
+        if key == Key.ENTER and self.rows and self.on_activate is not None:
+            self.on_activate(self.selected)
+            return True
+        return False
+
+    def _fix_scroll(self) -> None:
+        if self.selected < self.scroll:
+            self.scroll = self.selected
+        elif self.selected >= self.scroll + self.body_height:
+            self.scroll = self.selected - self.body_height + 1
+
+    def _format_row(self, values: Sequence[str]) -> str:
+        parts = []
+        for (header, width), value in zip(self.columns, list(values) + [""] * len(self.columns)):
+            text = str(value)[:width].ljust(width)
+            parts.append(text)
+        return " ".join(parts)[: self.rect.width]
+
+    def render(self, screen: ScreenBuffer, dx: int, dy: int) -> None:
+        x = self.rect.x + dx
+        y = self.rect.y + dy
+        header = self._format_row([h for h, _w in self.columns])
+        screen.write(x, y, header.ljust(self.rect.width), Attr.BOLD | Attr.UNDERLINE)
+        for line in range(self.body_height):
+            row_index = self.scroll + line
+            if row_index < len(self.rows):
+                text = self._format_row(self.rows[row_index])
+                attr = (
+                    Attr.REVERSE
+                    if (row_index == self.selected and self.focused)
+                    else Attr.NORMAL
+                )
+            else:
+                text = ""
+                attr = Attr.NORMAL
+            screen.write(x, y + 1 + line, text.ljust(self.rect.width), attr)
+
+
+class StatusBar(Widget):
+    """A one-line message area (bottom of a window or screen)."""
+
+    def __init__(self, x: int, y: int, width: int) -> None:
+        super().__init__(Rect(x, y, width, 1))
+        self.message = ""
+
+    def set_message(self, message: str) -> None:
+        self.message = message
+
+    def render(self, screen: ScreenBuffer, dx: int, dy: int) -> None:
+        text = self.message[: self.rect.width].ljust(self.rect.width)
+        screen.write(self.rect.x + dx, self.rect.y + dy, text, Attr.REVERSE)

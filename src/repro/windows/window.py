@@ -1,0 +1,137 @@
+"""Windows: framed, titled regions holding widgets with focus traversal."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import FocusError, GeometryError
+from repro.windows.events import Key, KeyEvent
+from repro.windows.geometry import Rect
+from repro.windows.screen import Attr, ScreenBuffer
+from repro.windows.widgets import Widget
+
+
+class Window:
+    """A bordered window containing widgets.
+
+    Widget coordinates are relative to the window's *content area* (inside
+    the border).  TAB/BACKTAB cycle focus among focusable widgets; other
+    unconsumed keys return False so the window manager / application can
+    handle them.
+    """
+
+    def __init__(self, title: str, rect: Rect) -> None:
+        if rect.width < 4 or rect.height < 3:
+            raise GeometryError("a window needs at least 4x3 cells")
+        self.title = title
+        self.rect = rect
+        self.widgets: List[Widget] = []
+        self._focus_index: Optional[int] = None
+        self.active = False  # set by the window manager
+
+    # -- content ------------------------------------------------------------
+
+    @property
+    def content(self) -> Rect:
+        """The drawable interior (window-relative sizes, absolute origin)."""
+        return self.rect.inset(1, 1)
+
+    def add(self, widget: Widget) -> Widget:
+        """Add a widget; the first focusable one gains focus."""
+        self.widgets.append(widget)
+        if self._focus_index is None and widget.focusable:
+            self._focus_index = len(self.widgets) - 1
+            widget.focused = True
+        return widget
+
+    # -- focus ------------------------------------------------------------
+
+    @property
+    def focused_widget(self) -> Optional[Widget]:
+        if self._focus_index is None:
+            return None
+        return self.widgets[self._focus_index]
+
+    def focus(self, widget: Widget) -> None:
+        """Give focus to a specific widget of this window."""
+        if widget not in self.widgets:
+            raise FocusError("widget does not belong to this window")
+        if not widget.focusable:
+            raise FocusError("widget cannot take focus")
+        if self.focused_widget is not None:
+            self.focused_widget.focused = False
+        self._focus_index = self.widgets.index(widget)
+        widget.focused = True
+        widget.on_focus()
+
+    def focus_next(self, backwards: bool = False) -> None:
+        """Cycle focus among focusable widgets (TAB order = add order)."""
+        focusable = [i for i, w in enumerate(self.widgets) if w.focusable and w.visible]
+        if not focusable:
+            return
+        if self._focus_index is None:
+            target = focusable[0]
+        else:
+            try:
+                position = focusable.index(self._focus_index)
+            except ValueError:
+                position = 0
+            step = -1 if backwards else 1
+            target = focusable[(position + step) % len(focusable)]
+        if self.focused_widget is not None:
+            self.focused_widget.focused = False
+        self._focus_index = target
+        self.widgets[target].focused = True
+        self.widgets[target].on_focus()
+
+    # -- events -----------------------------------------------------------
+
+    def handle_key(self, event: KeyEvent) -> bool:
+        """Dispatch to the focused widget, then to TAB traversal."""
+        widget = self.focused_widget
+        if widget is not None and widget.handle_key(event):
+            return True
+        if event.key == Key.TAB:
+            self.focus_next()
+            return True
+        if event.key == Key.BACKTAB:
+            self.focus_next(backwards=True)
+            return True
+        return False
+
+    # -- geometry ------------------------------------------------------------
+
+    def move(self, dx: int, dy: int) -> None:
+        self.rect = self.rect.moved(dx, dy)
+
+    def resize(self, width: int, height: int) -> None:
+        if width < 4 or height < 3:
+            raise GeometryError("a window needs at least 4x3 cells")
+        self.rect = Rect(self.rect.x, self.rect.y, width, height)
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self, screen: ScreenBuffer) -> None:
+        """Draw frame, title, and widgets, clipped to my rectangle."""
+        previous_clip = None
+        screen.set_clip(self.rect)
+        try:
+            screen.fill(self.rect, " ")
+            frame_attr = Attr.BOLD if self.active else Attr.DIM
+            screen.box(self.rect, frame_attr)
+            title = f" {self.title} "
+            max_title = self.rect.width - 4
+            if max_title > 0:
+                screen.write(
+                    self.rect.x + 2,
+                    self.rect.y,
+                    title[:max_title],
+                    frame_attr | Attr.REVERSE,
+                )
+            content = self.content
+            screen.set_clip(content)
+            for widget in self.widgets:
+                if widget.visible:
+                    widget.render(screen, content.x, content.y)
+        finally:
+            screen.set_clip(previous_clip)

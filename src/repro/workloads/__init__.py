@@ -1,0 +1,16 @@
+"""Deterministic synthetic workloads (stand-ins for 1983 production data).
+
+Three classic schemas, each with a seeded generator so every run of the
+benchmarks sees identical data:
+
+* :mod:`~repro.workloads.university` — registrar: departments, students,
+  courses, enrollments (the motivating domain of most forms papers);
+* :mod:`~repro.workloads.supplier_parts` — Codd's suppliers-parts-shipments;
+* :mod:`~repro.workloads.library` — circulation: books, members, loans.
+"""
+
+from repro.workloads.library import build_library
+from repro.workloads.supplier_parts import build_supplier_parts
+from repro.workloads.university import build_university
+
+__all__ = ["build_library", "build_supplier_parts", "build_university"]

@@ -1,0 +1,105 @@
+"""The library circulation workload.
+
+Schema::
+
+    books(id PK, title, author, year, available BOOL)
+    members(id PK, name, joined DATE)
+    loans(id PK, book_id FK, member_id FK, out_date DATE, due DATE,
+          returned BOOL)
+
+Views::
+
+    overdue_loans   -- select-project with a BOOL predicate, updatable
+    catalog         -- join of loans to books and members (browse-only)
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Optional
+
+from repro.relational.database import Database
+
+TITLE_WORDS = [
+    "database", "systems", "relational", "windows", "forms", "design",
+    "structures", "algorithms", "languages", "machines",
+]
+AUTHORS = [
+    "codd", "date", "stonebraker", "gray", "ullman", "knuth", "wirth",
+    "kernighan", "aho", "hopcroft",
+]
+
+
+def build_library(
+    db: Optional[Database] = None,
+    books: int = 80,
+    members: int = 40,
+    loans: int = 150,
+    seed: int = 42,
+    create_views: bool = True,
+) -> Database:
+    """Create and populate the library database; returns it."""
+    db = db or Database()
+    rng = random.Random(seed)
+    db.execute_script(
+        """
+        CREATE TABLE books (
+            id INT PRIMARY KEY, title TEXT NOT NULL, author TEXT,
+            year INT, available BOOL DEFAULT TRUE);
+        CREATE TABLE members (
+            id INT PRIMARY KEY, name TEXT NOT NULL, joined DATE);
+        CREATE TABLE loans (
+            id INT PRIMARY KEY, book_id INT NOT NULL, member_id INT NOT NULL,
+            out_date DATE, due DATE, returned BOOL DEFAULT FALSE,
+            FOREIGN KEY (book_id) REFERENCES books (id),
+            FOREIGN KEY (member_id) REFERENCES members (id));
+        """
+    )
+    for book_id in range(1, books + 1):
+        db.insert(
+            "books",
+            {
+                "id": book_id,
+                "title": f"{rng.choice(TITLE_WORDS)} {rng.choice(TITLE_WORDS)} vol {book_id}",
+                "author": rng.choice(AUTHORS),
+                "year": rng.randint(1950, 1983),
+            },
+        )
+    base = datetime.date(1983, 1, 1)
+    for member_id in range(1, members + 1):
+        db.insert(
+            "members",
+            {
+                "id": member_id,
+                "name": f"member-{member_id:03d}",
+                "joined": base - datetime.timedelta(days=rng.randint(0, 1000)),
+            },
+        )
+    for loan_id in range(1, loans + 1):
+        out_date = base + datetime.timedelta(days=rng.randint(0, 120))
+        db.insert(
+            "loans",
+            {
+                "id": loan_id,
+                "book_id": rng.randint(1, books),
+                "member_id": rng.randint(1, members),
+                "out_date": out_date,
+                "due": out_date + datetime.timedelta(days=21),
+                "returned": rng.random() < 0.6,
+            },
+        )
+    if create_views:
+        db.execute(
+            "CREATE VIEW overdue_loans AS "
+            "SELECT id, book_id, member_id, due FROM loans "
+            "WHERE returned = FALSE"
+        )
+        db.execute(
+            "CREATE VIEW catalog AS "
+            "SELECT l.id AS loan_id, b.title AS title, m.name AS borrower, "
+            "l.due AS due, l.returned AS returned "
+            "FROM loans l JOIN books b ON l.book_id = b.id "
+            "JOIN members m ON l.member_id = m.id"
+        )
+    return db

@@ -1,0 +1,115 @@
+"""Codd's classic suppliers–parts–shipments workload.
+
+Schema::
+
+    suppliers(id PK, name, status, city)
+    parts(id PK, name, color, weight, city)
+    shipments(supplier_id FK, part_id FK, qty; PK (supplier_id, part_id))
+
+Views::
+
+    london_suppliers   -- select-project, updatable, WITH CHECK OPTION
+    red_parts          -- select-project, updatable
+    heavy_red_parts    -- view over red_parts (view-on-view chain)
+    supply_summary     -- aggregate view
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.relational.database import Database
+
+CITIES = ["london", "paris", "athens", "oslo", "rome", "madrid"]
+COLORS = ["red", "green", "blue", "yellow"]
+PART_WORDS = ["nut", "bolt", "screw", "cam", "cog", "gear", "washer", "pin"]
+SUPPLIER_WORDS = ["smith", "jones", "blake", "clark", "adams", "davis", "evans"]
+
+
+def build_supplier_parts(
+    db: Optional[Database] = None,
+    suppliers: int = 30,
+    parts: int = 60,
+    shipments: int = 300,
+    seed: int = 7,
+    create_views: bool = True,
+) -> Database:
+    """Create and populate the suppliers-parts database; returns it."""
+    db = db or Database()
+    rng = random.Random(seed)
+    db.execute_script(
+        """
+        CREATE TABLE suppliers (
+            id INT PRIMARY KEY, name TEXT NOT NULL,
+            status INT DEFAULT 10, city TEXT);
+        CREATE TABLE parts (
+            id INT PRIMARY KEY, name TEXT NOT NULL,
+            color TEXT, weight FLOAT, city TEXT);
+        CREATE TABLE shipments (
+            supplier_id INT NOT NULL, part_id INT NOT NULL, qty INT NOT NULL,
+            PRIMARY KEY (supplier_id, part_id),
+            FOREIGN KEY (supplier_id) REFERENCES suppliers (id),
+            FOREIGN KEY (part_id) REFERENCES parts (id));
+        """
+    )
+    for supplier_id in range(1, suppliers + 1):
+        db.insert(
+            "suppliers",
+            {
+                "id": supplier_id,
+                "name": f"{rng.choice(SUPPLIER_WORDS)}-{supplier_id}",
+                "status": rng.choice([10, 20, 30]),
+                "city": rng.choice(CITIES),
+            },
+        )
+    for part_id in range(1, parts + 1):
+        db.insert(
+            "parts",
+            {
+                "id": part_id,
+                "name": f"{rng.choice(PART_WORDS)}-{part_id}",
+                "color": rng.choice(COLORS),
+                "weight": round(rng.uniform(1.0, 50.0), 1),
+                "city": rng.choice(CITIES),
+            },
+        )
+    seen = set()
+    inserted = 0
+    while inserted < shipments:
+        supplier_id = rng.randint(1, suppliers)
+        part_id = rng.randint(1, parts)
+        if (supplier_id, part_id) in seen:
+            continue
+        seen.add((supplier_id, part_id))
+        db.insert(
+            "shipments",
+            {
+                "supplier_id": supplier_id,
+                "part_id": part_id,
+                "qty": rng.randint(1, 1000),
+            },
+        )
+        inserted += 1
+        if len(seen) >= suppliers * parts:
+            break
+    if create_views:
+        db.execute(
+            "CREATE VIEW london_suppliers AS "
+            "SELECT id, name, status FROM suppliers WHERE city = 'london' "
+            "WITH CHECK OPTION"
+        )
+        db.execute(
+            "CREATE VIEW red_parts AS "
+            "SELECT id, name, weight, city FROM parts WHERE color = 'red'"
+        )
+        db.execute(
+            "CREATE VIEW heavy_red_parts AS "
+            "SELECT id, name, weight FROM red_parts WHERE weight > 25"
+        )
+        db.execute(
+            "CREATE VIEW supply_summary AS "
+            "SELECT supplier_id, COUNT(*) AS parts_supplied, SUM(qty) AS total_qty "
+            "FROM shipments GROUP BY supplier_id"
+        )
+    return db

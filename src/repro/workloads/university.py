@@ -1,0 +1,152 @@
+"""The university registrar workload.
+
+Schema::
+
+    departments(id PK, name, building)
+    students(id PK, name, major_id FK->departments, year, gpa)
+    courses(id PK, title, dept_id FK->departments, credits)
+    enrollments(student_id FK, course_id FK, term, grade;
+                PK (student_id, course_id, term))
+
+Plus the views a registrar's forms would sit on:
+
+    senior_students      -- select-project, updatable, WITH CHECK OPTION
+    cs_students          -- select-project with predicate default (major)
+    transcript           -- join view (browse-only)
+    dept_load            -- aggregate view (browse-only)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.relational.database import Database
+
+FIRST_NAMES = [
+    "ada", "alan", "barbara", "edsger", "grace", "donald", "john", "dennis",
+    "ken", "niklaus", "tony", "butler", "jim", "michael", "david", "susan",
+    "frances", "margaret", "jean", "kathleen",
+]
+LAST_NAMES = [
+    "lovelace", "turing", "liskov", "dijkstra", "hopper", "knuth", "backus",
+    "ritchie", "thompson", "wirth", "hoare", "lampson", "gray", "stonebraker",
+    "dewitt", "graham", "allen", "hamilton", "bartik", "booth",
+]
+DEPARTMENTS = [
+    ("computer science", "evans hall"),
+    ("mathematics", "cory hall"),
+    ("physics", "leconte hall"),
+    ("history", "dwinelle hall"),
+    ("economics", "barrows hall"),
+    ("biology", "life sciences"),
+]
+COURSE_WORDS = [
+    "intro", "advanced", "seminar", "topics", "theory", "systems", "methods",
+    "analysis", "design", "practice",
+]
+TERMS = ["1982F", "1983S", "1983F"]
+GRADES = ["A", "B", "C", "D", "F", None]  # None = in progress
+
+
+def build_university(
+    db: Optional[Database] = None,
+    students: int = 200,
+    courses: int = 40,
+    enrollments_per_student: int = 4,
+    seed: int = 1983,
+    create_views: bool = True,
+) -> Database:
+    """Create and populate the registrar database; returns it."""
+    db = db or Database()
+    rng = random.Random(seed)
+    db.execute_script(
+        """
+        CREATE TABLE departments (
+            id INT PRIMARY KEY, name TEXT NOT NULL, building TEXT);
+        CREATE TABLE students (
+            id INT PRIMARY KEY, name TEXT NOT NULL,
+            major_id INT, year INT, gpa FLOAT,
+            FOREIGN KEY (major_id) REFERENCES departments (id));
+        CREATE TABLE courses (
+            id INT PRIMARY KEY, title TEXT NOT NULL,
+            dept_id INT, credits INT DEFAULT 3,
+            FOREIGN KEY (dept_id) REFERENCES departments (id));
+        CREATE TABLE enrollments (
+            student_id INT NOT NULL, course_id INT NOT NULL,
+            term TEXT NOT NULL, grade TEXT,
+            PRIMARY KEY (student_id, course_id, term),
+            FOREIGN KEY (student_id) REFERENCES students (id),
+            FOREIGN KEY (course_id) REFERENCES courses (id));
+        """
+    )
+    for dept_id, (name, building) in enumerate(DEPARTMENTS, start=1):
+        db.insert("departments", {"id": dept_id, "name": name, "building": building})
+    db.bulk_insert(
+        "students",
+        [
+            {
+                "id": student_id,
+                "name": f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}",
+                "major_id": rng.randint(1, len(DEPARTMENTS)),
+                "year": rng.randint(1, 4),
+                "gpa": round(rng.uniform(1.5, 4.0), 2),
+            }
+            for student_id in range(1, students + 1)
+        ],
+    )
+    for course_id in range(1, courses + 1):
+        dept_id = rng.randint(1, len(DEPARTMENTS))
+        title = f"{rng.choice(COURSE_WORDS)} {DEPARTMENTS[dept_id - 1][0].split()[0]} {course_id}"
+        db.insert(
+            "courses",
+            {
+                "id": course_id,
+                "title": title,
+                "dept_id": dept_id,
+                "credits": rng.choice([2, 3, 4]),
+            },
+        )
+    seen = set()
+    enrollment_rows = []
+    for student_id in range(1, students + 1):
+        for _ in range(enrollments_per_student):
+            course_id = rng.randint(1, courses)
+            term = rng.choice(TERMS)
+            key = (student_id, course_id, term)
+            if key in seen:
+                continue
+            seen.add(key)
+            enrollment_rows.append(
+                {
+                    "student_id": student_id,
+                    "course_id": course_id,
+                    "term": term,
+                    "grade": rng.choice(GRADES),
+                }
+            )
+    db.bulk_insert("enrollments", enrollment_rows)
+    if create_views:
+        db.execute(
+            "CREATE VIEW senior_students AS "
+            "SELECT id, name, major_id, gpa FROM students WHERE year = 4 "
+            "WITH CHECK OPTION"
+        )
+        db.execute(
+            "CREATE VIEW cs_students AS "
+            "SELECT id, name, year, gpa FROM students WHERE major_id = 1"
+        )
+        db.execute(
+            "CREATE VIEW transcript AS "
+            "SELECT s.id AS student_id, s.name AS student, c.title AS course, "
+            "e.term AS term, e.grade AS grade "
+            "FROM enrollments e JOIN students s ON e.student_id = s.id "
+            "JOIN courses c ON e.course_id = c.id"
+        )
+        db.execute(
+            "CREATE VIEW dept_load AS "
+            "SELECT c.dept_id AS dept_id, COUNT(*) AS enrollment_count "
+            "FROM enrollments e JOIN courses c ON e.course_id = c.id "
+            "GROUP BY c.dept_id"
+        )
+    return db

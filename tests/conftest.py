@@ -1,0 +1,37 @@
+"""Shared fixtures: fresh databases and small canonical datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.database import Database
+
+
+@pytest.fixture
+def db() -> Database:
+    """A fresh in-memory database."""
+    return Database()
+
+
+@pytest.fixture
+def company(db: Database) -> Database:
+    """A small dept/emp database with an FK and a view."""
+    db.execute("CREATE TABLE dept (id INT PRIMARY KEY, name TEXT NOT NULL)")
+    db.execute(
+        "CREATE TABLE emp (id INT PRIMARY KEY, name TEXT NOT NULL, "
+        "dept_id INT, salary FLOAT, hired DATE, "
+        "FOREIGN KEY (dept_id) REFERENCES dept (id))"
+    )
+    db.execute("INSERT INTO dept VALUES (1, 'eng'), (2, 'sales'), (3, 'hr')")
+    db.execute(
+        "INSERT INTO emp VALUES "
+        "(10, 'ada', 1, 100.0, '2020-01-02'), "
+        "(11, 'bob', 2, 90.0, '2021-03-04'), "
+        "(12, 'cyd', 1, 120.0, NULL), "
+        "(13, 'dan', NULL, 75.0, '2019-07-01')"
+    )
+    db.execute(
+        "CREATE VIEW eng_emps AS "
+        "SELECT id, name, salary FROM emp WHERE dept_id = 1 WITH CHECK OPTION"
+    )
+    return db

@@ -1,0 +1,216 @@
+"""Direct unit tests of the physical operators (no SQL front-end)."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.relational import expr as E
+from repro.relational.algebra import (
+    Aggregate,
+    AggSpec,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    MergeJoin,
+    NestedLoopJoin,
+    Project,
+    Rename,
+    RowSource,
+    Sort,
+    UnionAll,
+)
+from repro.relational.expr import BinOp, ColumnRef, Literal, RowLayout
+from repro.relational.types import ColumnType
+
+INT = ColumnType.INT
+TEXT = ColumnType.TEXT
+
+
+def source(alias, names, types, rows):
+    layout = RowLayout([(alias, n, t) for n, t in zip(names, types)])
+    return RowSource(layout, rows, name=alias)
+
+
+@pytest.fixture
+def numbers():
+    return source("n", ["a", "b"], [INT, INT], [(1, 10), (2, 20), (3, 30), (2, 21)])
+
+
+class TestLeavesAndUnary:
+    def test_rowsource_restartable(self, numbers):
+        assert list(numbers.rows()) == list(numbers.rows())
+
+    def test_filter_three_valued(self):
+        src = source("s", ["x"], [INT], [(1,), (None,), (5,)])
+        predicate = E.bind(BinOp(">", ColumnRef("x", "s"), Literal(2)), src.layout)
+        assert list(Filter(src, predicate).rows()) == [(5,)]  # NULL dropped
+
+    def test_project_computes(self, numbers):
+        expr = E.bind(
+            BinOp("+", ColumnRef("a", "n"), ColumnRef("b", "n")), numbers.layout
+        )
+        project = Project(numbers, [expr], ["s"], [INT])
+        assert [r[0] for r in project.rows()] == [11, 22, 33, 23]
+        assert project.layout.names() == ["s"]
+
+    def test_project_length_mismatch(self, numbers):
+        with pytest.raises(PlanError):
+            Project(numbers, [], ["x"], [INT])
+
+    def test_sort_multi_key_stability(self):
+        src = source("s", ["k", "v"], [INT, TEXT], [(2, "b"), (1, "a"), (2, "a"), (None, "z")])
+        keys = [
+            (E.bind(ColumnRef("k", "s"), src.layout), True),
+            (E.bind(ColumnRef("v", "s"), src.layout), False),
+        ]
+        ordered = list(Sort(src, keys).rows())
+        assert ordered == [(None, "z"), (1, "a"), (2, "b"), (2, "a")]
+
+    def test_limit_offset(self, numbers):
+        assert list(Limit(numbers, 2, offset=1).rows()) == [(2, 20), (3, 30)]
+        assert list(Limit(numbers, None, offset=3).rows()) == [(2, 21)]
+        with pytest.raises(PlanError):
+            Limit(numbers, -1)
+
+    def test_distinct(self):
+        src = source("s", ["x"], [INT], [(1,), (2,), (1,), (None,), (None,)])
+        assert list(Distinct(src).rows()) == [(1,), (2,), (None,)]
+
+    def test_rename_requalifies(self, numbers):
+        renamed = Rename(numbers, "m", ["p", "q"])
+        assert renamed.layout.resolve("m", "p") == 0
+        assert list(renamed.rows()) == list(numbers.rows())
+        with pytest.raises(PlanError):
+            Rename(numbers, "m", ["only-one"])
+
+    def test_union_all(self, numbers):
+        doubled = UnionAll(numbers, numbers)
+        assert len(list(doubled.rows())) == 8
+        with pytest.raises(PlanError):
+            UnionAll(numbers, source("x", ["a"], [INT], []))
+
+
+def join_fixtures():
+    left = source("l", ["k", "lv"], [INT, TEXT], [(1, "a"), (2, "b"), (None, "n"), (2, "b2")])
+    right = source("r", ["k", "rv"], [INT, TEXT], [(2, "x"), (3, "y"), (None, "m"), (2, "x2")])
+    return left, right
+
+
+class TestJoins:
+    def expected_inner(self):
+        # k=2 on both sides: (b,x),(b,x2),(b2,x),(b2,x2); NULLs never match.
+        return {("b", "x"), ("b", "x2"), ("b2", "x"), ("b2", "x2")}
+
+    def test_hash_join(self):
+        left, right = join_fixtures()
+        join = HashJoin(left, right, [0], [0])
+        got = {(row[1], row[3]) for row in join.rows()}
+        assert got == self.expected_inner()
+
+    def test_merge_join(self):
+        left, right = join_fixtures()
+        join = MergeJoin(left, right, [0], [0])
+        got = {(row[1], row[3]) for row in join.rows()}
+        assert got == self.expected_inner()
+
+    def test_nested_loop_join_equijoin(self):
+        left, right = join_fixtures()
+        predicate = E.BinOp("=", ColumnRef("k", "l"), ColumnRef("k", "r"))
+        bound = E.bind(predicate, left.layout + right.layout)
+        join = NestedLoopJoin(left, right, bound)
+        got = {(row[1], row[3]) for row in join.rows()}
+        assert got == self.expected_inner()
+
+    def test_left_outer_pads(self):
+        left, right = join_fixtures()
+        join = HashJoin(left, right, [0], [0], left_outer=True)
+        rows = list(join.rows())
+        padded = [row for row in rows if row[2] is None and row[3] is None]
+        assert {row[1] for row in padded} == {"a", "n"}  # k=1 and k=NULL
+
+    def test_nl_left_outer(self):
+        left, right = join_fixtures()
+        predicate = E.bind(
+            E.BinOp("=", ColumnRef("k", "l"), ColumnRef("k", "r")),
+            left.layout + right.layout,
+        )
+        join = NestedLoopJoin(left, right, predicate, left_outer=True)
+        assert len(list(join.rows())) == 4 + 2  # 4 matches + 2 padded
+
+    def test_hash_join_residual(self):
+        left, right = join_fixtures()
+        residual = E.bind(
+            E.BinOp("=", ColumnRef("rv", "r"), Literal("x")),
+            left.layout + right.layout,
+        )
+        join = HashJoin(left, right, [0], [0], residual=residual)
+        got = {(row[1], row[3]) for row in join.rows()}
+        assert got == {("b", "x"), ("b2", "x")}
+
+    def test_empty_key_list_rejected(self):
+        left, right = join_fixtures()
+        with pytest.raises(PlanError):
+            HashJoin(left, right, [], [])
+        with pytest.raises(PlanError):
+            MergeJoin(left, right, [0], [])
+
+    def test_cross_join_via_nl(self):
+        left, right = join_fixtures()
+        join = NestedLoopJoin(left, right, None)
+        assert len(list(join.rows())) == 16
+
+
+class TestAggregateOperator:
+    def make(self, rows, group=True, func="sum", distinct=False):
+        src = source("s", ["g", "v"], [INT, INT], rows)
+        groups = (
+            [(E.bind(ColumnRef("g", "s"), src.layout), "g", INT)] if group else []
+        )
+        arg = None if func == "count" else E.bind(ColumnRef("v", "s"), src.layout)
+        spec = AggSpec(func, arg, "out", INT, distinct=distinct)
+        return Aggregate(src, groups, [spec])
+
+    def test_sum_by_group(self):
+        agg = self.make([(1, 10), (1, 5), (2, 7)])
+        assert sorted(agg.rows()) == [(1, 15), (2, 7)]
+
+    def test_nulls_ignored_by_sum(self):
+        agg = self.make([(1, None), (1, 5)])
+        assert list(agg.rows()) == [(1, 5)]
+
+    def test_all_null_group_yields_null(self):
+        agg = self.make([(1, None)])
+        assert list(agg.rows()) == [(1, None)]
+
+    def test_count_star_counts_nulls(self):
+        agg = self.make([(1, None), (1, 2)], func="count")
+        assert list(agg.rows()) == [(1, 2)]
+
+    def test_min_max(self):
+        rows = [(1, 5), (1, -2), (1, 9)]
+        assert list(self.make(rows, func="min").rows()) == [(1, -2)]
+        assert list(self.make(rows, func="max").rows()) == [(1, 9)]
+
+    def test_distinct_sum(self):
+        agg = self.make([(1, 5), (1, 5), (1, 2)], func="sum", distinct=True)
+        assert list(agg.rows()) == [(1, 7)]
+
+    def test_global_aggregate_on_empty_input(self):
+        agg = self.make([], group=False, func="count")
+        assert list(agg.rows()) == [(0,)]
+
+    def test_grouped_aggregate_on_empty_input(self):
+        agg = self.make([], group=True)
+        assert list(agg.rows()) == []
+
+    def test_agg_spec_validation(self):
+        with pytest.raises(PlanError):
+            AggSpec("median", None, "x", INT)
+        with pytest.raises(PlanError):
+            AggSpec("sum", None, "x", INT)
+
+    def test_explain_tree_shape(self):
+        agg = self.make([(1, 1)])
+        text = agg.explain()
+        assert text.splitlines()[0].startswith("Aggregate")
+        assert "RowSource" in text

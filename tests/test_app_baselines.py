@@ -1,0 +1,255 @@
+"""End-to-end tests: WowApp key-script driving, linking, and the baselines."""
+
+import pytest
+
+from repro.baselines import DumpBrowser, SqlCli
+from repro.core import WowApp
+from repro.errors import WowError
+from repro.forms import Mode
+from repro.relational.database import Database
+from repro.windows.geometry import Rect
+
+
+@pytest.fixture
+def app(company):
+    return WowApp(company)
+
+
+class TestWowApp:
+    def test_open_form_shows_first_record(self, app):
+        app.open_form("emp")
+        app.expect_on_screen("ada")
+        app.expect_on_screen("BROWSE 1/4")
+
+    def test_navigation_by_keys(self, app):
+        app.open_form("emp")
+        app.send_keys("<DOWN><DOWN>")
+        app.expect_on_screen("cyd")
+        app.send_keys("<UP>")
+        app.expect_on_screen("bob")
+
+    def test_edit_workflow_by_keys(self, app, company):
+        form = app.open_form("emp")
+        # F2 edit, TAB to name, clear it, retype, save.
+        app.send_keys("<F2><TAB><END>")
+        app.send_keys("<BACKSPACE>" * 3)
+        app.send_keys("zoe<F2>")
+        assert form.controller.mode is Mode.BROWSE
+        assert company.query("SELECT name FROM emp WHERE id = 10") == [("zoe",)]
+        app.expect_on_screen("zoe")
+
+    def test_insert_workflow_by_keys(self, app, company):
+        app.open_form("emp")
+        app.send_keys("<F3>")
+        app.send_keys("42<TAB>guy<TAB>2<TAB>55<F2>")
+        assert company.execute("SELECT COUNT(*) FROM emp").scalar() == 5
+        app.expect_on_screen("record inserted")
+
+    def test_query_workflow_by_keys(self, app):
+        form = app.open_form("emp")
+        app.send_keys("<F4><TAB><TAB><TAB>>95<ENTER>")
+        assert form.controller.record_count == 2
+        app.expect_on_screen("[filtered]")
+
+    def test_delete_by_keys(self, app, company):
+        app.open_form("emp")
+        app.send_keys("<END><F6>")
+        assert company.execute("SELECT COUNT(*) FROM emp").scalar() == 3
+
+    def test_escape_cancels_edit(self, app, company):
+        form = app.open_form("emp")
+        app.send_keys("<F2>")
+        app.send_keys("<TAB>xxx<ESC>")
+        assert form.controller.mode is Mode.BROWSE
+        assert company.query("SELECT name FROM emp WHERE id = 10") == [("ada",)]
+
+    def test_keystrokes_counted(self, app):
+        app.open_form("emp")
+        app.send_keys("<DOWN><DOWN><UP>")
+        assert app.keys.total == 3
+
+    def test_two_windows_and_f1_cycling(self, app):
+        emp = app.open_form("emp", x=0, y=0)
+        dept = app.open_form("dept", x=45, y=0)
+        assert app.active_window is dept
+        app.send_keys("<F1>")
+        assert app.active_window is emp
+
+    def test_master_detail_link(self, app):
+        dept = app.open_form("dept", x=45, y=0)
+        emp = app.open_form("emp", x=0, y=8)
+        app.link(dept, emp, on=[("id", "dept_id")])
+        assert emp.controller.record_count == 2  # dept 1: ada, cyd
+        # Move the master (emp window is active; switch to dept first).
+        app.wm.raise_window(dept)
+        app.send_keys("<DOWN>")  # dept 2 = sales
+        assert emp.controller.record_count == 1  # bob
+        app.send_keys("<DOWN>")  # dept 3 = hr, nobody
+        assert emp.controller.record_count == 0
+
+    def test_unlink(self, app):
+        dept = app.open_form("dept")
+        emp = app.open_form("emp")
+        link = app.link(dept, emp, on=[("id", "dept_id")])
+        link.unlink()
+        assert emp.controller.record_count == 4
+
+    def test_browser_window(self, app):
+        browser = app.open_browser("emp", Rect(0, 0, 70, 12))
+        app.expect_on_screen("ada")
+        app.send_keys("<DOWN>")
+        assert browser.current_row[1] == "bob"
+
+    def test_browser_refresh_after_dml(self, app, company):
+        browser = app.open_browser("emp", Rect(0, 0, 70, 12))
+        company.execute("DELETE FROM emp WHERE id = 13")
+        app.send_keys("<F5>")
+        assert len(browser.rows) == 3
+
+    def test_close_window(self, app):
+        emp = app.open_form("emp")
+        dept = app.open_form("dept")
+        app.close(dept)
+        assert app.active_window is emp
+
+    def test_expect_on_screen_raises(self, app):
+        app.open_form("emp")
+        with pytest.raises(WowError):
+            app.expect_on_screen("certainly-not-there")
+
+    def test_form_on_view_via_app(self, app, company):
+        form = app.open_form("eng_emps")
+        assert form.controller.record_count == 2
+        app.send_keys("<F2><TAB><TAB><END>")
+        app.send_keys("<BACKSPACE>" * 5)
+        app.send_keys("142<F2>")
+        assert company.execute("SELECT salary FROM emp WHERE id = 10").scalar() == 142.0
+
+
+class TestSqlCli:
+    def test_select_and_metering(self, company):
+        cli = SqlCli(company)
+        sql = "SELECT name FROM emp WHERE id = 10"
+        result = cli.run(sql)
+        assert result.rows == [("ada",)]
+        assert cli.keys.total == len(sql) + 1
+        assert cli.output_chars > 0
+
+    def test_render_table_format(self, company):
+        cli = SqlCli(company)
+        result = cli.run("SELECT id, name FROM dept ORDER BY id")
+        text = cli.render_result(result)
+        assert "id" in text and "eng" in text and "(3 rows)" in text
+
+    def test_dml_render(self, company):
+        cli = SqlCli(company)
+        cli.run("UPDATE emp SET salary = 1 WHERE id = 10")
+        assert "(1 rows affected)" in cli.render_result(cli.last_result)
+
+    def test_error_reported_not_raised(self, company):
+        cli = SqlCli(company)
+        assert cli.run("SELECT * FROM nope") is None
+        assert "CatalogError" in cli.last_error
+
+    def test_history(self, company):
+        cli = SqlCli(company)
+        cli.run("SELECT id FROM dept")
+        cli.run("SELECT id FROM emp")
+        assert len(cli.history) == 2
+
+
+class TestDumpBrowser:
+    def test_navigation(self, company):
+        browser = DumpBrowser(company, "emp")
+        assert browser.current_row()[0] == 10
+        browser.command("n")
+        assert browser.current_row()[0] == 11
+        browser.command("l")
+        assert browser.current_row()[0] == 13
+        browser.command("f")
+        assert browser.current_row()[0] == 10
+
+    def test_search(self, company):
+        browser = DumpBrowser(company, "emp")
+        browser.command("/name=cyd")
+        assert browser.current_row()[0] == 12
+
+    def test_search_not_found(self, company):
+        browser = DumpBrowser(company, "emp")
+        browser.command("/name=nobody")
+        assert browser.message == "not found"
+
+    def test_update(self, company):
+        browser = DumpBrowser(company, "emp")
+        browser.command("u salary=42")
+        assert company.execute("SELECT salary FROM emp WHERE id = 10").scalar() == 42.0
+
+    def test_insert_and_delete(self, company):
+        browser = DumpBrowser(company, "emp")
+        browser.command("i id=70,name=tmp,salary=5")
+        assert company.execute("SELECT COUNT(*) FROM emp").scalar() == 5
+        browser.command("/id=70")
+        browser.command("x")
+        assert company.execute("SELECT COUNT(*) FROM emp").scalar() == 4
+
+    def test_filter(self, company):
+        browser = DumpBrowser(company, "emp")
+        browser.command("q salary > 95")
+        assert len(browser.rows) == 2
+        browser.command("q")
+        assert len(browser.rows) == 4
+
+    def test_metering(self, company):
+        browser = DumpBrowser(company, "emp")
+        before = browser.output_chars
+        browser.command("n")
+        assert browser.keys.total == 2  # 'n' + ENTER
+        assert browser.output_chars > before  # re-printed the record
+
+    def test_errors_become_messages(self, company):
+        browser = DumpBrowser(company, "emp")
+        browser.command("zzz")
+        assert "error" in browser.message
+        browser.command("u ghost=1")
+        assert "error" in browser.message
+
+    def test_works_on_views(self, company):
+        browser = DumpBrowser(company, "eng_emps")
+        assert len(browser.rows) == 2
+        browser.command("u salary=60")
+        assert company.execute("SELECT salary FROM emp WHERE id = 10").scalar() == 60.0
+
+
+class TestWorkloads:
+    def test_university_deterministic(self):
+        from repro.workloads import build_university
+
+        db1 = build_university(students=20, courses=10)
+        db2 = build_university(students=20, courses=10)
+        assert db1.query("SELECT * FROM students ORDER BY id") == db2.query(
+            "SELECT * FROM students ORDER BY id"
+        )
+
+    def test_university_views_work(self):
+        from repro.workloads import build_university
+
+        db = build_university(students=30, courses=10)
+        assert db.execute("SELECT COUNT(*) FROM transcript").scalar() > 0
+        seniors = db.execute("SELECT COUNT(*) FROM senior_students").scalar()
+        direct = db.execute("SELECT COUNT(*) FROM students WHERE year = 4").scalar()
+        assert seniors == direct
+
+    def test_supplier_parts_view_chain(self):
+        from repro.workloads import build_supplier_parts
+
+        db = build_supplier_parts(suppliers=10, parts=20, shipments=50)
+        heavy = db.query("SELECT weight FROM heavy_red_parts")
+        assert all(w > 25 for (w,) in heavy)
+
+    def test_library_fk_integrity(self):
+        from repro.workloads import build_library
+        from repro.errors import ForeignKeyError
+
+        db = build_library(books=10, members=5, loans=20)
+        with pytest.raises(ForeignKeyError):
+            db.insert("loans", {"id": 999, "book_id": 12345, "member_id": 1})

@@ -1,0 +1,210 @@
+"""Tests for the B+-tree and the index layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConstraintError, SchemaError
+from repro.relational.btree import BPlusTree
+from repro.relational.heap import RowId
+from repro.relational.indexes import BTreeIndex, HashIndex, make_index
+
+
+class TestBPlusTree:
+    def test_insert_get(self):
+        tree = BPlusTree(branching=4)
+        for i in range(100):
+            tree.insert(i, i * 10)
+        assert tree.get(42) == 420
+        assert tree.get(1000) is None
+        assert tree.get(1000, "missing") == "missing"
+        assert len(tree) == 100
+
+    def test_overwrite_same_key(self):
+        tree = BPlusTree(branching=4)
+        tree.insert("k", 1)
+        tree.insert("k", 2)
+        assert tree.get("k") == 2
+        assert len(tree) == 1
+
+    def test_items_sorted(self):
+        tree = BPlusTree(branching=4)
+        import random
+
+        keys = list(range(500))
+        random.Random(7).shuffle(keys)
+        for key in keys:
+            tree.insert(key, key)
+        assert [k for k, _v in tree.items()] == list(range(500))
+
+    def test_depth_grows(self):
+        tree = BPlusTree(branching=4)
+        assert tree.depth() == 1
+        for i in range(200):
+            tree.insert(i, i)
+        assert tree.depth() >= 3
+
+    def test_delete(self):
+        tree = BPlusTree(branching=4)
+        for i in range(50):
+            tree.insert(i, i)
+        assert tree.delete(25) is True
+        assert tree.delete(25) is False
+        assert tree.get(25) is None
+        assert len(tree) == 49
+
+    def test_range_inclusive_exclusive(self):
+        tree = BPlusTree(branching=4)
+        for i in range(20):
+            tree.insert(i, i)
+        assert [k for k, _ in tree.range(5, 8)] == [5, 6, 7, 8]
+        assert [k for k, _ in tree.range(5, 8, include_low=False)] == [6, 7, 8]
+        assert [k for k, _ in tree.range(5, 8, include_high=False)] == [5, 6, 7]
+        assert [k for k, _ in tree.range(None, 2)] == [0, 1, 2]
+        assert [k for k, _ in tree.range(17, None)] == [17, 18, 19]
+        assert [k for k, _ in tree.range()] == list(range(20))
+
+    def test_range_empty_window(self):
+        tree = BPlusTree(branching=4)
+        for i in range(0, 20, 2):
+            tree.insert(i, i)
+        assert [k for k, _ in tree.range(3, 3)] == []
+
+    def test_min_key(self):
+        tree = BPlusTree(branching=4)
+        assert tree.min_key() is None
+        tree.insert(9, 1)
+        tree.insert(3, 1)
+        assert tree.min_key() == 3
+
+    def test_branching_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(branching=2)
+
+    @given(st.sets(st.integers(min_value=-10**6, max_value=10**6), max_size=400))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_sorted_dict(self, keys):
+        tree = BPlusTree(branching=4)
+        for key in keys:
+            tree.insert(key, -key)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+        assert all(tree.get(k) == -k for k in keys)
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["add", "del"]), st.integers(0, 50)),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mixed_ops_model(self, ops):
+        tree = BPlusTree(branching=4)
+        model = {}
+        for op, key in ops:
+            if op == "add":
+                tree.insert(key, key * 2)
+                model[key] = key * 2
+            else:
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+        assert dict(tree.items()) == model
+
+
+def rid(n):
+    return RowId(0, n)
+
+
+class TestHashIndex:
+    def test_insert_lookup_delete(self):
+        index = HashIndex("ix", "t", ["a"], unique=False)
+        index.insert((1,), rid(0))
+        index.insert((1,), rid(1))
+        assert sorted(index.lookup((1,)), key=lambda r: r.slot) == [rid(0), rid(1)]
+        index.delete((1,), rid(0))
+        assert index.lookup((1,)) == [rid(1)]
+        assert len(index) == 1
+
+    def test_delete_missing_raises(self):
+        index = HashIndex("ix", "t", ["a"])
+        with pytest.raises(SchemaError):
+            index.delete((1,), rid(0))
+
+    def test_unique_violation(self):
+        index = HashIndex("ix", "t", ["a"], unique=True)
+        index.insert((1,), rid(0))
+        with pytest.raises(ConstraintError):
+            index.insert((1,), rid(1))
+
+    def test_unique_allows_nulls(self):
+        index = HashIndex("ix", "t", ["a"], unique=True)
+        index.insert((None,), rid(0))
+        index.insert((None,), rid(1))  # NULL keys never conflict
+        assert len(index) == 2
+
+    def test_clear(self):
+        index = HashIndex("ix", "t", ["a"])
+        index.insert((1,), rid(0))
+        index.clear()
+        assert index.lookup((1,)) == []
+
+
+class TestBTreeIndex:
+    def test_range_scan_with_duplicates(self):
+        index = BTreeIndex("ix", "t", ["a"], branching=4)
+        for i in range(10):
+            index.insert((i % 3,), rid(i))
+        hits = list(index.range_scan((1,), (1,)))
+        assert all(key == (1,) for key, _rid in hits)
+        assert len(hits) == len([i for i in range(10) if i % 3 == 1])
+
+    def test_range_scan_nulls_first(self):
+        index = BTreeIndex("ix", "t", ["a"])
+        index.insert((None,), rid(0))
+        index.insert((5,), rid(1))
+        index.insert((1,), rid(2))
+        keys = [key for key, _r in index.range_scan()]
+        assert keys == [(None,), (1,), (5,)]
+
+    def test_one_sided_bounds(self):
+        index = BTreeIndex("ix", "t", ["a"])
+        for i in range(10):
+            index.insert((i,), rid(i))
+        assert len(list(index.range_scan(low=(7,)))) == 3
+        assert len(list(index.range_scan(high=(2,), include_high=False))) == 2
+
+    def test_unique_enforced(self):
+        index = BTreeIndex("ix", "t", ["a"], unique=True)
+        index.insert((1,), rid(0))
+        with pytest.raises(ConstraintError):
+            index.insert((1,), rid(1))
+
+    def test_multi_column_keys(self):
+        index = BTreeIndex("ix", "t", ["a", "b"])
+        index.insert((1, "x"), rid(0))
+        index.insert((1, "y"), rid(1))
+        assert index.lookup((1, "x")) == [rid(0)]
+        keys = [key for key, _r in index.range_scan()]
+        assert keys == [(1, "x"), (1, "y")]
+
+    def test_delete_then_lookup(self):
+        index = BTreeIndex("ix", "t", ["a"])
+        index.insert((1,), rid(0))
+        index.insert((1,), rid(1))
+        index.delete((1,), rid(0))
+        assert index.lookup((1,)) == [rid(1)]
+
+
+class TestFactory:
+    def test_make_index_kinds(self):
+        assert isinstance(make_index("hash", "i", "t", ["a"]), HashIndex)
+        assert isinstance(make_index("btree", "i", "t", ["a"]), BTreeIndex)
+        with pytest.raises(SchemaError):
+            make_index("bitmap", "i", "t", ["a"])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            make_index("hash", "i", "t", [])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            make_index("hash", "i", "t", ["a", "a"])

@@ -1,0 +1,114 @@
+"""Tests for the catalog layer, system-table protection, and streaming."""
+
+import pytest
+
+from repro.errors import CatalogError, SqlError
+from repro.relational.catalog import Catalog, view_dependencies
+from repro.relational.database import Database
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import ColumnType
+
+
+def schema(name="t"):
+    return TableSchema(name, [Column("a", ColumnType.INT)])
+
+
+class TestCatalog:
+    def test_create_and_resolve(self):
+        catalog = Catalog()
+        table = catalog.create_table(schema())
+        assert catalog.table("t") is table
+        assert catalog.resolve("T") is table
+        assert catalog.has_table("t")
+
+    def test_duplicate_name_rejected(self):
+        catalog = Catalog()
+        catalog.create_table(schema())
+        with pytest.raises(CatalogError):
+            catalog.create_table(schema())
+
+    def test_system_names_reserved(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.create_table(schema("_tables"))
+
+    def test_unknown_lookups(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.table("ghost")
+        with pytest.raises(CatalogError):
+            catalog.view("ghost")
+        with pytest.raises(CatalogError):
+            catalog.resolve("ghost")
+
+    def test_drop_table(self):
+        catalog = Catalog()
+        catalog.create_table(schema())
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+        with pytest.raises(CatalogError):
+            catalog.drop_table("t")
+
+    def test_tables_sorted(self):
+        catalog = Catalog()
+        catalog.create_table(schema("zeta"))
+        catalog.create_table(schema("alpha"))
+        assert [t.name for t in catalog.tables()] == ["alpha", "zeta"]
+
+    def test_view_dependencies_helper(self, company):
+        view = company.catalog.view("eng_emps")
+        assert view_dependencies(view) == ["emp"]
+
+    def test_system_tables_are_fresh_copies(self, company):
+        first = company.catalog.table("_tables")
+        second = company.catalog.table("_tables")
+        assert first is not second  # synthesised per access
+
+
+class TestSystemTableProtection:
+    def test_dml_rejected(self, company):
+        with pytest.raises(CatalogError):
+            company.insert("_tables", {"name": "fake", "kind": "table", "arity": 1})
+        with pytest.raises(CatalogError):
+            company.delete("_columns")
+        with pytest.raises(CatalogError):
+            company.execute("UPDATE _views SET name = 'x'")
+
+    def test_select_still_fine(self, company):
+        assert company.execute("SELECT COUNT(*) FROM _tables").scalar() >= 2
+
+    def test_browse_form_over_catalog(self, company):
+        """The catalog itself is browsable through the UI — a 1983 delight."""
+        from repro.core import WowApp
+        from repro.windows.geometry import Rect
+
+        app = WowApp(company, width=90, height=20)
+        browser = app.open_browser("_columns", Rect(0, 0, 85, 15))
+        assert len(browser.rows) > 5
+        app.expect_on_screen("table_name")
+
+
+class TestStreaming:
+    def test_stream_lazy_rows(self, company):
+        columns, rows = company.stream("SELECT id, name FROM emp ORDER BY id")
+        assert columns == ["id", "name"]
+        first = next(rows)
+        assert first == (10, "ada")
+        assert len(list(rows)) == 3
+
+    def test_stream_rejects_non_select(self, company):
+        with pytest.raises(SqlError):
+            company.stream("DELETE FROM emp")
+
+    def test_stream_respects_privileges(self, company):
+        from repro.relational.auth import AuthError
+
+        company.set_user("nobody")
+        with pytest.raises(AuthError):
+            company.stream("SELECT * FROM emp")
+        company.set_user("dba")
+
+    def test_stream_counts_as_select(self, company):
+        before = company.stats["selects"]
+        company.stream("SELECT id FROM emp")
+        assert company.stats["selects"] == before + 1

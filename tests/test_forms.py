@@ -1,0 +1,364 @@
+"""Tests for the forms core: specs, generation, QBF, and the runtime."""
+
+import pytest
+
+from repro.errors import FieldValidationError, FormModeError, FormSpecError
+from repro.forms import FormController, Mode, generate_form, parse_criterion
+from repro.forms.generate import generate_form_with_stats
+from repro.forms.qbf import build_predicate
+from repro.forms.spec import FieldSpec, FormSpec
+from repro.relational.types import ColumnType
+from repro.windows.events import Key, KeyEvent
+
+
+class TestSpec:
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(FormSpecError):
+            FormSpec(
+                "f",
+                "t",
+                "T",
+                fields=[
+                    FieldSpec("a", "A", ColumnType.INT, 5, 0),
+                    FieldSpec("a", "A2", ColumnType.INT, 5, 1),
+                ],
+            )
+
+    def test_layout_metrics(self):
+        spec = FormSpec(
+            "f",
+            "t",
+            "T",
+            fields=[
+                FieldSpec("a", "A", ColumnType.INT, 5, 0),
+                FieldSpec("b", "Blong", ColumnType.TEXT, 10, 2),
+            ],
+        )
+        assert spec.layout_rows == 3
+        assert spec.label_width == 5
+        assert spec.columns == ["a", "b"]
+
+    def test_bad_field_geometry(self):
+        with pytest.raises(FormSpecError):
+            FieldSpec("a", "A", ColumnType.INT, 0, 0)
+        with pytest.raises(FormSpecError):
+            FieldSpec("a", "A", ColumnType.INT, 5, -1)
+
+    def test_field_for_unknown(self):
+        spec = FormSpec("f", "t", "T", fields=[FieldSpec("a", "A", ColumnType.INT, 5, 0)])
+        with pytest.raises(FormSpecError):
+            spec.field_for("zzz")
+
+
+class TestGeneration:
+    def test_table_form_has_all_columns(self, company):
+        spec, stats = generate_form_with_stats(company, "emp")
+        assert spec.columns == ["id", "name", "dept_id", "salary", "hired"]
+        assert stats.fields == 5 and stats.layout_rows == 5
+
+    def test_key_fields_flagged(self, company):
+        spec = generate_form(company, "emp")
+        assert spec.field_for("id").in_key
+        assert not spec.field_for("name").in_key
+
+    def test_fk_pick_list_inferred(self, company):
+        spec = generate_form(company, "emp")
+        pick = spec.field_for("dept_id").pick_list
+        assert pick is not None
+        assert pick.parent_table == "dept" and pick.key_column == "id"
+        assert pick.label_column == "name"
+
+    def test_updatable_view_keeps_keys_and_picks(self, company):
+        spec, stats = generate_form_with_stats(company, "eng_emps")
+        assert spec.field_for("id").in_key
+        assert not stats.read_only
+
+    def test_join_view_becomes_read_only(self, company):
+        company.execute(
+            "CREATE VIEW j AS SELECT e.name AS who, d.name AS dept "
+            "FROM emp e JOIN dept d ON e.dept_id = d.id"
+        )
+        spec, stats = generate_form_with_stats(company, "j")
+        assert stats.read_only
+        assert all(f.read_only for f in spec.fields)
+
+    def test_order_by_defaults_to_key(self, company):
+        assert generate_form(company, "emp").order_by == ["id"]
+
+    def test_widths_follow_types(self, company):
+        spec = generate_form(company, "emp")
+        assert spec.field_for("salary").width == 12
+        assert spec.field_for("hired").width == 10
+
+
+class TestQbf:
+    def test_empty_is_none(self):
+        assert parse_criterion("a", "  ", ColumnType.INT) is None
+
+    def test_equality(self):
+        expr = parse_criterion("a", "5", ColumnType.INT)
+        assert expr.to_sql() == "(a = 5)"
+
+    @pytest.mark.parametrize("text,op", [(">5", ">"), (">=5", ">="), ("<5", "<"), ("<=5", "<="), ("!=5", "!=")])
+    def test_comparisons(self, text, op):
+        expr = parse_criterion("a", text, ColumnType.INT)
+        assert expr.op == op
+
+    def test_explicit_equals(self):
+        assert parse_criterion("a", "=7", ColumnType.INT).op == "="
+
+    def test_like_from_wildcards(self):
+        expr = parse_criterion("name", "sm%", ColumnType.TEXT)
+        assert "LIKE" in expr.to_sql()
+
+    def test_null_tests(self):
+        assert "IS NULL" in parse_criterion("a", "~", ColumnType.INT).to_sql()
+        assert "IS NOT NULL" in parse_criterion("a", "!~", ColumnType.INT).to_sql()
+
+    def test_range(self):
+        expr = parse_criterion("a", "1..9", ColumnType.INT)
+        text = expr.to_sql()
+        assert ">=" in text and "<=" in text
+
+    def test_typed_parsing(self):
+        expr = parse_criterion("d", ">1983-01-01", ColumnType.DATE)
+        import datetime
+
+        assert expr.right.value == datetime.date(1983, 1, 1)
+
+    def test_bad_value_raises(self):
+        with pytest.raises(FieldValidationError):
+            parse_criterion("a", ">abc", ColumnType.INT)
+        with pytest.raises(FieldValidationError):
+            parse_criterion("a", ">", ColumnType.INT)
+
+    def test_build_predicate_conjunction(self):
+        predicate = build_predicate(
+            [
+                ("a", ">1", ColumnType.INT),
+                ("b", "", ColumnType.TEXT),
+                ("c", "x%", ColumnType.TEXT),
+            ]
+        )
+        from repro.relational.expr import split_conjuncts
+
+        assert len(split_conjuncts(predicate)) == 2
+
+    def test_build_predicate_all_empty(self):
+        assert build_predicate([("a", "", ColumnType.INT)]) is None
+
+
+@pytest.fixture
+def controller(company):
+    return FormController(company, generate_form(company, "emp"))
+
+
+class TestControllerBrowse:
+    def test_initial_state(self, controller):
+        assert controller.mode is Mode.BROWSE
+        assert controller.record_count == 4
+        assert controller.field_texts["name"] == "ada"
+
+    def test_navigation(self, controller):
+        controller.next_record()
+        assert controller.field_texts["name"] == "bob"
+        controller.last_record()
+        assert controller.field_texts["name"] == "dan"
+        controller.prev_record()
+        assert controller.field_texts["name"] == "cyd"
+        controller.first_record()
+        assert controller.field_texts["id"] == "10"
+
+    def test_navigation_clamps(self, controller):
+        controller.prev_record()
+        assert controller.position == 0
+        controller.last_record()
+        controller.next_record()
+        assert controller.position == 3
+
+    def test_nulls_render_empty(self, controller):
+        controller.last_record()  # dan has NULL dept_id
+        assert controller.field_texts["dept_id"] == ""
+
+    def test_keys_drive_navigation(self, controller):
+        controller.handle_key(KeyEvent(Key.DOWN))
+        assert controller.position == 1
+        controller.handle_key(KeyEvent(Key.END))
+        assert controller.position == 3
+        controller.handle_key(KeyEvent(Key.HOME))
+        assert controller.position == 0
+
+    def test_status_line(self, controller):
+        assert controller.status_line().startswith("BROWSE 1/4")
+
+    def test_navigation_requires_browse(self, controller):
+        controller.begin_edit()
+        with pytest.raises(FormModeError):
+            controller.next_record()
+
+
+class TestControllerEdit:
+    def test_edit_and_save(self, controller, company):
+        controller.begin_edit()
+        controller.set_field("salary", "123.5")
+        assert controller.save()
+        assert company.execute("SELECT salary FROM emp WHERE id = 10").scalar() == 123.5
+        assert controller.mode is Mode.BROWSE
+        assert controller.position == 0  # stayed on the record
+
+    def test_key_fields_not_editable_in_edit(self, controller):
+        controller.begin_edit()
+        assert not controller.editable("id")
+        assert controller.editable("salary")
+
+    def test_nothing_editable_in_browse(self, controller):
+        assert not controller.editable("salary")
+
+    def test_bad_input_keeps_mode(self, controller):
+        controller.begin_edit()
+        controller.set_field("salary", "not-a-number")
+        assert not controller.save()
+        assert controller.mode is Mode.EDIT
+        assert "error" in controller.message
+
+    def test_constraint_error_reported(self, controller):
+        controller.begin_edit()
+        controller.set_field("name", "")  # NOT NULL
+        assert not controller.save()
+        assert "error" in controller.message
+
+    def test_cancel_restores(self, controller):
+        controller.begin_edit()
+        controller.set_field("salary", "999")
+        controller.cancel()
+        assert controller.mode is Mode.BROWSE
+        assert controller.field_texts["salary"] == "100"
+
+    def test_edit_from_edit_rejected(self, controller):
+        controller.begin_edit()
+        with pytest.raises(FormModeError):
+            controller.begin_edit()
+
+
+class TestControllerInsertDelete:
+    def test_insert(self, controller, company):
+        controller.begin_insert()
+        assert controller.field_texts["name"] == ""
+        controller.set_field("id", "77")
+        controller.set_field("name", "new guy")
+        controller.set_field("salary", "50")
+        assert controller.save()
+        assert company.execute("SELECT COUNT(*) FROM emp").scalar() == 5
+        # Jumped to the new record.
+        assert controller.field_texts["name"] == "new guy"
+
+    def test_insert_error_stays_in_insert(self, controller):
+        controller.begin_insert()
+        controller.set_field("id", "10")  # duplicate PK
+        controller.set_field("name", "dup")
+        assert not controller.save()
+        assert controller.mode is Mode.INSERT
+
+    def test_delete(self, controller, company):
+        controller.last_record()
+        assert controller.delete_record()
+        assert company.execute("SELECT COUNT(*) FROM emp").scalar() == 3
+        assert controller.record_count == 3
+
+    def test_delete_respects_fk(self, company):
+        controller = FormController(company, generate_form(company, "dept"))
+        assert not controller.delete_record()  # dept 1 has employees
+        assert "error" in controller.message
+
+    def test_save_in_browse_rejected(self, controller):
+        with pytest.raises(FormModeError):
+            controller.save()
+
+
+class TestControllerQuery:
+    def test_query_filters(self, controller):
+        controller.begin_query()
+        controller.set_field("salary", ">95")
+        assert controller.execute_query()
+        assert controller.record_count == 2
+        assert controller.query_filter is not None
+        assert "[filtered]" in controller.status_line()
+
+    def test_query_like(self, controller):
+        controller.begin_query()
+        controller.set_field("name", "%a%")
+        controller.execute_query()
+        assert controller.record_count == 2  # 'ada' and 'dan' contain 'a'
+
+    def test_query_null_criterion(self, controller):
+        controller.begin_query()
+        controller.set_field("dept_id", "~")
+        controller.execute_query()
+        assert controller.record_count == 1
+        assert controller.field_texts["name"] == "dan"
+
+    def test_esc_clears_filter(self, controller):
+        controller.begin_query()
+        controller.set_field("salary", ">95")
+        controller.execute_query()
+        controller.cancel()  # BROWSE + filter set -> clears
+        assert controller.query_filter is None
+        assert controller.record_count == 4
+
+    def test_bad_criterion_reports(self, controller):
+        controller.begin_query()
+        controller.set_field("salary", ">oops")
+        assert not controller.execute_query()
+        assert controller.mode is Mode.QUERY
+
+    def test_multi_field_criteria_and(self, controller):
+        controller.begin_query()
+        controller.set_field("dept_id", "1")
+        controller.set_field("salary", ">110")
+        controller.execute_query()
+        assert controller.record_count == 1
+        assert controller.field_texts["name"] == "cyd"
+
+
+class TestControllerOnViews:
+    def test_form_on_view_updates_base(self, company):
+        controller = FormController(company, generate_form(company, "eng_emps"))
+        assert controller.record_count == 2
+        controller.begin_edit()
+        controller.set_field("salary", "155")
+        assert controller.save()
+        assert company.execute("SELECT salary FROM emp WHERE id = 10").scalar() == 155.0
+
+    def test_form_on_view_insert_autofills(self, company):
+        controller = FormController(company, generate_form(company, "eng_emps"))
+        controller.begin_insert()
+        controller.set_field("id", "88")
+        controller.set_field("name", "viv")
+        controller.set_field("salary", "70")
+        assert controller.save()
+        assert company.query("SELECT dept_id FROM emp WHERE id = 88") == [(1,)]
+
+    def test_pick_values(self, company):
+        controller = FormController(company, generate_form(company, "emp"))
+        picks = controller.pick_values("dept_id")
+        assert picks == [(1, "eng"), (2, "sales"), (3, "hr")]
+        assert controller.pick_values("name") == []
+
+
+class TestMetricsHelpers:
+    def test_keystroke_meter_tasks(self):
+        from repro.metrics import KeystrokeMeter
+
+        meter = KeystrokeMeter()
+        meter.start_task("t1")
+        meter.record(3)
+        assert meter.end_task() == 3
+        meter.record(2)
+        assert meter.total == 5
+        assert meter.by_task == {"t1": 3}
+
+    def test_terminal_cost_model(self):
+        from repro.metrics import TerminalCostModel
+
+        model = TerminalCostModel(seconds_per_keystroke=0.5, seconds_per_cell=0.001)
+        assert model.cost(10, 1000) == pytest.approx(6.0)

@@ -1,0 +1,206 @@
+"""Tests for forms extensions: painted forms, pick-list popups, the help
+window, and the report writer."""
+
+import pytest
+
+from repro.core import WowApp
+from repro.errors import FormSpecError, WowError
+from repro.forms.paint import paint_form
+from repro.forms.picklist import PickListWindow
+from repro.relational.database import Database
+from repro.reports import ReportSpec, run_report
+from repro.windows.events import Key, KeyEvent
+from repro.windows.geometry import Rect
+
+
+TEMPLATE = """
+Employee no: [id    ]    Dept: [dept_id]
+Full name:   [name                     ]
+Salary:      [salary    ]
+"""
+
+
+class TestPaintedForms:
+    def test_parse_positions_and_widths(self, company):
+        spec = paint_form(company, "emp", TEMPLATE)
+        assert spec.painted
+        id_field = spec.field_for("id")
+        assert id_field.x == 13 and id_field.row == 0 and id_field.width == 6
+        name_field = spec.field_for("name")
+        assert name_field.row == 1 and name_field.width == 25
+
+    def test_decorations_extracted(self, company):
+        spec = paint_form(company, "emp", TEMPLATE)
+        texts = [text for _x, _row, text in spec.decorations]
+        assert any("Employee no:" in t for t in texts)
+        assert any("Dept:" in t for t in texts)
+
+    def test_metadata_matches_generated(self, company):
+        spec = paint_form(company, "emp", TEMPLATE)
+        assert spec.field_for("id").in_key
+        assert spec.field_for("dept_id").pick_list is not None
+        assert spec.order_by == ["id"]
+
+    def test_unknown_column_rejected(self, company):
+        with pytest.raises(FormSpecError):
+            paint_form(company, "emp", "[ghost]")
+
+    def test_duplicate_marker_rejected(self, company):
+        with pytest.raises(FormSpecError):
+            paint_form(company, "emp", "[id] [id]")
+
+    def test_no_markers_rejected(self, company):
+        with pytest.raises(FormSpecError):
+            paint_form(company, "emp", "just text")
+
+    def test_painted_form_runs(self, company):
+        spec = paint_form(company, "emp", TEMPLATE, title="Card")
+        app = WowApp(company, width=60, height=12)
+        app.open_form("emp", spec=spec)
+        app.expect_on_screen("Employee no:")
+        app.expect_on_screen("ada")
+        # Edit through the painted layout: F2, TAB past dept to name... order
+        # is document order: id, dept_id, name, salary.
+        app.send_keys("<F2><TAB><TAB><TAB>175<F2>")
+        assert company.execute("SELECT salary FROM emp WHERE id = 10").scalar() == 175.0
+
+    def test_painted_form_on_view(self, company):
+        spec = paint_form(company, "eng_emps", "No [id   ] Pay [salary  ]")
+        app = WowApp(company, width=50, height=10)
+        form = app.open_form("eng_emps", spec=spec)
+        assert form.controller.record_count == 2
+
+
+class TestPickListPopup:
+    @pytest.fixture
+    def app(self, company):
+        return WowApp(company, width=70, height=20)
+
+    def test_f7_opens_and_enter_picks(self, app, company):
+        form = app.open_form("emp")
+        app.send_keys("<F2><TAB><TAB><F7>")  # focus dept_id, open popup
+        app.expect_on_screen("sales")
+        app.send_keys("<DOWN><ENTER>")  # choose dept 2
+        assert form.controller.field_texts["dept_id"] == "2"
+        app.send_keys("<F2>")
+        assert company.query("SELECT dept_id FROM emp WHERE id = 10") == [(2,)]
+
+    def test_escape_cancels_popup(self, app, company):
+        form = app.open_form("emp")
+        app.send_keys("<F2><TAB><TAB><F7><ESC>")
+        assert form.controller.field_texts["dept_id"] == "1"
+        assert app.active_window is form
+
+    def test_f7_on_non_pick_field_ignored(self, app):
+        form = app.open_form("emp")
+        app.send_keys("<F2><F7>")  # id field has no pick list
+        assert app.active_window is form
+
+    def test_f7_in_browse_ignored(self, app):
+        form = app.open_form("emp")
+        app.send_keys("<TAB><TAB><F7>")  # browse mode: not editable
+        assert app.active_window is form
+
+    def test_popup_window_standalone(self):
+        chosen = []
+        popup = PickListWindow(
+            [(1, "one"), (2, "two")],
+            on_choice=chosen.append,
+            on_cancel=lambda: chosen.append("cancel"),
+        )
+        popup.handle_key(KeyEvent(Key.DOWN))
+        popup.handle_key(KeyEvent(Key.ENTER))
+        assert chosen == [2]
+
+
+class TestHelpWindow:
+    def test_toggle(self, company):
+        app = WowApp(company, width=70, height=20)
+        app.open_form("emp")
+        app.send_keys("<F9>")
+        app.expect_on_screen("pick list")
+        app.send_keys("<F9>")
+        with pytest.raises(WowError):
+            app.expect_on_screen("pick list")
+
+    def test_help_does_not_eat_form_state(self, company):
+        app = WowApp(company, width=70, height=20)
+        form = app.open_form("emp")
+        app.send_keys("<DOWN><F9><F9>")
+        assert form.controller.position == 1
+
+
+@pytest.fixture
+def salaries(db):
+    db.execute(
+        "CREATE TABLE emp (id INT PRIMARY KEY, name TEXT, dept INT, pay FLOAT)"
+    )
+    db.execute(
+        "INSERT INTO emp VALUES "
+        "(1, 'a', 1, 10.0), (2, 'b', 1, 20.0), (3, 'c', 2, 30.0), (4, 'd', 2, NULL)"
+    )
+    return db
+
+
+class TestReports:
+    def test_grouped_report_with_totals(self, salaries):
+        spec = ReportSpec(
+            title="Pay",
+            source="emp",
+            columns=["name", "pay"],
+            group_by="dept",
+            totals=["pay"],
+        )
+        text = run_report(salaries, spec)
+        assert "dept = 1" in text and "dept = 2" in text
+        assert "subtotal (2)" in text
+        assert "30" in text  # dept 1 subtotal
+        assert "TOTAL (4)" in text
+        assert "60" in text  # grand total (NULL ignored)
+
+    def test_ungrouped_report(self, salaries):
+        spec = ReportSpec(title="All", source="emp", columns=["id", "name"])
+        text = run_report(salaries, spec)
+        assert "TOTAL (4)" in text
+        assert "subtotal" not in text
+
+    def test_where_filter(self, salaries):
+        spec = ReportSpec(
+            title="Rich", source="emp", columns=["name", "pay"], where="pay > 15"
+        )
+        text = run_report(salaries, spec)
+        assert "TOTAL (2)" in text
+
+    def test_pagination(self, salaries):
+        for i in range(5, 60):
+            salaries.insert("emp", {"id": i, "name": f"e{i}", "dept": 1, "pay": 1.0})
+        spec = ReportSpec(
+            title="Long", source="emp", columns=["id", "name"], page_length=15
+        )
+        text = run_report(salaries, spec)
+        assert "page 1" in text and "page 2" in text
+        assert "\f" in text  # form feed between pages
+
+    def test_report_over_view(self, salaries):
+        salaries.execute("CREATE VIEW d1 AS SELECT name, pay FROM emp WHERE dept = 1")
+        spec = ReportSpec(title="D1", source="d1", columns=["name", "pay"], totals=["pay"])
+        text = run_report(salaries, spec)
+        assert "TOTAL (2)" in text
+
+    def test_bad_total_column_rejected(self, salaries):
+        with pytest.raises(WowError):
+            run_report(
+                salaries,
+                ReportSpec(title="x", source="emp", columns=["name"], totals=["name"]),
+            )
+        with pytest.raises(WowError):
+            run_report(
+                salaries,
+                ReportSpec(title="x", source="emp", columns=["name"], totals=["pay"]),
+            )
+
+    def test_unknown_column_rejected(self, salaries):
+        with pytest.raises(WowError):
+            run_report(
+                salaries, ReportSpec(title="x", source="emp", columns=["ghost"])
+            )

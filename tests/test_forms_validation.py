@@ -1,0 +1,124 @@
+"""Tests for declarative field validation and computed display fields."""
+
+import pytest
+
+from repro.errors import FormSpecError
+from repro.forms import FormController
+from repro.forms.spec import FieldSpec, FormSpec
+from repro.relational.database import Database
+from repro.relational.types import ColumnType
+
+
+@pytest.fixture
+def items_db(db):
+    db.execute(
+        "CREATE TABLE items (id INT PRIMARY KEY, name TEXT, qty INT, price FLOAT)"
+    )
+    db.execute("INSERT INTO items VALUES (1, 'nut', 4, 2.5), (2, 'bolt', 10, 1.0)")
+    return db
+
+
+@pytest.fixture
+def spec():
+    return FormSpec(
+        name="items_form",
+        source="items",
+        title="Items",
+        fields=[
+            FieldSpec("id", "Id", ColumnType.INT, 8, 0, in_key=True),
+            FieldSpec(
+                "name", "Name", ColumnType.TEXT, 20, 1, required=True, pattern="%t%"
+            ),
+            FieldSpec("qty", "Qty", ColumnType.INT, 8, 2, minimum=0, maximum=100),
+            FieldSpec("price", "Price", ColumnType.FLOAT, 10, 3),
+            FieldSpec(
+                "total", "Total", ColumnType.FLOAT, 10, 4, expression="qty * price"
+            ),
+        ],
+        order_by=["id"],
+    )
+
+
+@pytest.fixture
+def controller(items_db, spec):
+    return FormController(items_db, spec)
+
+
+class TestComputedFields:
+    def test_displayed_per_record(self, controller):
+        assert controller.field_texts["total"] == "10"
+        controller.next_record()
+        assert controller.field_texts["total"] == "10"  # 10 * 1.0
+
+    def test_recomputed_after_edit(self, controller):
+        controller.begin_edit()
+        controller.set_field("qty", "8")
+        assert controller.save()
+        assert controller.field_texts["total"] == "20"
+
+    def test_never_editable(self, controller):
+        controller.begin_edit()
+        assert not controller.editable("total")
+        controller.cancel()
+        controller.begin_query()
+        assert not controller.editable("total")
+
+    def test_not_sent_to_dml(self, controller, items_db):
+        controller.begin_insert()
+        controller.set_field("id", "3")
+        controller.set_field("name", "str-t")
+        controller.set_field("qty", "2")
+        controller.set_field("price", "5")
+        assert controller.save()
+        assert items_db.query("SELECT qty FROM items WHERE id = 3") == [(2,)]
+
+    def test_computed_key_rejected(self):
+        with pytest.raises(FormSpecError):
+            FieldSpec("x", "X", ColumnType.INT, 5, 0, in_key=True, expression="1+1")
+
+    def test_data_columns_excludes_virtual(self, spec):
+        assert "total" not in spec.data_columns
+        assert "total" in spec.columns
+
+
+class TestValidation:
+    def test_maximum(self, controller):
+        controller.begin_edit()
+        controller.set_field("qty", "150")
+        assert not controller.save()
+        assert "must be <= 100" in controller.message
+        assert controller.mode.value == "EDIT"
+
+    def test_minimum(self, controller):
+        controller.begin_edit()
+        controller.set_field("qty", "-3")
+        assert not controller.save()
+        assert "must be >= 0" in controller.message
+
+    def test_required(self, controller):
+        controller.begin_edit()
+        controller.set_field("name", "")
+        assert not controller.save()
+        assert "required" in controller.message
+
+    def test_pattern(self, controller):
+        controller.begin_edit()
+        controller.set_field("name", "xyz")
+        assert not controller.save()
+        assert "must match" in controller.message
+        controller.set_field("name", "bolt-two")
+        assert controller.save()
+
+    def test_null_passes_range_checks(self, controller):
+        # qty nullable: empty input bypasses min/max (only 'required' traps it).
+        controller.begin_edit()
+        controller.set_field("qty", "")
+        assert controller.save()
+
+    def test_validation_on_insert(self, controller, items_db):
+        controller.begin_insert()
+        controller.set_field("id", "9")
+        controller.set_field("name", "nt")
+        controller.set_field("qty", "101")
+        assert not controller.save()
+        assert items_db.execute("SELECT COUNT(*) FROM items").scalar() == 2

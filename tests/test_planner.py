@@ -1,0 +1,135 @@
+"""Tests for planning decisions: pushdown, index selection, join strategy."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.relational.database import Database
+from repro.relational.planner import PlannerConfig
+
+
+@pytest.fixture
+def sized(db):
+    db.execute("CREATE TABLE big (id INT PRIMARY KEY, grp INT, val FLOAT)")
+    db.execute("CREATE TABLE small (grp INT PRIMARY KEY, label TEXT)")
+    db.execute("CREATE INDEX ix_grp ON big (grp)")
+    for g in range(10):
+        db.insert("small", {"grp": g, "label": f"g{g}"})
+    for i in range(300):
+        db.insert("big", {"id": i, "grp": i % 10, "val": float(i)})
+    return db
+
+
+def plan_of(db, sql):
+    return db.execute("EXPLAIN " + sql).plan
+
+
+class TestAccessPaths:
+    def test_pk_equality_uses_index(self, sized):
+        plan = plan_of(sized, "SELECT * FROM big WHERE id = 7")
+        assert "IndexEqScan" in plan
+
+    def test_secondary_equality_uses_index(self, sized):
+        plan = plan_of(sized, "SELECT * FROM big WHERE grp = 3")
+        assert "IndexEqScan" in plan and "ix_grp" in plan
+
+    def test_range_uses_btree(self, sized):
+        plan = plan_of(sized, "SELECT * FROM big WHERE id > 100 AND id <= 200")
+        assert "IndexRangeScan" in plan
+
+    def test_no_index_means_seqscan_filter(self, sized):
+        plan = plan_of(sized, "SELECT * FROM big WHERE val = 5.0")
+        assert "SeqScan" in plan and "Filter" in plan
+
+    def test_index_selection_can_be_disabled(self, sized):
+        sized.planner_config.enable_index_selection = False
+        plan = plan_of(sized, "SELECT * FROM big WHERE id = 7")
+        assert "IndexEqScan" not in plan
+        sized.planner_config.enable_index_selection = True
+
+    def test_pushdown_can_be_disabled(self, sized):
+        sized.planner_config.enable_pushdown = False
+        plan = plan_of(sized, "SELECT * FROM big WHERE id = 7")
+        assert "IndexEqScan" not in plan and "Filter" in plan
+        sized.planner_config.enable_pushdown = True
+
+    def test_residual_predicate_stays(self, sized):
+        plan = plan_of(sized, "SELECT * FROM big WHERE grp = 3 AND val > 100")
+        assert "IndexEqScan" in plan and "Filter" in plan
+
+
+class TestJoinPlanning:
+    def test_equi_join_uses_hash(self, sized):
+        plan = plan_of(
+            sized, "SELECT * FROM big b JOIN small s ON b.grp = s.grp"
+        )
+        assert "HashJoin" in plan
+
+    def test_non_equi_join_uses_nl(self, sized):
+        plan = plan_of(
+            sized, "SELECT * FROM big b JOIN small s ON b.grp < s.grp"
+        )
+        assert "NestedLoopJoin" in plan
+
+    def test_forced_nl(self, sized):
+        sized.planner_config.join_strategy = "nl"
+        plan = plan_of(sized, "SELECT * FROM big b JOIN small s ON b.grp = s.grp")
+        assert "NestedLoopJoin" in plan and "HashJoin" not in plan
+        sized.planner_config.join_strategy = "auto"
+
+    def test_forced_merge(self, sized):
+        sized.planner_config.join_strategy = "merge"
+        plan = plan_of(sized, "SELECT * FROM big b JOIN small s ON b.grp = s.grp")
+        assert "MergeJoin" in plan
+        sized.planner_config.join_strategy = "auto"
+
+    def test_strategies_agree_on_results(self, sized):
+        sql = (
+            "SELECT b.id, s.label FROM big b JOIN small s ON b.grp = s.grp "
+            "WHERE b.id < 50 ORDER BY b.id"
+        )
+        results = {}
+        for strategy in ("auto", "nl", "hash", "merge"):
+            sized.planner_config.join_strategy = strategy
+            results[strategy] = sized.query(sql)
+        sized.planner_config.join_strategy = "auto"
+        assert results["auto"] == results["nl"] == results["hash"] == results["merge"]
+
+    def test_left_join_results_same_under_nl_and_hash(self, company):
+        sql = (
+            "SELECT e.name, d.name FROM emp e LEFT JOIN dept d ON e.dept_id = d.id "
+            "ORDER BY e.id"
+        )
+        company.planner_config.join_strategy = "nl"
+        nl_rows = company.query(sql)
+        company.planner_config.join_strategy = "auto"
+        assert company.query(sql) == nl_rows
+
+    def test_join_reorder_puts_filtered_side_first(self, sized):
+        # With reorder on, the planner may start from either side but must
+        # produce a correct result; sanity-check output equality.
+        sql = (
+            "SELECT COUNT(*) FROM big b JOIN small s ON b.grp = s.grp "
+            "WHERE s.label = 'g3'"
+        )
+        with_reorder = sized.query(sql)
+        sized.planner_config.enable_join_reorder = False
+        without = sized.query(sql)
+        sized.planner_config.enable_join_reorder = True
+        assert with_reorder == without == [(30,)]
+
+
+class TestPlanShape:
+    def test_explain_is_indented_tree(self, sized):
+        plan = plan_of(sized, "SELECT id FROM big WHERE grp = 1 ORDER BY id LIMIT 5")
+        lines = plan.splitlines()
+        assert lines[0].startswith("Limit")
+        assert any(line.startswith("  ") for line in lines)
+
+    def test_select_without_from_is_constant_row(self, db):
+        assert db.query("SELECT 1, 'x'") == [(1, "x")]
+
+    def test_select_without_from_rejects_columns(self, db):
+        from repro.errors import BindError
+
+        with pytest.raises(BindError):
+            db.query("SELECT ghost_column")

@@ -1,0 +1,207 @@
+"""Property-based whole-engine tests.
+
+Two families:
+
+* **planner equivalence** — random queries must return identical result
+  sets no matter which planner features or join strategies are enabled;
+* **model-based DML** — a random interleaving of inserts/updates/deletes
+  (with savepoints) must leave the table equal to a plain-dict model.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.relational.database import Database
+from repro.relational.planner import PlannerConfig
+
+
+def _make_db(rows):
+    db = Database()
+    db.execute(
+        "CREATE TABLE t (id INT PRIMARY KEY, grp INT, val INT, tag TEXT)"
+    )
+    db.execute("CREATE TABLE g (grp INT PRIMARY KEY, label TEXT)")
+    for grp in range(5):
+        db.insert("g", {"grp": grp, "label": f"g{grp}"})
+    for row_id, (grp, val, tag) in enumerate(rows):
+        db.insert(
+            "t",
+            {
+                "id": row_id,
+                "grp": grp if grp is not None else None,
+                "val": val,
+                "tag": tag,
+            },
+        )
+    db.execute("CREATE INDEX it ON t (val)")
+    return db
+
+
+row_strategy = st.tuples(
+    st.one_of(st.none(), st.integers(0, 4)),  # grp (FK-ish, nullable)
+    st.one_of(st.none(), st.integers(-20, 20)),  # val
+    st.sampled_from(["a", "b", "ab", "ba", ""]),  # tag
+)
+
+query_strategy = st.sampled_from(
+    [
+        "SELECT id FROM t WHERE val > 0 ORDER BY id",
+        "SELECT id FROM t WHERE val >= -5 AND val <= 5 ORDER BY id",
+        "SELECT id FROM t WHERE val = 3 OR tag = 'ab' ORDER BY id",
+        "SELECT t.id, g.label FROM t JOIN g ON t.grp = g.grp ORDER BY t.id",
+        "SELECT t.id FROM t LEFT JOIN g ON t.grp = g.grp WHERE g.label IS NULL ORDER BY t.id",
+        "SELECT grp, COUNT(*) AS n, SUM(val) AS s FROM t GROUP BY grp ORDER BY grp",
+        "SELECT DISTINCT tag FROM t ORDER BY tag",
+        "SELECT id FROM t WHERE tag LIKE 'a%' ORDER BY id",
+        "SELECT id FROM t WHERE grp IN (SELECT grp FROM g WHERE label != 'g0') ORDER BY id",
+        "SELECT g.label, COUNT(*) AS n FROM t JOIN g ON t.grp = g.grp "
+        "GROUP BY g.label HAVING COUNT(*) > 1 ORDER BY g.label",
+    ]
+)
+
+
+class TestPlannerEquivalence:
+    @given(rows=st.lists(row_strategy, max_size=30), sql=query_strategy)
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_feature_toggles_preserve_results(self, rows, sql):
+        db = _make_db(rows)
+        reference = db.query(sql)
+        configurations = [
+            PlannerConfig(enable_pushdown=False),
+            PlannerConfig(enable_index_selection=False),
+            PlannerConfig(enable_join_reorder=False),
+            PlannerConfig(join_strategy="nl"),
+            PlannerConfig(join_strategy="merge"),
+            PlannerConfig(
+                enable_pushdown=False,
+                enable_index_selection=False,
+                enable_join_reorder=False,
+                join_strategy="nl",
+            ),
+        ]
+        for config in configurations:
+            db.planner.config = config
+            assert sorted(map(repr, db.query(sql))) == sorted(map(repr, reference)), (
+                f"config {config} changed results for {sql}"
+            )
+        db.planner.config = PlannerConfig()
+
+    @given(rows=st.lists(row_strategy, max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_order_by_is_sorted(self, rows):
+        db = _make_db(rows)
+        values = [v for (v,) in db.query("SELECT val FROM t ORDER BY val")]
+        from repro.relational.types import sort_key
+
+        assert values == sorted(values, key=sort_key)
+
+    @given(rows=st.lists(row_strategy, max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_count_star_matches_len(self, rows):
+        db = _make_db(rows)
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == len(rows)
+
+    @given(rows=st.lists(row_strategy, max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_where_partition(self, rows):
+        """Rows matching P, NOT P, and P-is-NULL partition the table."""
+        db = _make_db(rows)
+        positive = db.execute("SELECT COUNT(*) FROM t WHERE val > 0").scalar()
+        negative = db.execute("SELECT COUNT(*) FROM t WHERE NOT val > 0").scalar()
+        nulls = db.execute("SELECT COUNT(*) FROM t WHERE val IS NULL").scalar()
+        assert positive + negative + nulls == len(rows)
+
+
+op_strategy = st.one_of(
+    st.tuples(st.just("insert"), st.integers(0, 30), st.integers(-5, 5)),
+    st.tuples(st.just("delete"), st.integers(0, 30), st.just(0)),
+    st.tuples(st.just("update"), st.integers(0, 30), st.integers(-5, 5)),
+    st.tuples(st.just("savepoint"), st.just(0), st.just(0)),
+    st.tuples(st.just("rollback_sp"), st.just(0), st.just(0)),
+)
+
+
+class TestModelBasedDml:
+    @given(ops=st.lists(op_strategy, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_engine_matches_dict_model(self, ops):
+        db = Database()
+        db.execute("CREATE TABLE m (k INT PRIMARY KEY, v INT)")
+        model = {}
+        db.execute("BEGIN")
+        saved_model = None
+        have_savepoint = False
+        for op, key, value in ops:
+            if op == "insert":
+                if key in model:
+                    continue
+                db.insert("m", {"k": key, "v": value})
+                model[key] = value
+            elif op == "delete":
+                if key not in model:
+                    continue
+                db.delete("m", f"k = {key}")
+                del model[key]
+            elif op == "update":
+                if key not in model:
+                    continue
+                db.update("m", {"v": value}, f"k = {key}")
+                model[key] = value
+            elif op == "savepoint":
+                db.execute("SAVEPOINT sp")
+                saved_model = dict(model)
+                have_savepoint = True
+            elif op == "rollback_sp" and have_savepoint:
+                db.execute("ROLLBACK TO sp")
+                model = dict(saved_model)
+        db.execute("COMMIT")
+        assert dict(db.query("SELECT k, v FROM m")) == model
+
+    @given(ops=st.lists(op_strategy, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_full_rollback_restores_initial_state(self, ops):
+        db = Database()
+        db.execute("CREATE TABLE m (k INT PRIMARY KEY, v INT)")
+        for key in range(5):
+            db.insert("m", {"k": key, "v": key})
+        before = db.query("SELECT k, v FROM m ORDER BY k")
+        db.execute("BEGIN")
+        model_keys = {k for k in range(5)}
+        for op, key, value in ops:
+            try:
+                if op == "insert" and key not in model_keys:
+                    db.insert("m", {"k": key, "v": value})
+                    model_keys.add(key)
+                elif op == "delete" and key in model_keys:
+                    db.delete("m", f"k = {key}")
+                    model_keys.discard(key)
+                elif op == "update" and key in model_keys:
+                    db.update("m", {"v": value}, f"k = {key}")
+            except Exception:
+                pass
+        db.execute("ROLLBACK")
+        assert db.query("SELECT k, v FROM m ORDER BY k") == before
+
+
+class TestPersistencePropertyLite:
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(0, 1000), st.text(max_size=20)),
+            max_size=30,
+            unique_by=lambda t: t[0],
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_crash_recovery_preserves_rows(self, rows, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("pdb"))
+        db = Database(path=path, fsync=False)
+        db.execute("CREATE TABLE r (k INT PRIMARY KEY, s TEXT)")
+        for key, text in rows:
+            db.insert("r", {"k": key, "s": text})
+        # Crash (no close); reopen and compare.
+        db2 = Database(path=path, fsync=False)
+        assert sorted(db2.query("SELECT k, s FROM r")) == sorted(rows)
+        db2.close()

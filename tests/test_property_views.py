@@ -1,0 +1,94 @@
+"""Property-based tests of the view-update translation invariants.
+
+The core correctness claim of forms-over-views: DML through a view is
+indistinguishable from the equivalent DML on the base table, restricted to
+the view's row and column window.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CheckOptionError
+from repro.relational.database import Database
+
+COLUMNS = ["id", "grp", "val"]
+
+
+def _build(rows):
+    db = Database()
+    db.execute("CREATE TABLE base (id INT PRIMARY KEY, grp INT, val INT)")
+    db.bulk_insert(
+        "base",
+        [{"id": i, "grp": grp, "val": val} for i, (grp, val) in enumerate(rows)],
+    )
+    db.execute(
+        "CREATE VIEW v AS SELECT id, val FROM base WHERE grp = 1"
+    )
+    return db
+
+
+row_values = st.tuples(
+    st.one_of(st.none(), st.integers(0, 3)),  # grp
+    st.integers(-100, 100),  # val
+)
+
+
+class TestViewUpdateEquivalence:
+    @given(rows=st.lists(row_values, max_size=25), new_val=st.integers(-100, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_update_through_view_equals_predicated_update(self, rows, new_val):
+        db_view = _build(rows)
+        db_direct = _build(rows)
+        count_view = db_view.update("v", {"val": new_val})
+        count_direct = db_direct.update("base", {"val": new_val}, "grp = 1")
+        assert count_view == count_direct
+        assert db_view.query("SELECT * FROM base ORDER BY id") == db_direct.query(
+            "SELECT * FROM base ORDER BY id"
+        )
+
+    @given(rows=st.lists(row_values, max_size=25))
+    @settings(max_examples=60, deadline=None)
+    def test_delete_through_view_equals_predicated_delete(self, rows):
+        db_view = _build(rows)
+        db_direct = _build(rows)
+        assert db_view.delete("v") == db_direct.delete("base", "grp = 1")
+        assert db_view.query("SELECT * FROM base ORDER BY id") == db_direct.query(
+            "SELECT * FROM base ORDER BY id"
+        )
+
+    @given(rows=st.lists(row_values, max_size=25), val=st.integers(-100, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_insert_through_view_lands_inside_view(self, rows, val):
+        db = _build(rows)
+        new_id = 10_000
+        db.insert("v", {"id": new_id, "val": val})
+        # The predicate default filled grp = 1, so the view shows the row.
+        assert (new_id, val) in db.query("SELECT id, val FROM v")
+        assert db.query(f"SELECT grp FROM base WHERE id = {new_id}") == [(1,)]
+
+    @given(rows=st.lists(row_values, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_view_rowset_equals_predicated_select(self, rows):
+        db = _build(rows)
+        through_view = db.query("SELECT id, val FROM v ORDER BY id")
+        direct = db.query("SELECT id, val FROM base WHERE grp = 1 ORDER BY id")
+        assert through_view == direct
+
+    @given(rows=st.lists(row_values, max_size=20), escape_grp=st.integers(2, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_check_option_always_blocks_escape(self, rows, escape_grp):
+        db = _build(rows)
+        db.execute(
+            "CREATE VIEW vc AS SELECT id, grp FROM base WHERE grp = 1 "
+            "WITH CHECK OPTION"
+        )
+        visible = db.query("SELECT id FROM vc")
+        if not visible:
+            return
+        with pytest.raises(CheckOptionError):
+            db.update("vc", {"grp": escape_grp}, f"id = {visible[0][0]}")
+        # Nothing escaped: the view population is unchanged.
+        assert db.query("SELECT id FROM vc") == visible

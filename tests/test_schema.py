@@ -1,0 +1,134 @@
+"""Unit tests for TableSchema: construction, constraints, row handling."""
+
+import pytest
+
+from repro.errors import ConstraintError, SchemaError
+from repro.relational.schema import Column, ForeignKey, TableSchema
+from repro.relational.types import ColumnType
+
+
+def make_schema(**kwargs):
+    return TableSchema(
+        "people",
+        [
+            Column("id", ColumnType.INT),
+            Column("name", ColumnType.TEXT, nullable=False),
+            Column("age", ColumnType.INT, default=0),
+        ],
+        **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        schema = make_schema()
+        assert schema.name == "people"
+        assert schema.arity == 3
+        assert schema.column_names == ("id", "name", "age")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", ColumnType.INT), Column("A", ColumnType.INT)])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_bad_identifier_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("1t", [Column("a", ColumnType.INT)])
+        with pytest.raises(SchemaError):
+            Column("bad name", ColumnType.INT)
+
+    def test_names_normalised_to_lowercase(self):
+        schema = TableSchema("T1", [Column("Col", ColumnType.INT)])
+        assert schema.name == "t1"
+        assert schema.columns[0].name == "col"
+
+    def test_pk_columns_become_not_null(self):
+        schema = make_schema(primary_key=["id"])
+        assert not schema.column("id").nullable
+
+    def test_pk_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema(primary_key=["missing"])
+
+    def test_duplicate_pk_column_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema(primary_key=["id", "id"])
+
+    def test_unique_groups_validated(self):
+        schema = make_schema(unique=[["name", "age"]])
+        assert schema.unique == (("name", "age"),)
+        with pytest.raises(SchemaError):
+            make_schema(unique=[["name", "name"]])
+
+    def test_fk_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey(("a",), "p", ("x", "y"))
+
+    def test_default_is_coerced(self):
+        column = Column("d", ColumnType.DATE, default="2020-01-01")
+        import datetime
+
+        assert column.default == datetime.date(2020, 1, 1)
+
+
+class TestRowHandling:
+    def test_row_from_mapping_applies_defaults(self):
+        schema = make_schema()
+        row = schema.row_from_mapping({"id": 1, "name": "ann"})
+        assert row == (1, "ann", 0)
+
+    def test_row_from_mapping_unknown_key_rejected(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError):
+            schema.row_from_mapping({"id": 1, "name": "x", "oops": 2})
+
+    def test_row_from_mapping_case_insensitive(self):
+        schema = make_schema()
+        assert schema.row_from_mapping({"ID": 5, "NAME": "z"})[0] == 5
+
+    def test_validate_row_not_null(self):
+        schema = make_schema()
+        with pytest.raises(ConstraintError):
+            schema.validate_row((1, None, 3))
+
+    def test_validate_row_wrong_arity(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError):
+            schema.validate_row((1, "x"))
+
+    def test_validate_row_coerces(self):
+        schema = make_schema()
+        row = schema.validate_row((2.0, "y", None))
+        assert row == (2, "y", None)
+        assert isinstance(row[0], int)
+
+    def test_key_of(self):
+        schema = make_schema(primary_key=["id"])
+        assert schema.key_of((7, "n", 1)) == (7,)
+
+    def test_key_of_keyless_is_empty(self):
+        schema = make_schema()
+        assert schema.key_of((7, "n", 1)) == ()
+
+    def test_round_trip_mapping(self):
+        schema = make_schema()
+        row = (1, "ann", 30)
+        assert schema.row_from_mapping(schema.row_to_mapping(row)) == row
+
+    def test_project(self):
+        schema = make_schema()
+        projected = schema.project(["name", "id"])
+        assert projected.column_names == ("name", "id")
+        assert projected.column("name").ctype is ColumnType.TEXT
+
+    def test_column_index_unknown_raises(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError):
+            schema.column_index("ghost")
+
+    def test_equality(self):
+        assert make_schema() == make_schema()
+        assert make_schema() != make_schema(primary_key=["id"])

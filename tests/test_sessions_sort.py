@@ -1,0 +1,99 @@
+"""Tests for F8 sort cycling, the curses key translation, and two apps
+sharing one database (multi-terminal 1983 style)."""
+
+import pytest
+
+from repro.core import WowApp
+from repro.forms import FormController, generate_form
+from repro.windows.curses_driver import translate_key
+from repro.windows.events import Key
+
+
+class TestSortCycling:
+    def test_f8_cycles_columns(self, company):
+        controller = FormController(company, generate_form(company, "emp"))
+        assert controller.spec.order_by == ["id"]
+        controller.cycle_sort()
+        assert controller.spec.order_by == ["name"]
+        assert controller.field_texts["name"] == "ada"  # first alphabetically
+
+    def test_f8_wraps_around(self, company):
+        controller = FormController(company, generate_form(company, "emp"))
+        for _ in range(5):  # id -> name -> dept_id -> salary -> hired -> id
+            controller.cycle_sort()
+        assert controller.spec.order_by == ["id"]
+
+    def test_sort_by_salary_orders_rowset(self, company):
+        controller = FormController(company, generate_form(company, "emp"))
+        for _ in range(3):
+            controller.cycle_sort()
+        assert controller.spec.order_by == ["salary"]
+        salaries = [row[3] for row in controller.rows]
+        assert salaries == sorted(salaries)
+
+    def test_f8_by_key(self, company):
+        app = WowApp(company, width=70, height=18)
+        form = app.open_form("emp")
+        app.send_keys("<F8>")
+        assert "ordered by name" in form.controller.message
+
+
+class TestCursesTranslation:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("KEY_UP", Key.UP),
+            ("KEY_NPAGE", Key.PGDN),
+            ("KEY_F(2)", Key.F2),
+            ("\n", Key.ENTER),
+            ("\t", Key.TAB),
+            ("\x1b", Key.ESC),
+            ("\x7f", Key.BACKSPACE),
+            ("a", "a"),
+            ("Z", "Z"),
+        ],
+    )
+    def test_known_keys(self, name, expected):
+        event = translate_key(name)
+        assert event is not None and event.key == expected
+
+    def test_unknown_ignored(self):
+        assert translate_key("KEY_MOUSE") is None
+        assert translate_key("\x00") is None
+
+
+class TestSharedDatabaseSessions:
+    def test_two_apps_one_world(self, company):
+        """Two terminals, one database: edits in one appear in the other."""
+        clerk_app = WowApp(company, width=60, height=16)
+        boss_app = WowApp(company, width=60, height=16)
+        clerk_form = clerk_app.open_form("emp")
+        boss_form = boss_app.open_form("emp")
+
+        # The clerk gives ada a raise.
+        clerk_app.send_keys("<F2><TAB><TAB><TAB>199<F2>")
+        assert company.execute("SELECT salary FROM emp WHERE id = 10").scalar() == 199.0
+
+        # The boss's window still shows the stale value until requery.
+        assert boss_form.controller.field_texts["salary"] == "100"
+        boss_app.send_keys("<F5>")
+        assert boss_form.controller.field_texts["salary"] == "199"
+
+    def test_sessions_have_independent_meters(self, company):
+        app_a = WowApp(company, width=60, height=16)
+        app_b = WowApp(company, width=60, height=16)
+        app_a.open_form("emp")
+        app_b.open_form("emp")
+        app_a.send_keys("<DOWN><DOWN>")
+        app_b.send_keys("<DOWN>")
+        assert app_a.keys.total == 2
+        assert app_b.keys.total == 1
+
+    def test_delete_in_one_session_counts_in_other(self, company):
+        app_a = WowApp(company, width=60, height=16)
+        app_b = WowApp(company, width=60, height=16)
+        form_b = app_b.open_form("emp")
+        app_a.open_form("emp")
+        app_a.send_keys("<END><F6>")  # delete dan
+        app_b.send_keys("<F5>")
+        assert form_b.controller.record_count == 3

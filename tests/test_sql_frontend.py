@@ -1,0 +1,256 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import LexError, ParseError
+from repro.relational import expr as E
+from repro.sql import ast_nodes as A
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import parse_script, parse_statement
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.kind for t in tokens[:-1]] == ["KEYWORD"] * 3
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_lowercased(self):
+        tokens = tokenize("MyTable")
+        assert tokens[0] == Token("IDENT", "mytable", 0)
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 .5 1e3 2.5E-1")
+        kinds = [t.kind for t in tokens[:-1]]
+        assert kinds == ["INT", "FLOAT", "FLOAT", "FLOAT", "FLOAT"]
+
+    def test_bad_number(self):
+        with pytest.raises(LexError):
+            tokenize("1.2.3")
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'o''brien'")
+        assert tokens[0].kind == "STRING" and tokens[0].value == "o'brien"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_operators_and_synonyms(self):
+        tokens = tokenize("a <> b != c <= d")
+        ops = [t.value for t in tokens if t.kind == "OP"]
+        assert ops == ["!=", "!=", "<="]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- a comment\n 1")
+        assert [t.kind for t in tokens[:-1]] == ["KEYWORD", "INT"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("SELECT @x")
+
+    def test_eof_token_terminates(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+
+class TestSelectParsing:
+    def test_minimal(self):
+        statement = parse_statement("SELECT * FROM t")
+        assert isinstance(statement, A.Select)
+        assert statement.items[0].star
+        assert statement.from_table.name == "t"
+
+    def test_qualified_star(self):
+        statement = parse_statement("SELECT a.*, b.x FROM a, b")
+        assert statement.items[0].star and statement.items[0].qualifier == "a"
+        assert isinstance(statement.items[1].expr, E.ColumnRef)
+
+    def test_aliases(self):
+        statement = parse_statement("SELECT x AS y, z w FROM t AS u")
+        assert statement.items[0].alias == "y"
+        assert statement.items[1].alias == "w"
+        assert statement.from_table.alias == "u"
+
+    def test_joins(self):
+        statement = parse_statement(
+            "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y CROSS JOIN d, e"
+        )
+        kinds = [j.kind for j in statement.joins]
+        assert kinds == ["inner", "left", "cross", "cross"]
+        assert statement.joins[0].condition is not None
+        assert statement.joins[2].condition is None
+
+    def test_inner_join_keyword(self):
+        statement = parse_statement("SELECT * FROM a INNER JOIN b ON a.x = b.x")
+        assert statement.joins[0].kind == "inner"
+
+    def test_group_having_order_limit(self):
+        statement = parse_statement(
+            "SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept "
+            "HAVING COUNT(*) > 2 ORDER BY n DESC, dept LIMIT 5 OFFSET 2"
+        )
+        assert len(statement.group_by) == 1
+        assert statement.having is not None
+        assert statement.order_by[0].ascending is False
+        assert statement.order_by[1].ascending is True
+        assert statement.limit == 5 and statement.offset == 2
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+    def test_aggregates(self):
+        statement = parse_statement(
+            "SELECT COUNT(*), SUM(x), AVG(x), MIN(x), MAX(x), COUNT(DISTINCT x) FROM t"
+        )
+        calls = [item.expr for item in statement.items]
+        assert all(isinstance(c, A.AggCall) for c in calls)
+        assert calls[0].arg is None
+        assert calls[5].distinct
+
+    def test_aggregate_not_allowed_in_where(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT a FROM t WHERE COUNT(*) > 1")
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT SUM(*) FROM t")
+
+    def test_expression_precedence(self):
+        statement = parse_statement("SELECT * FROM t WHERE a + b * 2 = c OR NOT d > 1 AND e < 2")
+        # OR is the root.
+        assert isinstance(statement.where, E.BinOp) and statement.where.op == "or"
+
+    def test_between_desugars(self):
+        statement = parse_statement("SELECT * FROM t WHERE a BETWEEN 1 AND 5")
+        where = statement.where
+        assert isinstance(where, E.BinOp) and where.op == "and"
+        assert where.left.op == ">=" and where.right.op == "<="
+
+    def test_not_between(self):
+        statement = parse_statement("SELECT * FROM t WHERE a NOT BETWEEN 1 AND 5")
+        assert isinstance(statement.where, E.UnaryOp)
+
+    def test_predicates(self):
+        statement = parse_statement(
+            "SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL "
+            "AND c LIKE 'x%' AND d NOT LIKE 'y%' AND e IN (1, 2) AND f NOT IN (3)"
+        )
+        conjuncts = E.split_conjuncts(statement.where)
+        assert len(conjuncts) == 6
+
+    def test_like_requires_string(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT * FROM t WHERE a LIKE 5")
+
+    def test_limit_requires_int(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT * FROM t LIMIT 'x'")
+
+    def test_scalar_functions(self):
+        statement = parse_statement("SELECT LOWER(name), COALESCE(a, 0) FROM t")
+        assert isinstance(statement.items[0].expr, E.FuncCall)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT md5(x) FROM t")
+
+
+class TestDmlParsing:
+    def test_insert_positional(self):
+        statement = parse_statement("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(statement, A.Insert)
+        assert statement.columns is None
+        assert len(statement.rows) == 2
+
+    def test_insert_with_columns(self):
+        statement = parse_statement("INSERT INTO t (a, b) VALUES (1, NULL)")
+        assert statement.columns == ["a", "b"]
+        assert statement.rows[0][1].value is None
+
+    def test_update(self):
+        statement = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE c = 'x'")
+        assert isinstance(statement, A.Update)
+        assert statement.assignments[0][0] == "a"
+        assert isinstance(statement.assignments[1][1], E.BinOp)
+        assert statement.where is not None
+
+    def test_delete(self):
+        statement = parse_statement("DELETE FROM t WHERE a < 0")
+        assert isinstance(statement, A.Delete)
+
+    def test_delete_all(self):
+        assert parse_statement("DELETE FROM t").where is None
+
+
+class TestDdlParsing:
+    def test_create_table_full(self):
+        statement = parse_statement(
+            "CREATE TABLE emp (id INT PRIMARY KEY, name TEXT NOT NULL, "
+            "nick TEXT UNIQUE, dept INT DEFAULT 1, "
+            "FOREIGN KEY (dept) REFERENCES dept (id), UNIQUE (name, dept))"
+        )
+        assert isinstance(statement, A.CreateTable)
+        assert statement.primary_key == ["id"]
+        assert ["nick"] in statement.unique and ["name", "dept"] in statement.unique
+        assert statement.foreign_keys[0].parent_table == "dept"
+        assert statement.columns[3].default == 1
+
+    def test_create_table_table_level_pk(self):
+        statement = parse_statement("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))")
+        assert statement.primary_key == ["a", "b"]
+
+    def test_double_pk_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("CREATE TABLE t (a INT PRIMARY KEY, b INT PRIMARY KEY)")
+        with pytest.raises(ParseError):
+            parse_statement("CREATE TABLE t (a INT PRIMARY KEY, PRIMARY KEY (a))")
+
+    def test_if_not_exists(self):
+        assert parse_statement("CREATE TABLE IF NOT EXISTS t (a INT)").if_not_exists
+
+    def test_create_index(self):
+        statement = parse_statement("CREATE UNIQUE INDEX ix ON t (a, b) USING HASH")
+        assert statement.unique and statement.kind == "hash"
+        statement = parse_statement("CREATE INDEX ix2 ON t (a)")
+        assert statement.kind == "btree" and not statement.unique
+
+    def test_create_view(self):
+        statement = parse_statement(
+            "CREATE VIEW v (x, y) AS SELECT a, b FROM t WHERE a > 0 WITH CHECK OPTION"
+        )
+        assert isinstance(statement, A.CreateView)
+        assert statement.column_names == ["x", "y"]
+        assert statement.check_option
+
+    def test_drops(self):
+        assert isinstance(parse_statement("DROP TABLE t"), A.DropTable)
+        assert parse_statement("DROP TABLE IF EXISTS t").if_exists
+        assert isinstance(parse_statement("DROP VIEW v"), A.DropView)
+        statement = parse_statement("DROP INDEX ix ON t")
+        assert statement.name == "ix" and statement.table == "t"
+
+    def test_txn_statements(self):
+        assert isinstance(parse_statement("BEGIN"), A.Begin)
+        assert isinstance(parse_statement("COMMIT"), A.Commit)
+        assert isinstance(parse_statement("ROLLBACK"), A.Rollback)
+
+    def test_explain(self):
+        statement = parse_statement("EXPLAIN SELECT * FROM t")
+        assert isinstance(statement, A.Explain)
+
+
+class TestScripts:
+    def test_multi_statement_script(self):
+        statements = parse_script("SELECT 1 FROM a; SELECT 2 FROM b;")
+        assert len(statements) == 2
+
+    def test_single_statement_enforced(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT 1 FROM a; SELECT 2 FROM b")
+
+    def test_trailing_semicolon_ok(self):
+        assert isinstance(parse_statement("SELECT * FROM t;"), A.Select)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("FROB THE KNOB")

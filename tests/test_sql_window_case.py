@@ -1,0 +1,141 @@
+"""Tests for the SQL monitor window, CASE expressions, and date functions."""
+
+import pytest
+
+from repro.core import WowApp
+from repro.errors import ParseError
+from repro.windows.geometry import Rect
+
+
+@pytest.fixture
+def app(company):
+    return WowApp(company, width=80, height=20)
+
+
+class TestSqlWindow:
+    def test_execute_select(self, app):
+        app.open_sql_window(Rect(0, 0, 60, 16))
+        app.send_keys("SELECT name FROM dept ORDER BY id<ENTER>")
+        app.expect_on_screen("eng")
+        app.expect_on_screen("(3 rows)")
+
+    def test_execute_dml_reports_rowcount(self, app, company):
+        app.open_sql_window(Rect(0, 0, 60, 16))
+        app.send_keys("DELETE FROM emp WHERE id = 13<ENTER>")
+        app.expect_on_screen("1 row(s) affected")
+        assert company.execute("SELECT COUNT(*) FROM emp").scalar() == 3
+
+    def test_error_shown_not_raised(self, app):
+        app.open_sql_window(Rect(0, 0, 60, 16))
+        app.send_keys("SELECT * FROM ghosts<ENTER>")
+        app.expect_on_screen("CatalogError")
+
+    def test_history_recall(self, app):
+        window = app.open_sql_window(Rect(0, 0, 60, 16))
+        app.send_keys("SELECT 1<ENTER>")
+        app.send_keys("SELECT 2<ENTER>")
+        app.send_keys("<UP>")
+        assert window.input.text == "SELECT 2"
+        app.send_keys("<UP>")
+        assert window.input.text == "SELECT 1"
+        app.send_keys("<DOWN><DOWN>")
+        assert window.input.text == ""
+
+    def test_scrolling(self, app, company):
+        window = app.open_sql_window(Rect(0, 0, 60, 10))
+        for _ in range(4):
+            app.send_keys("SELECT * FROM emp<ENTER>")
+        bottom_scroll = window.output.scroll
+        assert bottom_scroll > 0
+        app.send_keys("<PGUP>")
+        assert window.output.scroll < bottom_scroll
+        app.send_keys("<PGDN>")
+        assert window.output.scroll == bottom_scroll
+
+    def test_keystrokes_metered(self, app):
+        window = app.open_sql_window(Rect(0, 0, 60, 16))
+        app.send_keys("SELECT 1<ENTER>")
+        assert window.cli.keys.total == len("SELECT 1") + 1
+
+    def test_coexists_with_forms(self, app, company):
+        form = app.open_form("emp", x=62, y=0)
+        app.open_sql_window(Rect(0, 0, 60, 16))
+        app.send_keys("UPDATE emp SET name = 'zzz' WHERE id = 10<ENTER>")
+        app.send_keys("<F1>")  # cycle to the form window
+        while app.active_window is not form:
+            app.send_keys("<F1>")
+        app.send_keys("<F5>")
+        assert form.controller.field_texts["name"] == "zzz"
+
+
+class TestCaseExpression:
+    def test_searched_case(self, company):
+        rows = company.query(
+            "SELECT name, CASE WHEN salary >= 100 THEN 'high' "
+            "WHEN salary >= 80 THEN 'mid' ELSE 'low' END AS band "
+            "FROM emp ORDER BY id"
+        )
+        assert rows == [
+            ("ada", "high"),
+            ("bob", "mid"),
+            ("cyd", "high"),
+            ("dan", "low"),
+        ]
+
+    def test_simple_case(self, company):
+        rows = company.query(
+            "SELECT CASE dept_id WHEN 1 THEN 'eng' WHEN 2 THEN 'sales' "
+            "ELSE 'other' END FROM emp ORDER BY id"
+        )
+        assert rows == [("eng",), ("sales",), ("eng",), ("other",)]
+
+    def test_case_without_else_yields_null(self, company):
+        rows = company.query(
+            "SELECT CASE WHEN salary > 1000 THEN 'rich' END FROM emp WHERE id = 10"
+        )
+        assert rows == [(None,)]
+
+    def test_case_null_condition_is_not_true(self, company):
+        # dan's dept_id is NULL: NULL = 1 is unknown -> falls to ELSE.
+        rows = company.query(
+            "SELECT CASE WHEN dept_id = 1 THEN 'one' ELSE 'not-one' END "
+            "FROM emp WHERE id = 13"
+        )
+        assert rows == [("not-one",)]
+
+    def test_case_in_where(self, company):
+        rows = company.query(
+            "SELECT id FROM emp WHERE CASE WHEN dept_id IS NULL THEN TRUE "
+            "ELSE FALSE END"
+        )
+        assert rows == [(13,)]
+
+    def test_case_requires_when(self, company):
+        with pytest.raises(ParseError):
+            company.query("SELECT CASE ELSE 1 END FROM emp")
+
+    def test_case_in_aggregate(self, company):
+        # Pivot-style counting.
+        rows = company.query(
+            "SELECT SUM(CASE WHEN dept_id = 1 THEN 1 ELSE 0 END) AS eng_count "
+            "FROM emp"
+        )
+        assert rows == [(2,)]
+
+
+class TestDateFunctions:
+    def test_year_month_day(self, company):
+        rows = company.query(
+            "SELECT YEAR(hired), MONTH(hired), DAY(hired) FROM emp WHERE id = 10"
+        )
+        assert rows == [(2020, 1, 2)]
+
+    def test_null_dates(self, company):
+        assert company.query("SELECT YEAR(hired) FROM emp WHERE id = 12") == [(None,)]
+
+    def test_group_by_year(self, company):
+        rows = company.query(
+            "SELECT YEAR(hired) AS y, COUNT(*) AS n FROM emp "
+            "WHERE hired IS NOT NULL GROUP BY YEAR(hired) ORDER BY y"
+        )
+        assert rows == [(2019, 1), (2020, 1), (2021, 1)]

@@ -1,0 +1,295 @@
+"""Tests for the storage stack: row codec, pagers, slotted-page heap."""
+
+import datetime
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.relational.heap import MAX_RECORD_SIZE, HeapFile, RowId
+from repro.relational.pager import PAGE_SIZE, FilePager, MemoryPager
+from repro.relational.rowcodec import decode_row, encode_row, read_varint, write_varint
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import ColumnType
+
+SCHEMA = TableSchema(
+    "t",
+    [
+        Column("i", ColumnType.INT),
+        Column("f", ColumnType.FLOAT),
+        Column("s", ColumnType.TEXT),
+        Column("b", ColumnType.BOOL),
+        Column("d", ColumnType.DATE),
+    ],
+)
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**60])
+    def test_roundtrip(self, value):
+        buf = bytearray()
+        write_varint(buf, value)
+        decoded, pos = read_varint(bytes(buf), 0)
+        assert decoded == value and pos == len(buf)
+
+    def test_negative_rejected(self):
+        with pytest.raises(StorageError):
+            write_varint(bytearray(), -1)
+
+    def test_truncated_raises(self):
+        buf = bytearray()
+        write_varint(buf, 300)
+        with pytest.raises(StorageError):
+            read_varint(bytes(buf[:-1]) + b"\x80", 1)
+
+
+class TestRowCodec:
+    def test_roundtrip_all_types(self):
+        row = (42, 3.5, "héllo", True, datetime.date(1983, 5, 23))
+        assert decode_row(SCHEMA, encode_row(SCHEMA, row)) == row
+
+    def test_roundtrip_all_nulls(self):
+        row = (None,) * 5
+        assert decode_row(SCHEMA, encode_row(SCHEMA, row)) == row
+
+    def test_negative_int(self):
+        row = (-12345, None, None, None, None)
+        assert decode_row(SCHEMA, encode_row(SCHEMA, row)) == row
+
+    def test_empty_string(self):
+        row = (None, None, "", False, None)
+        assert decode_row(SCHEMA, encode_row(SCHEMA, row)) == row
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(StorageError):
+            encode_row(SCHEMA, (1, 2.0))
+
+    def test_trailing_garbage_raises(self):
+        data = encode_row(SCHEMA, (1, 1.0, "x", True, None))
+        with pytest.raises(StorageError):
+            decode_row(SCHEMA, data + b"\x00")
+
+    def test_truncation_raises(self):
+        data = encode_row(SCHEMA, (1, 1.0, "xyz", True, None))
+        with pytest.raises(StorageError):
+            decode_row(SCHEMA, data[:-2])
+
+    @given(
+        st.tuples(
+            st.one_of(st.none(), st.integers(min_value=-2**62, max_value=2**62)),
+            st.one_of(st.none(), st.floats(allow_nan=False, allow_infinity=False)),
+            st.one_of(st.none(), st.text(max_size=200)),
+            st.one_of(st.none(), st.booleans()),
+            st.one_of(
+                st.none(),
+                st.dates(
+                    min_value=datetime.date(1, 1, 1),
+                    max_value=datetime.date(9999, 12, 31),
+                ),
+            ),
+        )
+    )
+    @settings(max_examples=200)
+    def test_roundtrip_property(self, row):
+        assert decode_row(SCHEMA, encode_row(SCHEMA, row)) == row
+
+
+class TestMemoryPager:
+    def test_allocate_and_read(self):
+        pager = MemoryPager()
+        n = pager.allocate_page()
+        assert n == 0
+        page = pager.read_page(0)
+        assert len(page) == PAGE_SIZE
+        page[0] = 0xAB
+        assert pager.read_page(0)[0] == 0xAB  # same object
+
+    def test_missing_page_raises(self):
+        with pytest.raises(StorageError):
+            MemoryPager().read_page(0)
+
+
+class TestFilePager:
+    def test_persistence_roundtrip(self, tmp_path):
+        path = str(tmp_path / "data.pg")
+        pager = FilePager(path)
+        n = pager.allocate_page()
+        page = pager.read_page(n)
+        page[:4] = b"WOW!"
+        pager.mark_dirty(n)
+        pager.close()
+        reopened = FilePager(path)
+        assert bytes(reopened.read_page(n)[:4]) == b"WOW!"
+        reopened.close()
+
+    def test_torn_file_detected(self, tmp_path):
+        path = str(tmp_path / "torn.pg")
+        with open(path, "wb") as fh:
+            fh.write(b"\0" * (PAGE_SIZE + 10))
+        with pytest.raises(StorageError):
+            FilePager(path)
+
+    def test_no_steal_eviction(self, tmp_path):
+        """Dirty pages are never written back by eviction pressure."""
+        path = str(tmp_path / "dirty.pg")
+        pager = FilePager(path, pool_size=2)
+        pages = [pager.allocate_page() for _ in range(4)]
+        for n in pages:
+            page = pager.read_page(n)
+            page[0] = n + 1
+            pager.mark_dirty(n)
+        # File on disk must still be empty: nothing flushed yet.
+        assert os.path.getsize(path) == 0 or all(
+            b == 0 for b in open(path, "rb").read()
+        )
+        pager.flush()
+        with open(path, "rb") as fh:
+            data = fh.read()
+        assert data[0] == 1 and data[PAGE_SIZE] == 2
+        pager.close()
+
+    def test_mark_dirty_nonresident_raises(self, tmp_path):
+        pager = FilePager(str(tmp_path / "x.pg"))
+        with pytest.raises(StorageError):
+            pager.mark_dirty(0)
+        pager.close()
+
+    def test_closed_pager_raises(self, tmp_path):
+        pager = FilePager(str(tmp_path / "y.pg"))
+        pager.close()
+        with pytest.raises(StorageError):
+            pager.allocate_page()
+
+    def test_eviction_stats(self, tmp_path):
+        pager = FilePager(str(tmp_path / "z.pg"), pool_size=2)
+        for _ in range(5):
+            pager.allocate_page()
+        pager.flush()
+        for n in range(5):
+            pager.read_page(n)
+        assert pager.stats["evictions"] > 0
+        pager.close()
+
+
+class TestHeapFile:
+    def test_insert_read_delete(self):
+        heap = HeapFile(MemoryPager())
+        rid = heap.insert(b"hello")
+        assert heap.read(rid) == b"hello"
+        heap.delete(rid)
+        with pytest.raises(StorageError):
+            heap.read(rid)
+
+    def test_double_delete_raises(self):
+        heap = HeapFile(MemoryPager())
+        rid = heap.insert(b"x")
+        heap.delete(rid)
+        with pytest.raises(StorageError):
+            heap.delete(rid)
+
+    def test_update_in_place_keeps_rid(self):
+        heap = HeapFile(MemoryPager())
+        rid = heap.insert(b"longish-record")
+        new_rid = heap.update(rid, b"short")
+        assert new_rid == rid
+        assert heap.read(rid) == b"short"
+
+    def test_update_grow_within_page(self):
+        heap = HeapFile(MemoryPager())
+        rid = heap.insert(b"a")
+        new_rid = heap.update(rid, b"b" * 100)
+        assert heap.read(new_rid) == b"b" * 100
+
+    def test_update_relocates_when_page_full(self):
+        heap = HeapFile(MemoryPager())
+        big = b"x" * 1300
+        rids = [heap.insert(big) for _ in range(3)]  # fills most of page 0
+        moved = heap.update(rids[0], b"y" * 3000)
+        assert heap.read(moved) == b"y" * 3000
+        assert moved.page != rids[0].page
+        # Other records untouched.
+        assert heap.read(rids[1]) == big
+
+    def test_slot_reuse_after_delete(self):
+        heap = HeapFile(MemoryPager())
+        rid = heap.insert(b"dead")
+        heap.delete(rid)
+        new_rid = heap.insert(b"live")
+        assert new_rid.page == rid.page and new_rid.slot == rid.slot
+
+    def test_scan_order_and_count(self):
+        heap = HeapFile(MemoryPager())
+        records = [f"record-{i}".encode() for i in range(500)]
+        for record in records:
+            heap.insert(record)
+        scanned = [record for _rid, record in heap.scan()]
+        assert scanned == records
+        assert heap.count() == 500
+
+    def test_count_tracks_mutations(self):
+        heap = HeapFile(MemoryPager())
+        rids = [heap.insert(b"r%d" % i) for i in range(10)]
+        assert heap.count() == 10
+        heap.delete(rids[0])
+        assert heap.count() == 9
+        heap.insert(b"new")
+        assert heap.count() == 10
+
+    def test_oversize_record_rejected(self):
+        heap = HeapFile(MemoryPager())
+        with pytest.raises(StorageError):
+            heap.insert(b"x" * (MAX_RECORD_SIZE + 1))
+        rid = heap.insert(b"ok")
+        with pytest.raises(StorageError):
+            heap.update(rid, b"x" * (MAX_RECORD_SIZE + 1))
+
+    def test_max_size_record_fits(self):
+        heap = HeapFile(MemoryPager())
+        rid = heap.insert(b"m" * MAX_RECORD_SIZE)
+        assert len(heap.read(rid)) == MAX_RECORD_SIZE
+
+    def test_compaction_reclaims_fragmentation(self):
+        heap = HeapFile(MemoryPager())
+        rids = [heap.insert(b"z" * 400) for _ in range(9)]  # page nearly full
+        for rid in rids[::2]:
+            heap.delete(rid)
+        # This record only fits page 0 after compaction of the holes.
+        big = heap.insert(b"w" * 1500)
+        assert big.page == 0
+
+    def test_persistent_heap_roundtrip(self, tmp_path):
+        path = str(tmp_path / "h.heap")
+        pager = FilePager(path)
+        heap = HeapFile(pager)
+        rids = [heap.insert(f"row{i}".encode()) for i in range(100)]
+        heap.delete(rids[50])
+        pager.flush()
+        pager.close()
+        reopened = HeapFile(FilePager(path))
+        assert reopened.count() == 99
+        assert reopened.read(rids[0]) == b"row0"
+
+    @given(st.lists(st.binary(min_size=0, max_size=600), min_size=1, max_size=120))
+    @settings(max_examples=50, deadline=None)
+    def test_heap_matches_dict_model(self, records):
+        """Heap behaves like a dict rid->record under inserts/updates/deletes."""
+        heap = HeapFile(MemoryPager())
+        model = {}
+        for i, record in enumerate(records):
+            action = i % 3
+            if action == 0 or not model:
+                rid = heap.insert(record)
+                assert rid not in model
+                model[rid] = record
+            elif action == 1:
+                victim = next(iter(model))
+                heap.delete(victim)
+                del model[victim]
+            else:
+                victim = next(iter(model))
+                new_rid = heap.update(victim, record)
+                del model[victim]
+                model[new_rid] = record
+        assert dict(heap.scan()) == model

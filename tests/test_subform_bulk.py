@@ -1,0 +1,136 @@
+"""Tests for subform windows, bulk_insert, and example smoke runs."""
+
+import pytest
+
+from repro.core import WowApp
+from repro.errors import ConstraintError
+from repro.windows.geometry import Rect
+
+
+@pytest.fixture
+def app(company):
+    return WowApp(company, width=80, height=22)
+
+
+@pytest.fixture
+def subform(app, company):
+    window = app.open_subform(
+        "dept", "emp", on=[("id", "dept_id")], rect=Rect(0, 0, 70, 18)
+    )
+    return window, app
+
+
+class TestSubform:
+    def test_detail_follows_master(self, subform, company):
+        window, app = subform
+        assert [row[0] for row in window.detail_rows] == [10, 12]  # eng employees
+        app.send_keys("<DOWN>")  # dept 2 = sales
+        assert [row[0] for row in window.detail_rows] == [11]
+        app.send_keys("<DOWN>")  # dept 3 = hr, nobody
+        assert window.detail_rows == []
+
+    def test_detail_grid_rendered(self, subform, company):
+        window, app = subform
+        app.expect_on_screen("ada")
+        app.expect_on_screen("cyd")
+
+    def test_status_shows_counts(self, subform):
+        window, _app = subform
+        assert "2 detail row(s)" in window.status.message
+
+    def test_master_edit_through_subform(self, subform, company):
+        window, app = subform
+        app.send_keys("<F2><TAB>research<F2>")
+        assert company.query("SELECT name FROM dept WHERE id = 1") == [("research",)]
+
+    def test_master_delete_respects_fk(self, subform, company):
+        window, app = subform
+        app.send_keys("<F6>")  # dept 1 still has employees
+        assert "error" in window.controller.message
+
+    def test_detail_refreshes_after_external_change(self, subform, company):
+        window, app = subform
+        company.execute("UPDATE emp SET dept_id = 2 WHERE id = 12")
+        app.send_keys("<F5>")
+        assert [row[0] for row in window.detail_rows] == [10]
+
+    def test_requires_link(self, app):
+        with pytest.raises(ValueError):
+            app.open_subform("dept", "emp", on=[], rect=Rect(0, 0, 70, 18))
+
+    def test_tab_reaches_grid_and_scrolls(self, subform, company):
+        window, app = subform
+        # TAB through master fields (id, name) to the grid, then DOWN moves
+        # the grid selection instead of the master record.
+        app.send_keys("<TAB><TAB>")
+        assert window.focused_widget is window.grid
+        before = window.controller.position
+        app.send_keys("<DOWN>")
+        assert window.controller.position == before
+        assert window.grid.selected == 1
+
+
+class TestBulkInsert:
+    def test_bulk_insert_counts(self, db):
+        db.execute("CREATE TABLE t (a INT PRIMARY KEY)")
+        assert db.bulk_insert("t", [{"a": i} for i in range(100)]) == 100
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 100
+
+    def test_bulk_insert_atomic(self, db):
+        db.execute("CREATE TABLE t (a INT PRIMARY KEY)")
+        with pytest.raises(ConstraintError):
+            db.bulk_insert("t", [{"a": 1}, {"a": 2}, {"a": 1}])
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_bulk_insert_single_wal_commit(self, tmp_path):
+        from repro.relational.database import Database
+
+        db = Database(path=str(tmp_path / "db"), fsync=False)
+        db.execute("CREATE TABLE t (a INT PRIMARY KEY)")
+        db.bulk_insert("t", [{"a": i} for i in range(50)])
+        assert db.wal.stats["commits"] == 1
+        assert db.wal.stats["ops"] == 50
+        db.close()
+
+    def test_bulk_insert_through_view(self, company):
+        company.bulk_insert(
+            "eng_emps",
+            [{"id": 70 + i, "name": f"bulk{i}", "salary": 1.0} for i in range(3)],
+        )
+        assert (
+            company.execute(
+                "SELECT COUNT(*) FROM emp WHERE dept_id = 1"
+            ).scalar()
+            == 5
+        )
+
+
+class TestExampleSmoke:
+    """Each example's main() must run cleanly end to end."""
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "quickstart",
+            "registrar",
+            "supplier_parts",
+            "library_qbf",
+            "protection_console",
+            "order_entry",
+        ],
+    )
+    def test_example_runs(self, module_name, capsys):
+        import importlib.util
+        import os
+        import sys
+
+        examples_dir = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+        )
+        path = os.path.join(examples_dir, f"{module_name}.py")
+        spec = importlib.util.spec_from_file_location(f"example_{module_name}", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main()
+        out = capsys.readouterr().out
+        assert len(out) > 100  # examples narrate what they do

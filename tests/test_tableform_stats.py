@@ -1,0 +1,174 @@
+"""Tests for the tabular (datasheet) form, F10 window mode, and ANALYZE."""
+
+import pytest
+
+from repro.core import WowApp
+from repro.relational.database import Database
+from repro.relational.stats import analyze_table
+from repro.windows.geometry import Rect
+
+
+@pytest.fixture
+def app(company):
+    return WowApp(company, width=70, height=18)
+
+
+@pytest.fixture
+def table_form(app):
+    return app.open_table_form("emp", Rect(0, 0, 65, 12)), app
+
+
+class TestTableForm:
+    def test_shows_all_rows(self, table_form):
+        form, app = table_form
+        assert len(form.rows) == 4
+        app.expect_on_screen("ada")
+        app.expect_on_screen("dan")
+
+    def test_cursor_navigation(self, table_form):
+        form, app = table_form
+        app.send_keys("<DOWN><RIGHT>")
+        assert form.cursor_row == 1 and form.cursor_col == 1
+        app.send_keys("<END>")
+        assert form.cursor_row == 3
+        app.send_keys("<HOME><LEFT>")
+        assert form.cursor_row == 0 and form.cursor_col == 0
+
+    def test_cell_edit_writes_through(self, table_form, company):
+        form, app = table_form
+        app.send_keys("<RIGHT>zoe<ENTER>")  # name of ada -> zoe
+        assert company.query("SELECT name FROM emp WHERE id = 10") == [("zoe",)]
+        assert "updated" in form.message
+
+    def test_cell_edit_escape_cancels(self, table_form, company):
+        form, app = table_form
+        app.send_keys("<RIGHT>zzz<ESC>")
+        assert company.query("SELECT name FROM emp WHERE id = 10") == [("ada",)]
+
+    def test_cell_edit_bad_value_reports(self, table_form, company):
+        form, app = table_form
+        app.send_keys("<TAB><TAB><TAB>oops<ENTER>")  # salary = 'oops'
+        assert "error" in form.message
+        assert company.query("SELECT salary FROM emp WHERE id = 10") == [(100.0,)]
+
+    def test_insert_flow(self, table_form, company):
+        form, app = table_form
+        app.send_keys("<F3>55<ENTER><RIGHT>new<ENTER><F2>")
+        assert company.execute("SELECT COUNT(*) FROM emp").scalar() == 5
+        assert company.query("SELECT name FROM emp WHERE id = 55") == [("new",)]
+
+    def test_insert_abandon(self, table_form, company):
+        form, app = table_form
+        app.send_keys("<F3>55<ENTER><ESC>")
+        assert form.pending_insert is None
+        assert company.execute("SELECT COUNT(*) FROM emp").scalar() == 4
+
+    def test_insert_constraint_error(self, table_form, company):
+        form, app = table_form
+        app.send_keys("<F3>10<ENTER><RIGHT>dup<ENTER><F2>")  # duplicate PK
+        assert "error" in form.message
+        assert company.execute("SELECT COUNT(*) FROM emp").scalar() == 4
+
+    def test_delete_row(self, table_form, company):
+        form, app = table_form
+        app.send_keys("<END><F6>")
+        assert company.execute("SELECT COUNT(*) FROM emp").scalar() == 3
+
+    def test_delete_respects_fk(self, app, company):
+        form = app.open_table_form("dept", Rect(0, 0, 50, 10))
+        app.send_keys("<F6>")  # dept 1 has employees
+        assert "error" in form.message
+
+    def test_works_on_view(self, app, company):
+        form = app.open_table_form("eng_emps", Rect(0, 0, 60, 10))
+        assert len(form.rows) == 2
+        app.send_keys("<TAB><TAB>77<ENTER>")  # salary of ada through the view
+        assert company.query("SELECT salary FROM emp WHERE id = 10") == [(77.0,)]
+
+    def test_f5_refresh(self, table_form, company):
+        form, app = table_form
+        company.execute("DELETE FROM emp WHERE id = 13")
+        app.send_keys("<F5>")
+        assert len(form.rows) == 3
+
+
+class TestWindowCommandMode:
+    def test_move_window(self, app):
+        form = app.open_form("emp", x=5, y=2)
+        app.send_keys("<F10><RIGHT><RIGHT><DOWN><ENTER>")
+        assert form.rect.x == 7 and form.rect.y == 3
+
+    def test_resize_window(self, app):
+        form = app.open_form("emp", x=0, y=0)
+        original = form.rect
+        app.send_keys("<F10>+.<ENTER>")
+        assert form.rect.width == original.width + 2
+        assert form.rect.height == original.height + 1
+
+    def test_too_small_resize_ignored(self, app):
+        form = app.open_form("emp", x=0, y=0)
+        app.send_keys("<F10>" + "," * 30 + "<ENTER>")
+        assert form.rect.height >= 3
+
+    def test_keys_do_not_reach_form_in_wm_mode(self, app):
+        form = app.open_form("emp", x=0, y=0)
+        app.send_keys("<F10><DOWN><DOWN><ESC>")
+        assert form.controller.position == 0  # DOWNs moved the window instead
+
+    def test_tile_key(self, app):
+        a = app.open_form("emp", x=0, y=0)
+        b = app.open_form("dept", x=5, y=5)
+        app.send_keys("<F10>t<ENTER>")
+        assert a.rect.x == 0 and b.rect.x == app.wm.renderer.width // 2
+
+
+class TestAnalyze:
+    def test_analyze_table_stats(self, company):
+        stats = analyze_table(company.catalog.table("emp"))
+        assert stats.row_count == 4
+        assert stats.columns["dept_id"].null_count == 1
+        assert stats.columns["dept_id"].n_distinct == 2
+        assert stats.columns["salary"].min_value == 75.0
+        assert stats.columns["salary"].max_value == 120.0
+
+    def test_analyze_statement(self, company):
+        result = company.execute("ANALYZE")
+        assert result.rowcount == 2  # dept, emp
+        assert "emp" in company.planner.stats
+        assert company.planner.stats["emp"].row_count == 4
+
+    def test_analyze_single_table(self, company):
+        company.execute("ANALYZE dept")
+        assert list(company.planner.stats) == ["dept"]
+
+    def test_selectivity_estimates(self, company):
+        from repro.relational import expr as E
+
+        company.execute("ANALYZE emp")
+        stats = company.planner.stats["emp"]
+        eq = E.BinOp("=", E.ColumnRef("dept_id"), E.Literal(1))
+        assert stats.selectivity(eq) == pytest.approx(0.5)  # 2 distinct values
+        rng = E.BinOp(">", E.ColumnRef("salary"), E.Literal(100.0))
+        assert stats.selectivity(rng) == pytest.approx(1 / 3)
+        isnull = E.IsNull(E.ColumnRef("dept_id"))
+        assert stats.selectivity(isnull) == pytest.approx(0.25)
+
+    def test_estimate_rows_conjunction(self, company):
+        from repro.relational import expr as E
+
+        company.execute("ANALYZE emp")
+        stats = company.planner.stats["emp"]
+        conjuncts = [
+            E.BinOp("=", E.ColumnRef("dept_id"), E.Literal(1)),
+            E.BinOp(">", E.ColumnRef("salary"), E.Literal(100.0)),
+        ]
+        assert stats.estimate_rows(conjuncts) == pytest.approx(4 * 0.5 * (1 / 3))
+
+    def test_stats_guide_join_order(self, company):
+        # Smoke: planner still produces correct results with stats loaded.
+        company.execute("ANALYZE")
+        rows = company.query(
+            "SELECT e.name FROM emp e JOIN dept d ON e.dept_id = d.id "
+            "WHERE d.name = 'eng' ORDER BY e.name"
+        )
+        assert rows == [("ada",), ("cyd",)]

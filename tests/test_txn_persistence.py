@@ -1,0 +1,216 @@
+"""Tests for transactions (undo) and on-disk durability (WAL + recovery)."""
+
+import os
+
+import pytest
+
+from repro.errors import ConstraintError, TransactionError
+from repro.relational.database import Database
+
+
+@pytest.fixture
+def disk_db(tmp_path):
+    db = Database(path=str(tmp_path / "db"), fsync=False)
+    yield db
+    db.close()
+
+
+def setup_t(db):
+    db.execute("CREATE TABLE t (a INT PRIMARY KEY, b TEXT)")
+    db.execute("INSERT INTO t VALUES (1, 'one'), (2, 'two')")
+
+
+class TestTransactions:
+    def test_commit_keeps_changes(self, db):
+        setup_t(db)
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (3, 'three')")
+        db.execute("COMMIT")
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 3
+
+    def test_rollback_insert(self, db):
+        setup_t(db)
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (3, 'three')")
+        db.execute("ROLLBACK")
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+    def test_rollback_delete(self, db):
+        setup_t(db)
+        db.execute("BEGIN")
+        db.execute("DELETE FROM t")
+        db.execute("ROLLBACK")
+        assert db.query("SELECT * FROM t ORDER BY a") == [(1, "one"), (2, "two")]
+
+    def test_rollback_update(self, db):
+        setup_t(db)
+        db.execute("BEGIN")
+        db.execute("UPDATE t SET b = 'ONE' WHERE a = 1")
+        db.execute("ROLLBACK")
+        assert db.query("SELECT b FROM t WHERE a = 1") == [("one",)]
+
+    def test_rollback_mixed_sequence(self, db):
+        setup_t(db)
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (3, 'three')")
+        db.execute("UPDATE t SET b = 'THREE' WHERE a = 3")
+        db.execute("DELETE FROM t WHERE a = 1")
+        db.execute("UPDATE t SET b = 'TWO!' WHERE a = 2")
+        db.execute("ROLLBACK")
+        assert db.query("SELECT * FROM t ORDER BY a") == [(1, "one"), (2, "two")]
+
+    def test_rollback_restores_unique_constraint_state(self, db):
+        setup_t(db)
+        db.execute("BEGIN")
+        db.execute("DELETE FROM t WHERE a = 1")
+        db.execute("ROLLBACK")
+        with pytest.raises(ConstraintError):
+            db.execute("INSERT INTO t VALUES (1, 'again')")
+
+    def test_nested_begin_rejected(self, db):
+        db.execute("BEGIN")
+        with pytest.raises(TransactionError):
+            db.execute("BEGIN")
+
+    def test_commit_without_begin_rejected(self, db):
+        with pytest.raises(TransactionError):
+            db.execute("COMMIT")
+        with pytest.raises(TransactionError):
+            db.execute("ROLLBACK")
+
+    def test_statement_atomicity_inside_txn(self, db):
+        setup_t(db)
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (3, 'three')")
+        with pytest.raises(ConstraintError):
+            db.execute("INSERT INTO t VALUES (4, 'four'), (1, 'dup')")
+        db.execute("COMMIT")
+        # 3 survived; 4 was rolled back with its failed statement.
+        assert db.query("SELECT a FROM t ORDER BY a") == [(1,), (2,), (3,)]
+
+    def test_rollback_of_grown_update(self, db):
+        """Updates that relocate rows between pages still roll back cleanly."""
+        db.execute("CREATE TABLE big (a INT PRIMARY KEY, payload TEXT)")
+        for i in range(8):
+            db.insert("big", {"a": i, "payload": "x" * 400})
+        db.execute("BEGIN")
+        db.update("big", {"payload": "y" * 3000}, "a = 0")
+        db.update("big", {"payload": "z" * 3500}, "a = 1")
+        db.execute("ROLLBACK")
+        rows = db.query("SELECT payload FROM big WHERE a IN (0, 1) ORDER BY a")
+        assert rows == [("x" * 400,), ("x" * 400,)]
+
+    def test_programmatic_dml_joins_open_txn(self, db):
+        setup_t(db)
+        db.execute("BEGIN")
+        db.insert("t", {"a": 9, "b": "nine"})
+        db.execute("ROLLBACK")
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+
+class TestPersistence:
+    def test_clean_close_reopen(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path=path, fsync=False)
+        setup_t(db)
+        db.close()
+        db2 = Database(path=path, fsync=False)
+        assert db2.query("SELECT * FROM t ORDER BY a") == [(1, "one"), (2, "two")]
+        db2.close()
+
+    def test_crash_recovery_replays_wal(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path=path, fsync=False)
+        setup_t(db)
+        db.execute("INSERT INTO t VALUES (3, 'three')")
+        db.execute("UPDATE t SET b = 'TWO' WHERE a = 2")
+        db.execute("DELETE FROM t WHERE a = 1")
+        # Simulate a crash: no close(), no checkpoint.
+        db2 = Database(path=path, fsync=False)
+        assert db2.query("SELECT * FROM t ORDER BY a") == [(2, "TWO"), (3, "three")]
+        db2.close()
+
+    def test_uncommitted_txn_lost_on_crash(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path=path, fsync=False)
+        setup_t(db)
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (99, 'phantom')")
+        # Crash before COMMIT.
+        db2 = Database(path=path, fsync=False)
+        assert db2.execute("SELECT COUNT(*) FROM t").scalar() == 2
+        db2.close()
+
+    def test_checkpoint_truncates_wal(self, disk_db, tmp_path):
+        setup_t(disk_db)
+        wal_path = os.path.join(disk_db.path, "wal.log")
+        assert os.path.getsize(wal_path) > 0
+        disk_db.checkpoint()
+        assert os.path.getsize(wal_path) == 0
+        # Data still there after reopen.
+        disk_db.close()
+        db2 = Database(path=disk_db.path, fsync=False)
+        assert db2.execute("SELECT COUNT(*) FROM t").scalar() == 2
+        db2.close()
+
+    def test_views_and_indexes_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path=path, fsync=False)
+        setup_t(db)
+        db.execute("CREATE INDEX ix_b ON t (b)")
+        db.execute("CREATE VIEW v AS SELECT a FROM t WHERE a > 1")
+        db.close()
+        db2 = Database(path=path, fsync=False)
+        assert db2.query("SELECT * FROM v") == [(2,)]
+        assert "ix_b" in db2.catalog.table("t").indexes
+        plan = db2.execute("EXPLAIN SELECT * FROM t WHERE b = 'one'").plan
+        assert "IndexEqScan" in plan
+        db2.close()
+
+    def test_dates_roundtrip_through_wal(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path=path, fsync=False)
+        db.execute("CREATE TABLE ev (d DATE, note TEXT)")
+        db.execute("INSERT INTO ev VALUES ('1983-05-23', 'sigmod')")
+        db2 = Database(path=path, fsync=False)  # crash-reopen
+        import datetime
+
+        assert db2.query("SELECT d FROM ev") == [(datetime.date(1983, 5, 23),)]
+        db2.close()
+
+    def test_torn_wal_tail_ignored(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path=path, fsync=False)
+        setup_t(db)
+        wal_path = os.path.join(path, "wal.log")
+        with open(wal_path, "ab") as fh:
+            fh.write(b'{"t": "insert", "tab": "t", "row": [5,')  # torn write
+        db2 = Database(path=path, fsync=False)
+        assert db2.execute("SELECT COUNT(*) FROM t").scalar() == 2
+        db2.close()
+
+    def test_drop_table_removes_heap_file(self, disk_db):
+        setup_t(disk_db)
+        heap_path = os.path.join(disk_db.path, "t.heap")
+        assert os.path.exists(heap_path)
+        disk_db.execute("DROP TABLE t")
+        assert not os.path.exists(heap_path)
+
+    def test_large_dataset_roundtrip(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path=path, fsync=False)
+        db.execute("CREATE TABLE n (i INT PRIMARY KEY, txt TEXT)")
+        db.execute("BEGIN")
+        for i in range(2000):
+            db.insert("n", {"i": i, "txt": f"row-{i:05d}"})
+        db.execute("COMMIT")
+        db.close()
+        db2 = Database(path=path, fsync=False)
+        assert db2.execute("SELECT COUNT(*) FROM n").scalar() == 2000
+        assert db2.query("SELECT txt FROM n WHERE i = 1234") == [("row-01234",)]
+        db2.close()
+
+    def test_stats_expose_wal_activity(self, disk_db):
+        setup_t(disk_db)
+        assert disk_db.wal.stats["commits"] == 1  # one INSERT statement
+        assert disk_db.wal.stats["ops"] == 2  # two rows

@@ -1,0 +1,217 @@
+"""Direct unit tests of TransactionManager and WriteAheadLog."""
+
+import os
+
+import pytest
+
+from repro.errors import StorageError, TransactionError
+from repro.relational.heap import HeapFile
+from repro.relational.pager import MemoryPager
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table
+from repro.relational.txn import TransactionManager
+from repro.relational.types import ColumnType
+from repro.relational.wal import WriteAheadLog
+
+
+def make_table():
+    schema = TableSchema(
+        "t",
+        [Column("k", ColumnType.INT), Column("v", ColumnType.TEXT)],
+        primary_key=["k"],
+    )
+    return Table(schema, HeapFile(MemoryPager()))
+
+
+class TestTransactionManagerUnit:
+    def test_active_flag(self):
+        txn = TransactionManager()
+        assert not txn.active
+        txn.begin()
+        assert txn.active
+        txn.commit()
+        assert not txn.active
+
+    def test_double_begin(self):
+        txn = TransactionManager()
+        txn.begin()
+        with pytest.raises(TransactionError):
+            txn.begin()
+
+    def test_commit_fires_hooks(self):
+        txn = TransactionManager()
+        fired = []
+        txn.on_commit.append(lambda: fired.append("c"))
+        txn.on_rollback.append(lambda: fired.append("r"))
+        txn.begin()
+        txn.commit()
+        txn.begin()
+        txn.rollback()
+        assert fired == ["c", "r"]
+
+    def test_undo_insert(self):
+        table = make_table()
+        txn = TransactionManager()
+        txn.begin()
+        rid = table.insert((1, "x"))
+        txn.log_insert(table, rid)
+        txn.rollback()
+        assert table.count() == 0
+
+    def test_undo_delete(self):
+        table = make_table()
+        rid = table.insert((1, "x"))
+        txn = TransactionManager()
+        txn.begin()
+        row = table.delete(rid)
+        txn.log_delete(table, row)
+        txn.rollback()
+        assert list(table.rows()) == [(1, "x")]
+
+    def test_undo_update(self):
+        table = make_table()
+        rid = table.insert((1, "old"))
+        txn = TransactionManager()
+        txn.begin()
+        new_rid, old_row = table.update(rid, (1, "new"))
+        txn.log_update(table, new_rid, old_row)
+        txn.rollback()
+        assert list(table.rows()) == [(1, "old")]
+
+    def test_logging_inactive_is_noop(self):
+        table = make_table()
+        txn = TransactionManager()
+        rid = table.insert((1, "x"))
+        txn.log_insert(table, rid)  # no crash, nothing recorded
+        assert txn.mark() == 0
+
+    def test_rollback_to_mark(self):
+        table = make_table()
+        txn = TransactionManager()
+        txn.begin()
+        rid1 = table.insert((1, "a"))
+        txn.log_insert(table, rid1)
+        mark = txn.mark()
+        rid2 = table.insert((2, "b"))
+        txn.log_insert(table, rid2)
+        txn.rollback_to(mark)
+        assert [row[0] for row in table.rows()] == [1]
+        txn.commit()
+        assert [row[0] for row in table.rows()] == [1]
+
+    def test_rollback_to_outside_txn(self):
+        txn = TransactionManager()
+        with pytest.raises(TransactionError):
+            txn.rollback_to(0)
+
+    def test_note_rid_moved(self):
+        table = make_table()
+        txn = TransactionManager()
+        txn.begin()
+        rid = table.insert((1, "short"))
+        txn.log_insert(table, rid)
+        # Simulate the row moving pages: the log entry must follow.
+        from repro.relational.heap import RowId
+
+        new_rid = RowId(99, 0)
+        txn.note_rid_moved(table, rid, new_rid)
+        assert txn._entries[0].rid == new_rid
+
+
+class TestWriteAheadLogUnit:
+    def make(self, tmp_path, fsync=False):
+        return WriteAheadLog(str(tmp_path / "wal.log"), fsync=fsync)
+
+    def test_pending_then_commit(self, tmp_path):
+        wal = self.make(tmp_path)
+        wal.log_insert("t", (1, "a"))
+        assert wal.pending_ops == 1
+        wal.commit()
+        assert wal.pending_ops == 0
+        assert wal.stats == {"commits": 1, "ops": 1, "bytes": wal.stats["bytes"]}
+        wal.close()
+
+    def test_empty_commit_writes_nothing(self, tmp_path):
+        wal = self.make(tmp_path)
+        wal.commit()
+        assert wal.stats["commits"] == 0
+        wal.close()
+
+    def test_discard_pending(self, tmp_path):
+        wal = self.make(tmp_path)
+        wal.log_insert("t", (1, "a"))
+        wal.discard_pending()
+        wal.commit()
+        assert wal.stats["ops"] == 0
+        wal.close()
+
+    def test_replay_only_committed(self, tmp_path):
+        wal = self.make(tmp_path)
+        wal.log_insert("t", (1, "a"))
+        wal.commit()
+        wal.log_insert("t", (2, "b"))  # never committed
+        seen = []
+        wal.replay(seen.append)
+        assert [op["row"] for op in seen] == [[1, "a"]]
+        wal.close()
+
+    def test_replay_groups_in_order(self, tmp_path):
+        wal = self.make(tmp_path)
+        wal.log_insert("t", (1, "a"))
+        wal.log_update("t", (1, "a"), (1, "b"))
+        wal.commit()
+        wal.log_delete("t", (1, "b"))
+        wal.commit()
+        kinds = []
+        wal.replay(lambda op: kinds.append(op["t"]))
+        assert kinds == ["insert", "update", "delete"]
+        wal.close()
+
+    def test_truncate(self, tmp_path):
+        wal = self.make(tmp_path)
+        wal.log_insert("t", (1, "a"))
+        wal.commit()
+        wal.truncate()
+        seen = []
+        wal.replay(seen.append)
+        assert seen == []
+        assert os.path.getsize(wal.path) == 0
+        wal.close()
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        wal = self.make(tmp_path)
+        wal.log_insert("t", (1, "a"))
+        wal.commit()
+        with open(wal.path, "ab") as fh:
+            fh.write(b'{"t": "insert", "tab": "t", "r')  # torn write
+        seen = []
+        wal.replay(seen.append)
+        assert len(seen) == 1
+        wal.close()
+
+    def test_corruption_before_commit_raises(self, tmp_path):
+        wal = self.make(tmp_path)
+        with open(wal.path, "ab") as fh:
+            fh.write(b"garbage-line\n")
+            fh.write(b'{"t": "commit"}\n')
+        with pytest.raises(StorageError):
+            wal.replay(lambda op: None)
+        wal.close()
+
+    def test_closed_wal_raises(self, tmp_path):
+        wal = self.make(tmp_path)
+        wal.close()
+        with pytest.raises(StorageError):
+            wal.commit()
+        with pytest.raises(StorageError):
+            wal.truncate()
+
+    def test_discard_from_mark(self, tmp_path):
+        wal = self.make(tmp_path)
+        wal.log_insert("t", (1, "a"))
+        mark = wal.mark()
+        wal.log_insert("t", (2, "b"))
+        wal.discard_pending_from(mark)
+        wal.commit()
+        assert wal.stats["ops"] == 1
+        wal.close()

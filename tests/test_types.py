@@ -1,0 +1,196 @@
+"""Unit tests for the value/type system (coercion, 3VL, ordering)."""
+
+import datetime
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TypeMismatchError
+from repro.relational.types import (
+    ColumnType,
+    and_,
+    coerce,
+    compare,
+    format_value,
+    infer_type,
+    is_valid,
+    not_,
+    or_,
+    parse_input,
+    sort_key,
+)
+
+
+class TestColumnType:
+    def test_from_name_canonical(self):
+        assert ColumnType.from_name("INT") is ColumnType.INT
+        assert ColumnType.from_name("text") is ColumnType.TEXT
+
+    @pytest.mark.parametrize(
+        "synonym,expected",
+        [
+            ("INTEGER", ColumnType.INT),
+            ("BIGINT", ColumnType.INT),
+            ("REAL", ColumnType.FLOAT),
+            ("DOUBLE", ColumnType.FLOAT),
+            ("VARCHAR", ColumnType.TEXT),
+            ("STRING", ColumnType.TEXT),
+            ("BOOLEAN", ColumnType.BOOL),
+            ("date", ColumnType.DATE),
+        ],
+    )
+    def test_synonyms(self, synonym, expected):
+        assert ColumnType.from_name(synonym) is expected
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeMismatchError):
+            ColumnType.from_name("BLOB")
+
+
+class TestCoerce:
+    def test_null_passes_every_type(self):
+        for ctype in ColumnType:
+            assert coerce(None, ctype) is None
+
+    def test_int_accepts_integral_float(self):
+        assert coerce(3.0, ColumnType.INT) == 3
+        assert isinstance(coerce(3.0, ColumnType.INT), int)
+
+    def test_int_rejects_fractional_float(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(3.5, ColumnType.INT)
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(True, ColumnType.INT)
+
+    def test_float_upcasts_int(self):
+        value = coerce(7, ColumnType.FLOAT)
+        assert value == 7.0 and isinstance(value, float)
+
+    def test_text_rejects_numbers(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(42, ColumnType.TEXT)
+
+    def test_bool_accepts_zero_one(self):
+        assert coerce(1, ColumnType.BOOL) is True
+        assert coerce(0, ColumnType.BOOL) is False
+
+    def test_bool_rejects_other_ints(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(2, ColumnType.BOOL)
+
+    def test_date_from_iso_string(self):
+        assert coerce("2020-02-29", ColumnType.DATE) == datetime.date(2020, 2, 29)
+
+    def test_date_rejects_bad_string(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("02/29/2020", ColumnType.DATE)
+
+    def test_date_rejects_datetime(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(datetime.datetime(2020, 1, 1, 12), ColumnType.DATE)
+
+
+class TestIsValidAndInfer:
+    def test_is_valid_rejects_bool_as_int(self):
+        assert not is_valid(True, ColumnType.INT)
+
+    def test_is_valid_accepts_stored_forms(self):
+        assert is_valid(3, ColumnType.INT)
+        assert is_valid(3.5, ColumnType.FLOAT)
+        assert is_valid("x", ColumnType.TEXT)
+        assert is_valid(datetime.date(2020, 1, 1), ColumnType.DATE)
+
+    def test_infer_type_bool_before_int(self):
+        assert infer_type(True) is ColumnType.BOOL
+        assert infer_type(1) is ColumnType.INT
+
+    def test_infer_type_unknown_raises(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type([1, 2])
+
+
+class TestThreeValuedLogic:
+    def test_and_truth_table(self):
+        assert and_(True, True) is True
+        assert and_(True, False) is False
+        assert and_(False, None) is False  # False dominates
+        assert and_(True, None) is None
+        assert and_(None, None) is None
+
+    def test_or_truth_table(self):
+        assert or_(False, False) is False
+        assert or_(True, None) is True  # True dominates
+        assert or_(False, None) is None
+        assert or_(None, None) is None
+
+    def test_not(self):
+        assert not_(True) is False
+        assert not_(False) is True
+        assert not_(None) is None
+
+    def test_compare_null_is_unknown(self):
+        assert compare(None, 1) is None
+        assert compare(1, None) is None
+
+    def test_compare_numbers_cross_type(self):
+        assert compare(1, 1.0) == 0
+        assert compare(1, 2.5) == -1
+
+    def test_compare_rejects_mixed_types(self):
+        with pytest.raises(TypeMismatchError):
+            compare(1, "1")
+        with pytest.raises(TypeMismatchError):
+            compare(True, 1)
+
+
+class TestSortKey:
+    def test_nulls_sort_first(self):
+        values = [3, None, 1, None, 2]
+        ordered = sorted(values, key=sort_key)
+        assert ordered == [None, None, 1, 2, 3]
+
+    def test_equal_nulls(self):
+        assert sort_key(None) == sort_key(None)
+        assert not (sort_key(None) < sort_key(None))
+
+    @given(st.lists(st.one_of(st.none(), st.integers()), max_size=30))
+    def test_sort_is_total_on_nullable_ints(self, values):
+        ordered = sorted(values, key=sort_key)
+        nulls = [v for v in ordered if v is None]
+        rest = [v for v in ordered if v is not None]
+        assert ordered == nulls + sorted(rest)
+
+
+class TestFormatAndParse:
+    def test_format_null_is_empty(self):
+        assert format_value(None) == ""
+
+    def test_format_bool(self):
+        assert format_value(True) == "true"
+
+    def test_format_date(self):
+        assert format_value(datetime.date(2021, 5, 6)) == "2021-05-06"
+
+    def test_parse_empty_is_null(self):
+        assert parse_input("  ", ColumnType.INT) is None
+
+    def test_parse_int(self):
+        assert parse_input("42", ColumnType.INT) == 42
+
+    def test_parse_bad_int_raises(self):
+        with pytest.raises(TypeMismatchError):
+            parse_input("4x", ColumnType.INT)
+
+    @pytest.mark.parametrize("text,expected", [("yes", True), ("0", False), ("T", True)])
+    def test_parse_bool_spellings(self, text, expected):
+        assert parse_input(text, ColumnType.BOOL) is expected
+
+    def test_parse_date(self):
+        assert parse_input("2022-12-31", ColumnType.DATE) == datetime.date(2022, 12, 31)
+
+    @given(st.integers(min_value=-10**12, max_value=10**12))
+    def test_int_roundtrip_through_text(self, n):
+        assert parse_input(format_value(n), ColumnType.INT) == n

@@ -1,0 +1,233 @@
+"""Tests for view definition, expansion, and updates through views."""
+
+import pytest
+
+from repro.errors import (
+    BindError,
+    CatalogError,
+    CheckOptionError,
+    ConstraintError,
+    PlanError,
+    ViewNotUpdatable,
+)
+from repro.relational.database import Database
+from repro.views.update import analyze_updatability
+
+
+class TestViewQueries:
+    def test_select_through_view(self, company):
+        rows = company.query("SELECT * FROM eng_emps ORDER BY id")
+        assert rows == [(10, "ada", 100.0), (12, "cyd", 120.0)]
+
+    def test_view_with_renamed_columns(self, company):
+        company.execute(
+            "CREATE VIEW payroll (who, pay) AS SELECT name, salary FROM emp"
+        )
+        result = company.execute("SELECT who, pay FROM payroll ORDER BY pay LIMIT 1")
+        assert result.columns == ["who", "pay"]
+        assert result.rows == [("dan", 75.0)]
+
+    def test_view_over_join(self, company):
+        company.execute(
+            "CREATE VIEW staffing AS SELECT e.name AS emp_name, d.name AS dept_name "
+            "FROM emp e JOIN dept d ON e.dept_id = d.id"
+        )
+        rows = company.query("SELECT * FROM staffing ORDER BY emp_name")
+        assert rows[0] == ("ada", "eng")
+
+    def test_view_over_aggregate(self, company):
+        company.execute(
+            "CREATE VIEW dept_stats AS SELECT dept_id, COUNT(*) AS n, AVG(salary) AS pay "
+            "FROM emp WHERE dept_id IS NOT NULL GROUP BY dept_id"
+        )
+        rows = company.query("SELECT dept_id, n FROM dept_stats ORDER BY dept_id")
+        assert rows == [(1, 2), (2, 1)]
+
+    def test_view_on_view(self, company):
+        company.execute(
+            "CREATE VIEW rich_eng AS SELECT id, name FROM eng_emps WHERE salary > 110"
+        )
+        assert company.query("SELECT * FROM rich_eng") == [(12, "cyd")]
+
+    def test_view_joined_to_table(self, company):
+        rows = company.query(
+            "SELECT v.name, d.name FROM eng_emps v, dept d WHERE d.id = 1 ORDER BY v.id"
+        )
+        assert rows == [("ada", "eng"), ("cyd", "eng")]
+
+    def test_filter_above_view(self, company):
+        rows = company.query("SELECT name FROM eng_emps WHERE salary > 110")
+        assert rows == [("cyd",)]
+
+    def test_duplicate_output_column_rejected_in_view(self, company):
+        with pytest.raises(PlanError):
+            company.execute("CREATE VIEW bad AS SELECT id, id FROM emp")
+
+    def test_view_name_collision_rejected(self, company):
+        with pytest.raises(CatalogError):
+            company.execute("CREATE VIEW emp AS SELECT id FROM dept")
+
+    def test_drop_view(self, company):
+        company.execute("DROP VIEW eng_emps")
+        with pytest.raises(CatalogError):
+            company.query("SELECT * FROM eng_emps")
+
+    def test_drop_table_with_dependent_view_rejected(self, company):
+        with pytest.raises(CatalogError):
+            company.execute("DROP TABLE emp")
+
+    def test_drop_view_with_dependent_view_rejected(self, company):
+        company.execute("CREATE VIEW v2 AS SELECT id FROM eng_emps")
+        with pytest.raises(CatalogError):
+            company.execute("DROP VIEW eng_emps")
+
+
+class TestUpdatabilityAnalysis:
+    def test_simple_view_is_updatable(self, company):
+        info = analyze_updatability(
+            company.catalog.view("eng_emps"), company.catalog
+        )
+        assert info.base.name == "emp"
+        assert info.column_map == {"id": "id", "name": "name", "salary": "salary"}
+        assert info.predicate is not None
+        assert info.check_option
+
+    def test_join_view_not_updatable(self, company):
+        company.execute(
+            "CREATE VIEW j AS SELECT e.id AS eid FROM emp e JOIN dept d ON e.dept_id = d.id"
+        )
+        with pytest.raises(ViewNotUpdatable):
+            analyze_updatability(company.catalog.view("j"), company.catalog)
+
+    def test_aggregate_view_not_updatable(self, company):
+        company.execute(
+            "CREATE VIEW g AS SELECT dept_id, COUNT(*) AS n FROM emp GROUP BY dept_id"
+        )
+        with pytest.raises(ViewNotUpdatable):
+            analyze_updatability(company.catalog.view("g"), company.catalog)
+
+    def test_computed_column_view_not_updatable(self, company):
+        company.execute("CREATE VIEW c AS SELECT id, salary * 2 AS pay2 FROM emp")
+        with pytest.raises(ViewNotUpdatable):
+            analyze_updatability(company.catalog.view("c"), company.catalog)
+
+    def test_distinct_view_not_updatable(self, company):
+        company.execute("CREATE VIEW dd AS SELECT DISTINCT dept_id FROM emp")
+        with pytest.raises(ViewNotUpdatable):
+            analyze_updatability(company.catalog.view("dd"), company.catalog)
+
+    def test_limit_view_not_updatable(self, company):
+        company.execute("CREATE VIEW lim AS SELECT id FROM emp LIMIT 2")
+        with pytest.raises(ViewNotUpdatable):
+            analyze_updatability(company.catalog.view("lim"), company.catalog)
+
+    def test_check_option_requires_updatable(self, company):
+        with pytest.raises(ViewNotUpdatable):
+            company.execute(
+                "CREATE VIEW x AS SELECT dept_id, COUNT(*) AS n FROM emp "
+                "GROUP BY dept_id WITH CHECK OPTION"
+            )
+
+    def test_view_on_view_composition(self, company):
+        company.execute(
+            "CREATE VIEW cheap_eng AS SELECT id, name FROM eng_emps WHERE salary < 110"
+        )
+        info = analyze_updatability(
+            company.catalog.view("cheap_eng"), company.catalog
+        )
+        assert info.base.name == "emp"
+        # Both predicates flattened: dept_id = 1 AND salary < 110.
+        from repro.relational.expr import split_conjuncts
+
+        assert len(split_conjuncts(info.predicate)) == 2
+        assert info.check_option  # inherited from eng_emps (cascaded)
+
+
+class TestDmlThroughViews:
+    def test_update_through_view(self, company):
+        count = company.update("eng_emps", {"salary": 111.0}, "name = 'ada'")
+        assert count == 1
+        assert company.execute("SELECT salary FROM emp WHERE id = 10").scalar() == 111.0
+
+    def test_update_does_not_touch_invisible_rows(self, company):
+        # bob is in sales; the view must not see him.
+        count = company.update("eng_emps", {"salary": 1.0}, "salary > 0")
+        assert count == 2
+        assert company.execute("SELECT salary FROM emp WHERE id = 11").scalar() == 90.0
+
+    def test_delete_through_view(self, company):
+        assert company.delete("eng_emps", "name = 'cyd'") == 1
+        assert company.execute("SELECT COUNT(*) FROM emp").scalar() == 3
+
+    def test_delete_all_view_rows_leaves_rest(self, company):
+        assert company.delete("eng_emps") == 2
+        assert company.execute("SELECT COUNT(*) FROM emp").scalar() == 2
+
+    def test_insert_through_view_autofills_predicate(self, company):
+        company.insert("eng_emps", {"id": 50, "name": "eve", "salary": 95.0})
+        assert company.query("SELECT dept_id FROM emp WHERE id = 50") == [(1,)]
+
+    def test_check_option_blocks_escaping_update(self, company):
+        # eng_emps cannot set dept_id (not a view column), but updating
+        # a visible row's salary is fine; moving it out is impossible via
+        # this view.  Build a view exposing dept_id to test escape.
+        company.execute(
+            "CREATE VIEW eng2 AS SELECT id, dept_id FROM emp WHERE dept_id = 1 "
+            "WITH CHECK OPTION"
+        )
+        with pytest.raises(CheckOptionError):
+            company.update("eng2", {"dept_id": 2}, "id = 10")
+
+    def test_no_check_option_allows_escape(self, company):
+        company.execute(
+            "CREATE VIEW eng3 AS SELECT id, dept_id FROM emp WHERE dept_id = 1"
+        )
+        company.update("eng3", {"dept_id": 2}, "id = 10")
+        assert company.query("SELECT dept_id FROM emp WHERE id = 10") == [(2,)]
+        # The row has now left the view.
+        assert company.query("SELECT id FROM eng3 ORDER BY id") == [(12,)]
+
+    def test_insert_through_view_sql(self, company):
+        company.execute("INSERT INTO eng_emps (id, name, salary) VALUES (60, 'fay', 85.0)")
+        assert company.query("SELECT dept_id FROM emp WHERE id = 60") == [(1,)]
+
+    def test_update_through_view_sql(self, company):
+        company.execute("UPDATE eng_emps SET salary = 101.0 WHERE id = 10")
+        assert company.execute("SELECT salary FROM emp WHERE id = 10").scalar() == 101.0
+
+    def test_delete_through_view_sql(self, company):
+        company.execute("DELETE FROM eng_emps WHERE id = 12")
+        assert company.execute("SELECT COUNT(*) FROM emp").scalar() == 3
+
+    def test_dml_through_join_view_rejected(self, company):
+        company.execute(
+            "CREATE VIEW j AS SELECT e.id AS eid, d.name AS dname "
+            "FROM emp e JOIN dept d ON e.dept_id = d.id"
+        )
+        with pytest.raises(ViewNotUpdatable):
+            company.delete("j")
+        with pytest.raises(ViewNotUpdatable):
+            company.update("j", {"dname": "x"})
+        with pytest.raises(ViewNotUpdatable):
+            company.insert("j", {"eid": 1, "dname": "x"})
+
+    def test_update_unknown_view_column_rejected(self, company):
+        with pytest.raises(ViewNotUpdatable):
+            company.update("eng_emps", {"dept_id": 2})
+
+    def test_where_on_unknown_view_column_rejected(self, company):
+        with pytest.raises(BindError):
+            company.update("eng_emps", {"salary": 1.0}, "dept_id = 1")
+
+    def test_view_on_view_update_hits_base(self, company):
+        company.execute(
+            "CREATE VIEW cheap_eng AS SELECT id, name, salary FROM eng_emps "
+            "WHERE salary < 110"
+        )
+        count = company.update("cheap_eng", {"salary": 105.0})
+        assert count == 1  # only ada (100.0) is under 110 within eng
+        assert company.execute("SELECT salary FROM emp WHERE id = 10").scalar() == 105.0
+
+    def test_constraints_still_enforced_through_view(self, company):
+        with pytest.raises(ConstraintError):
+            company.insert("eng_emps", {"id": 10, "name": "dup", "salary": 1.0})

@@ -1,0 +1,395 @@
+"""Tests for the windowing substrate: screen, widgets, windows, manager."""
+
+import pytest
+
+from repro.errors import FocusError, GeometryError, WindowError
+from repro.windows import (
+    Attr,
+    GridView,
+    Key,
+    KeyEvent,
+    Label,
+    Rect,
+    Renderer,
+    ScreenBuffer,
+    StatusBar,
+    TextField,
+    Window,
+    WindowManager,
+)
+from repro.windows.events import format_keys, parse_keys
+
+
+class TestRect:
+    def test_degenerate_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 0, 5)
+
+    def test_contains(self):
+        rect = Rect(2, 3, 4, 2)
+        assert rect.contains(2, 3) and rect.contains(5, 4)
+        assert not rect.contains(6, 3) and not rect.contains(2, 5)
+
+    def test_intersect(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 10, 10)
+        assert a.intersect(b) == Rect(5, 5, 5, 5)
+        assert a.intersect(Rect(20, 20, 2, 2)) is None
+
+    def test_inset_and_move(self):
+        assert Rect(0, 0, 10, 10).inset(1, 2) == Rect(1, 2, 8, 6)
+        assert Rect(1, 1, 2, 2).moved(3, -1) == Rect(4, 0, 2, 2)
+
+
+class TestKeyScripts:
+    def test_parse_mixed(self):
+        events = parse_keys("ab<ENTER><F2>c")
+        assert [e.key for e in events] == ["a", "b", "ENTER", "F2", "c"]
+
+    def test_literal_angle(self):
+        events = parse_keys("a<<b")
+        assert [e.key for e in events] == ["a", "<", "b"]
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            parse_keys("<WARP>")
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(ValueError):
+            parse_keys("<ENTER")
+
+    def test_roundtrip(self):
+        script = "x<TAB>1<<2<ENTER>"
+        assert format_keys(parse_keys(script)) == script
+
+
+class TestScreenBuffer:
+    def test_write_and_read(self):
+        screen = ScreenBuffer(20, 5)
+        screen.write(2, 1, "hello", Attr.BOLD)
+        assert screen.row_text(1)[2:7] == "hello"
+        assert screen.cell(2, 1).attr == Attr.BOLD
+
+    def test_clipping_to_bounds(self):
+        screen = ScreenBuffer(5, 2)
+        screen.write(3, 0, "long-text")  # silently clipped
+        assert screen.row_text(0) == "   lo"
+
+    def test_clip_rect(self):
+        screen = ScreenBuffer(10, 3)
+        screen.set_clip(Rect(2, 1, 3, 1))
+        screen.write(0, 1, "abcdefgh")
+        assert screen.row_text(1) == "  cde     "
+        screen.set_clip(None)
+
+    def test_box(self):
+        screen = ScreenBuffer(6, 4)
+        screen.box(Rect(0, 0, 6, 4))
+        assert screen.row_text(0) == "+----+"
+        assert screen.row_text(3) == "+----+"
+        assert screen.row_text(1)[0] == "|" and screen.row_text(1)[5] == "|"
+
+    def test_fill_counts_writes(self):
+        screen = ScreenBuffer(10, 10)
+        screen.reset_stats()
+        screen.fill(Rect(0, 0, 4, 3), "#")
+        assert screen.cells_written == 12
+
+    def test_diff(self):
+        a = ScreenBuffer(8, 2)
+        b = ScreenBuffer(8, 2)
+        a.write(0, 0, "xy")
+        changes = a.diff(b)
+        assert len(changes) == 2
+        assert changes[0][:2] == (0, 0)
+
+    def test_diff_size_mismatch(self):
+        with pytest.raises(GeometryError):
+            ScreenBuffer(2, 2).diff(ScreenBuffer(3, 2))
+
+    def test_find(self):
+        screen = ScreenBuffer(20, 3)
+        screen.write(5, 2, "needle")
+        assert screen.find("needle") == (5, 2)
+        assert screen.find("absent") is None
+
+    def test_cell_out_of_range(self):
+        with pytest.raises(GeometryError):
+            ScreenBuffer(2, 2).cell(5, 0)
+
+
+class TestTextField:
+    def field(self, **kwargs):
+        return TextField(0, 0, 10, **kwargs)
+
+    def send(self, field, script):
+        for event in parse_keys(script):
+            field.handle_key(event)
+
+    def test_typing(self):
+        field = self.field()
+        self.send(field, "abc")
+        assert field.text == "abc" and field.cursor == 3
+
+    def test_backspace_and_delete(self):
+        field = self.field(text="abcd")
+        self.send(field, "<BACKSPACE>")
+        assert field.text == "abc"
+        self.send(field, "<HOME><DELETE>")
+        assert field.text == "bc"
+
+    def test_cursor_movement_and_insert(self):
+        field = self.field(text="ac")
+        self.send(field, "<LEFT>b")
+        assert field.text == "abc"
+        self.send(field, "<END>d")
+        assert field.text == "abcd"
+
+    def test_read_only_swallows_edits(self):
+        field = self.field(text="keep", read_only=True)
+        self.send(field, "x<BACKSPACE>")
+        assert field.text == "keep"
+
+    def test_horizontal_scroll(self):
+        field = TextField(0, 0, 5)
+        self.send(field, "abcdefghij")
+        assert field.scroll > 0
+        screen = ScreenBuffer(5, 1)
+        field.focused = True
+        field.render(screen, 0, 0)
+        assert "j" in screen.row_text(0)
+
+    def test_on_change_fires(self):
+        seen = []
+        field = TextField(0, 0, 5, on_change=seen.append)
+        self.send(field, "hi")
+        assert seen == ["h", "hi"]
+
+    def test_unhandled_key_bubbles(self):
+        assert self.field().handle_key(KeyEvent(Key.F5)) is False
+
+
+class TestGridView:
+    def grid(self, height=5):
+        g = GridView(Rect(0, 0, 30, height), [("id", 4), ("name", 10)])
+        g.set_rows([(str(i), f"row{i}") for i in range(20)])
+        return g
+
+    def test_selection_moves_and_clamps(self):
+        grid = self.grid()
+        grid.handle_key(KeyEvent(Key.DOWN))
+        assert grid.selected == 1
+        grid.handle_key(KeyEvent(Key.UP))
+        grid.handle_key(KeyEvent(Key.UP))
+        assert grid.selected == 0
+
+    def test_paging_and_home_end(self):
+        grid = self.grid()
+        grid.handle_key(KeyEvent(Key.PGDN))
+        assert grid.selected == 4
+        grid.handle_key(KeyEvent(Key.END))
+        assert grid.selected == 19
+        grid.handle_key(KeyEvent(Key.HOME))
+        assert grid.selected == 0
+
+    def test_scroll_follows_selection(self):
+        grid = self.grid()
+        for _ in range(10):
+            grid.handle_key(KeyEvent(Key.DOWN))
+        assert grid.scroll == 10 - grid.body_height + 1
+
+    def test_on_select_callback(self):
+        seen = []
+        grid = GridView(Rect(0, 0, 20, 4), [("a", 5)], on_select=seen.append)
+        grid.set_rows([("1",), ("2",)])
+        grid.handle_key(KeyEvent(Key.DOWN))
+        assert seen == [1]
+
+    def test_on_activate(self):
+        seen = []
+        grid = GridView(Rect(0, 0, 20, 4), [("a", 5)], on_activate=seen.append)
+        grid.set_rows([("1",), ("2",)])
+        grid.handle_key(KeyEvent(Key.DOWN))
+        grid.handle_key(KeyEvent(Key.ENTER))
+        assert seen == [1]
+
+    def test_render_header_and_selection(self):
+        grid = self.grid()
+        grid.focused = True
+        screen = ScreenBuffer(30, 5)
+        grid.render(screen, 0, 0)
+        assert screen.row_text(0).startswith("id   name")
+        assert screen.row_text(1).startswith("0    row0")
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GeometryError):
+            GridView(Rect(0, 0, 10, 1), [("a", 3)])
+
+    def test_set_rows_clamps_selection(self):
+        grid = self.grid()
+        grid.select(19)
+        grid.set_rows([("only",) ])
+        assert grid.selected == 0
+
+
+class TestWindow:
+    def make(self):
+        window = Window("Test", Rect(0, 0, 40, 10))
+        window.add(Label(0, 0, "Name:"))
+        f1 = window.add(TextField(7, 0, 10))
+        f2 = window.add(TextField(7, 1, 10))
+        return window, f1, f2
+
+    def test_first_focusable_gets_focus(self):
+        window, f1, _f2 = self.make()
+        assert window.focused_widget is f1 and f1.focused
+
+    def test_tab_cycles(self):
+        window, f1, f2 = self.make()
+        window.handle_key(KeyEvent(Key.TAB))
+        assert window.focused_widget is f2
+        window.handle_key(KeyEvent(Key.TAB))
+        assert window.focused_widget is f1
+        window.handle_key(KeyEvent(Key.BACKTAB))
+        assert window.focused_widget is f2
+
+    def test_keys_go_to_focused_widget(self):
+        window, f1, f2 = self.make()
+        window.handle_key(KeyEvent("x"))
+        assert f1.text == "x" and f2.text == ""
+
+    def test_focus_specific(self):
+        window, _f1, f2 = self.make()
+        window.focus(f2)
+        assert f2.focused
+
+    def test_focus_errors(self):
+        window, _f1, _f2 = self.make()
+        label = Label(0, 5, "static")
+        with pytest.raises(FocusError):
+            window.focus(label)
+        window.add(label)
+        with pytest.raises(FocusError):
+            window.focus(label)
+
+    def test_render_frame_and_title(self):
+        window, _f1, _f2 = self.make()
+        screen = ScreenBuffer(50, 12)
+        window.render(screen)
+        assert screen.find("Test") is not None
+        assert screen.row_text(0).strip().startswith("+")
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GeometryError):
+            Window("x", Rect(0, 0, 3, 3))
+
+    def test_min_resize_enforced(self):
+        window, _f1, _f2 = self.make()
+        with pytest.raises(GeometryError):
+            window.resize(2, 2)
+
+
+class TestWindowManager:
+    def manager(self):
+        wm = WindowManager(80, 24)
+        w1 = Window("One", Rect(0, 0, 30, 10))
+        w2 = Window("Two", Rect(20, 5, 30, 10))
+        wm.open(w1)
+        wm.open(w2)
+        return wm, w1, w2
+
+    def test_open_sets_active(self):
+        wm, w1, w2 = self.manager()
+        assert wm.active_window is w2 and w2.active and not w1.active
+
+    def test_close_restores_previous(self):
+        wm, w1, w2 = self.manager()
+        wm.close(w2)
+        assert wm.active_window is w1 and w1.active
+
+    def test_double_open_rejected(self):
+        wm, w1, _w2 = self.manager()
+        with pytest.raises(WindowError):
+            wm.open(w1)
+
+    def test_close_unknown_rejected(self):
+        wm, _w1, _w2 = self.manager()
+        with pytest.raises(WindowError):
+            wm.close(Window("ghost", Rect(0, 0, 10, 5)))
+
+    def test_raise_and_cycle(self):
+        wm, w1, w2 = self.manager()
+        wm.raise_window(w1)
+        assert wm.active_window is w1
+        wm.cycle()
+        assert wm.active_window is w2
+
+    def test_f1_cycles_globally(self):
+        wm, w1, _w2 = self.manager()
+        wm.dispatch(KeyEvent(Key.F1))
+        assert wm.active_window is w1
+
+    def test_dispatch_reaches_topmost(self):
+        wm, w1, w2 = self.manager()
+        f = w2.add(TextField(0, 0, 8))
+        wm.dispatch(KeyEvent("z"))
+        assert f.text == "z"
+
+    def test_overlap_topmost_wins(self):
+        wm, w1, w2 = self.manager()
+        wm.render_frame()
+        # (25, 6) is inside both; w2 is on top, its frame/blank should rule.
+        text = wm.screen_text()
+        assert "Two" in text
+
+    def test_tile(self):
+        wm, w1, w2 = self.manager()
+        wm.tile()
+        assert w1.rect.x == 0 and w2.rect.x == 40
+        assert w1.rect.height == 24
+
+    def test_differential_render_cheaper_than_full(self):
+        wm, _w1, w2 = self.manager()
+        first = wm.render_frame()
+        f = w2.add(TextField(0, 0, 8))
+        wm.dispatch(KeyEvent("q"))
+        second = wm.render_frame()
+        assert second < first  # only the field area changed
+
+    def test_full_mode_always_pays_whole_screen(self):
+        wm = WindowManager(40, 10, differential=False)
+        wm.open(Window("W", Rect(0, 0, 20, 5)))
+        assert wm.render_frame() == 400
+        assert wm.render_frame() == 400
+
+    def test_no_change_frame_transmits_nothing(self):
+        wm, _w1, _w2 = self.manager()
+        wm.render_frame()
+        assert wm.render_frame() == 0
+
+
+class TestRenderer:
+    def test_stats_accumulate(self):
+        renderer = Renderer(10, 4)
+        back = renderer.begin_frame()
+        back.write(0, 0, "abc")
+        n = renderer.flush()
+        assert n == 3
+        assert renderer.cells_transmitted == 3 and renderer.frames == 1
+        renderer.reset_stats()
+        assert renderer.cells_transmitted == 0
+
+    def test_changed_cells_preview(self):
+        renderer = Renderer(10, 4)
+        back = renderer.begin_frame()
+        back.write(0, 0, "ab")
+        assert len(renderer.changed_cells()) == 2
+
+
+class TestStatusBar:
+    def test_message_rendering(self):
+        bar = StatusBar(0, 0, 10)
+        bar.set_message("saved")
+        screen = ScreenBuffer(10, 1)
+        bar.render(screen, 0, 0)
+        assert screen.row_text(0) == "saved     "
