@@ -119,3 +119,74 @@ def test_micro_aggregate_5k(benchmark, loaded_db):
         "SELECT score, COUNT(*) FROM t GROUP BY score",
     )
     assert len(rows) == 100
+
+
+def test_micro_obs_noop_overhead(report):
+    """Pay-for-use: with observability off, instrumentation must cost <5%.
+
+    Baseline and instrumented runs do identical engine work on the same
+    statement; the instrumented path additionally goes through
+    Database.execute's tracer span (a null context while disabled) and the
+    disabled registry's one-branch helpers.  Reported to
+    benchmarks/results/obs_overhead.txt.
+    """
+    import time
+
+    from repro.obs import Registry
+    from repro.sql.parser import parse_statement
+
+    db = Database(obs=Registry(enabled=False))
+    db.tracer.enabled = False
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)")
+    db.execute("BEGIN")
+    for i in range(2000):
+        db.insert("t", {"id": i, "name": f"row{i}"})
+    db.execute("COMMIT")
+
+    sql = "SELECT name FROM t WHERE id = 1234"
+    iterations = 300
+    rounds = 7
+
+    def run_baseline() -> None:
+        # The same work execute() does, minus the instrumentation shell.
+        statement = parse_statement(sql)
+        db._execute_statement(statement, sql)
+
+    def run_instrumented() -> None:
+        db.execute(sql)
+
+    def best_round(func) -> float:
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for _ in range(iterations):
+                func()
+            best = min(best, time.perf_counter() - start)
+        return best / iterations
+
+    run_baseline(), run_instrumented()  # warm both paths
+    baseline_s = best_round(run_baseline)
+    instrumented_s = best_round(run_instrumented)
+    overhead_pct = (instrumented_s / baseline_s - 1.0) * 100.0
+
+    # The raw per-call price of a disabled instrument, for context.
+    disabled = Registry(enabled=False)
+    calls = 100_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        disabled.add("hot.counter")
+    null_ns = (time.perf_counter() - start) / calls * 1e9
+
+    report.section("Observability off: residual instrumentation overhead")
+    report.table(
+        ["metric", "value"],
+        [
+            ("point select, uninstrumented (us)", f"{baseline_s * 1e6:.2f}"),
+            ("point select, obs disabled (us)", f"{instrumented_s * 1e6:.2f}"),
+            ("overhead", f"{overhead_pct:+.2f}%"),
+            ("disabled registry.add() (ns/call)", f"{null_ns:.0f}"),
+        ],
+    )
+    report.save("obs_overhead")
+
+    assert overhead_pct < 5.0, f"no-op obs overhead {overhead_pct:.2f}% >= 5%"

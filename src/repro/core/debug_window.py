@@ -1,0 +1,135 @@
+"""The F11 debug window: live metrics and the slow-operation log.
+
+A read-only window over ``Database.metrics_snapshot()`` and the slow log —
+the in-app face of the ``repro.obs`` subsystem.  Open/close it with F11
+from :class:`~repro.core.app.WowApp`; inside it:
+
+    F5            re-snapshot the metrics
+    PGUP / PGDN   scroll
+    HOME / END    jump to top / bottom
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.relational.database import Database
+from repro.windows.events import Key, KeyEvent
+from repro.windows.geometry import Rect
+from repro.windows.screen import ScreenBuffer
+from repro.windows.widgets import StatusBar, Widget
+from repro.windows.window import Window
+
+
+class _MetricsPane(Widget):
+    """A scrollable read-only text pane."""
+
+    def __init__(self, rect: Rect) -> None:
+        super().__init__(rect)
+        self.lines: List[str] = []
+        self.scroll = 0
+
+    def set_lines(self, lines: List[str]) -> None:
+        self.lines = lines
+        self.scroll = min(self.scroll, self._max_scroll())
+
+    def _max_scroll(self) -> int:
+        return max(0, len(self.lines) - self.rect.height)
+
+    def scroll_by(self, delta: int) -> None:
+        self.scroll = max(0, min(self.scroll + delta, self._max_scroll()))
+
+    def render(self, screen: ScreenBuffer, dx: int, dy: int) -> None:
+        for line_no in range(self.rect.height):
+            index = self.scroll + line_no
+            text = self.lines[index] if index < len(self.lines) else ""
+            screen.write(
+                self.rect.x + dx,
+                self.rect.y + dy + line_no,
+                text[: self.rect.width].ljust(self.rect.width),
+            )
+
+
+def _snapshot_lines(db: Database) -> List[str]:
+    """Format the metrics snapshot and slow log for display."""
+    snap = db.metrics_snapshot()
+    lines: List[str] = []
+
+    def section(title: str) -> None:
+        if lines:
+            lines.append("")
+        lines.append(f"== {title} ==")
+
+    for title, key in (
+        ("statements", "statements"),
+        ("pager", "pager"),
+        ("wal", "wal"),
+        ("btree", "btree"),
+        ("txn", "txn"),
+        ("planner", "planner"),
+    ):
+        counters = snap[key]
+        section(title)
+        if not counters:
+            lines.append("  (none)")
+        for name, value in sorted(counters.items()):
+            lines.append(f"  {name:<20} {value}")
+
+    registry = snap["registry"]
+    if registry["counters"]:
+        section("counters")
+        for name, value in sorted(registry["counters"].items()):
+            lines.append(f"  {name:<28} {value}")
+    if registry["histograms"]:
+        section("histograms (ms)")
+        for name, summary in sorted(registry["histograms"].items()):
+            lines.append(
+                f"  {name:<28} n={summary['count']}"
+                f" mean={summary['mean']:.2f}"
+                f" p95={summary['p95'] if summary['p95'] is None else round(summary['p95'], 2)}"
+                f" max={summary['max'] if summary['max'] is None else round(summary['max'], 2)}"
+            )
+
+    section(f"slow log (>= {snap['slow_log']['threshold_ms']:g} ms)")
+    dump = db.slow_log.dump()
+    lines.extend("  " + entry for entry in dump)
+    if not dump:
+        lines.append("  (empty)")
+    return lines
+
+
+class MetricsWindow(Window):
+    """The observability window a running WowApp opens with F11."""
+
+    def __init__(self, db: Database, rect: Rect) -> None:
+        super().__init__("Metrics", rect)
+        self.db = db
+        content = self.content
+        self.pane = _MetricsPane(Rect(0, 0, content.width, content.height - 1))
+        self.add(self.pane)
+        self.status = StatusBar(0, content.height - 1, content.width)
+        self.add(self.status)
+        self.status.set_message("F5 refresh; PGUP/PGDN scroll; F11 close")
+        self.refresh()
+
+    def refresh(self) -> None:
+        self.pane.set_lines(_snapshot_lines(self.db))
+
+    def handle_key(self, event: KeyEvent) -> bool:
+        key = event.key
+        if key == Key.F5:
+            self.refresh()
+            return True
+        if key == Key.PGUP:
+            self.pane.scroll_by(-self.pane.rect.height)
+            return True
+        if key == Key.PGDN:
+            self.pane.scroll_by(self.pane.rect.height)
+            return True
+        if key == Key.HOME:
+            self.pane.scroll = 0
+            return True
+        if key == Key.END:
+            self.pane.scroll = self.pane._max_scroll()
+            return True
+        return super().handle_key(event)

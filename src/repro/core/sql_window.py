@@ -16,6 +16,7 @@ Keys::
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 from repro.baselines.sql_cli import SqlCli
@@ -95,7 +96,11 @@ class SqlWindow(Window):
         if not sql:
             return
         self._history_pos = None
-        result = self.cli.run(sql)
+        with self.cli.db.tracer.span("sql_window.execute") as span:
+            start = time.perf_counter()
+            result = self.cli.run(sql)
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            span.tag("sql", sql[:80])
         self.output.append(f"SQL> {sql}")
         if result is None:
             self.output.append(self.cli.last_error or "error")
@@ -103,10 +108,11 @@ class SqlWindow(Window):
         else:
             listing = self.cli.render_result(result)
             self.output.append(listing)
-            self.status.set_message(
+            outcome = (
                 f"{len(result.rows)} row(s)" if result.columns else
                 f"{result.rowcount} row(s) affected"
             )
+            self.status.set_message(f"{outcome} in {elapsed_ms:.1f} ms")
         self.input.clear()
 
     def _recall(self, step: int) -> None:

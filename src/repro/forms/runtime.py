@@ -23,6 +23,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.errors import FieldValidationError, FormModeError
 from repro.forms.qbf import build_predicate
 from repro.forms.spec import FormSpec
+from repro.obs import get_registry
 from repro.relational import expr as E
 from repro.relational.database import Database
 from repro.relational.types import format_value, parse_input
@@ -60,7 +61,12 @@ class FormController:
         """Re-run the form's query and reload the current record."""
         key = self._current_key() if keep_position and self.rows else None
         sql = self._select_sql()
-        self.rows = self.db.query(sql)
+        with self.db.tracer.span(
+            "form.refresh", {"source": self.spec.source}
+        ) as span:
+            self.rows = self.db.query(sql)
+            span.tag("rows", len(self.rows))
+        get_registry().add("forms.refreshes")
         if key is not None:
             for index, row in enumerate(self.rows):
                 if self._key_of(row) == key:
@@ -288,13 +294,17 @@ class FormController:
             self.message = f"error: {exc}"
             return False
         where = self._key_predicate(row)
-        try:
-            count = self.db.update(self.spec.source, changes, where)
-        except Exception as exc:
-            self.message = f"error: {exc}"
-            return False
-        self.mode = Mode.BROWSE
-        self.refresh(keep_position=True)
+        # The save span covers the full view-update round trip: the DML
+        # through the (possibly view) source plus the requery that follows.
+        with self.db.tracer.span("form.save", {"source": self.spec.source, "kind": "edit"}):
+            try:
+                count = self.db.update(self.spec.source, changes, where)
+            except Exception as exc:
+                self.message = f"error: {exc}"
+                return False
+            self.mode = Mode.BROWSE
+            self.refresh(keep_position=True)
+        get_registry().add("forms.saves")
         self.message = f"{count} record(s) updated"
         return True
 
@@ -308,13 +318,17 @@ class FormController:
         except Exception as exc:
             self.message = f"error: {exc}"
             return False
-        try:
-            self.db.insert(self.spec.source, values)
-        except Exception as exc:
-            self.message = f"error: {exc}"
-            return False
-        self.mode = Mode.BROWSE
-        self.refresh()
+        with self.db.tracer.span(
+            "form.save", {"source": self.spec.source, "kind": "insert"}
+        ):
+            try:
+                self.db.insert(self.spec.source, values)
+            except Exception as exc:
+                self.message = f"error: {exc}"
+                return False
+            self.mode = Mode.BROWSE
+            self.refresh()
+        get_registry().add("forms.saves")
         # Jump to the new record if we can identify it by key.
         key_fields = self._key_fields()
         if all(values.get(c) is not None for c in key_fields):
@@ -371,12 +385,16 @@ class FormController:
         if row is None:
             self.message = "no record to delete"
             return False
-        try:
-            count = self.db.delete(self.spec.source, self._key_predicate(row))
-        except Exception as exc:
-            self.message = f"error: {exc}"
-            return False
-        self.refresh()
+        with self.db.tracer.span(
+            "form.delete", {"source": self.spec.source}
+        ):
+            try:
+                count = self.db.delete(self.spec.source, self._key_predicate(row))
+            except Exception as exc:
+                self.message = f"error: {exc}"
+                return False
+            self.refresh()
+        get_registry().add("forms.deletes")
         self.message = f"{count} record(s) deleted"
         return True
 

@@ -29,9 +29,14 @@ class KeystrokeMeter:
         self._current_task: Optional[str] = None
 
     def start_task(self, name: str) -> None:
-        """Begin attributing keystrokes to *name* (resets its count)."""
+        """Begin attributing keystrokes to *name*.
+
+        A repeated task name accumulates onto its existing count (a user
+        returning to a task keeps its running total); it is never reset
+        implicitly — use :meth:`reset` for a clean slate.
+        """
         self._current_task = name
-        self.by_task[name] = 0
+        self.by_task.setdefault(name, 0)
 
     def end_task(self) -> int:
         """Stop attributing; returns the finished task's count."""
@@ -54,24 +59,39 @@ class KeystrokeMeter:
 
 
 class Timer:
-    """A tiny perf_counter stopwatch with lap recording."""
+    """A tiny perf_counter stopwatch with lap recording.
+
+    ``lap()`` measures *since the previous lap* (it restarts the lap
+    clock, by design — that is what makes consecutive laps independent);
+    ``elapsed()`` measures since ``start()`` and never mutates state, so
+    total wall-clock time stays observable at any point.
+    """
 
     def __init__(self) -> None:
         self._start: Optional[float] = None
+        self._origin: Optional[float] = None
         self.laps: List[float] = []
 
     def start(self) -> "Timer":
         self._start = time.perf_counter()
+        self._origin = self._start
         return self
 
     def lap(self) -> float:
-        """Seconds since start(); recorded and returned."""
+        """Seconds since start() or the previous lap(); recorded and
+        returned.  Restarts the lap clock (documented behaviour)."""
         if self._start is None:
             raise RuntimeError("Timer.lap() before start()")
         elapsed = time.perf_counter() - self._start
         self.laps.append(elapsed)
         self._start = time.perf_counter()
         return elapsed
+
+    def elapsed(self) -> float:
+        """Seconds since start(), regardless of laps; does not mutate."""
+        if self._origin is None:
+            raise RuntimeError("Timer.elapsed() before start()")
+        return time.perf_counter() - self._origin
 
     @property
     def mean(self) -> float:

@@ -1,0 +1,48 @@
+"""``repro.obs`` — in-process observability: metrics, spans, slow log.
+
+Three pieces, all stdlib-only:
+
+* :class:`Registry` — named counters / gauges / histograms with
+  percentile summaries and JSON export (:mod:`repro.obs.registry`);
+* :class:`Tracer` / :class:`Span` — context-manager spans on a
+  thread-local stack shared across tracer instances
+  (:mod:`repro.obs.tracer`);
+* :class:`SlowLog` — threshold-filtered ring of slow operations
+  (:mod:`repro.obs.slowlog`).
+
+A process-wide default registry (:func:`get_registry`) serves the UI
+layers; each :class:`~repro.relational.database.Database` additionally
+owns a tracer and slow log wired to the same registry unless told
+otherwise.  EXPLAIN ANALYZE plumbing lives in :mod:`repro.obs.analyze`.
+"""
+
+from .analyze import OpStats, instrument, render_analyze, stats_tree
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    get_registry,
+    set_enabled,
+    set_registry,
+)
+from .slowlog import SlowLog
+from .tracer import Span, Tracer, current_span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "get_registry",
+    "set_registry",
+    "set_enabled",
+    "SlowLog",
+    "Span",
+    "Tracer",
+    "current_span",
+    "OpStats",
+    "instrument",
+    "render_analyze",
+    "stats_tree",
+]

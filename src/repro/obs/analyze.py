@@ -1,0 +1,113 @@
+"""EXPLAIN ANALYZE support: per-operator runtime counters.
+
+:func:`instrument` walks an operator tree and wraps each node's ``rows()``
+with a counting/timing generator (instance-attribute assignment — operator
+classes have no ``__slots__``).  The wrappers only exist on trees that are
+being ANALYZEd, so the normal execution path pays nothing.
+
+Timings are *inclusive*: an operator's elapsed time includes its children,
+matching PostgreSQL's EXPLAIN ANALYZE convention.  ``loops`` counts how
+many times ``rows()`` was restarted (e.g. the inner side of a nested-loop
+join before materialisation, or a re-executed view).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.relational.algebra import Operator
+
+
+class OpStats:
+    """Runtime counters for one operator node."""
+
+    __slots__ = ("rows_out", "elapsed", "loops")
+
+    def __init__(self) -> None:
+        self.rows_out = 0
+        self.elapsed = 0.0  # seconds, inclusive of children
+        self.loops = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rows": self.rows_out,
+            "loops": self.loops,
+            "time_ms": self.elapsed * 1000.0,
+        }
+
+
+def instrument(root: Operator) -> Dict[int, OpStats]:
+    """Attach counting wrappers to every node of *root*'s tree.
+
+    Returns ``{id(op): OpStats}``; stats fill in as the tree is consumed.
+    """
+    stats: Dict[int, OpStats] = {}
+
+    def wrap(op: Operator) -> None:
+        op_stats = stats[id(op)] = OpStats()
+        original_rows = op.rows
+
+        def counted_rows() -> Iterator[Tuple[Any, ...]]:
+            op_stats.loops += 1
+            start = time.perf_counter()
+            try:
+                for row in original_rows():
+                    op_stats.elapsed += time.perf_counter() - start
+                    op_stats.rows_out += 1
+                    yield row
+                    start = time.perf_counter()
+            finally:
+                op_stats.elapsed += time.perf_counter() - start
+
+        op.rows = counted_rows  # type: ignore[method-assign]
+        for child in op.children():
+            wrap(child)
+
+    wrap(root)
+    return stats
+
+
+def render_analyze(
+    root: Operator,
+    stats: Dict[int, OpStats],
+    planning_ms: float,
+    execution_ms: float,
+) -> str:
+    """The annotated plan text returned by EXPLAIN ANALYZE."""
+    lines: List[str] = []
+
+    def walk(op: Operator, depth: int) -> None:
+        text = op.label()
+        if op.est_rows is not None:
+            text += f"  [~{op.est_rows:.0f} rows]"
+        op_stats = stats.get(id(op))
+        if op_stats is not None:
+            text += (
+                f"  [rows={op_stats.rows_out} loops={op_stats.loops}"
+                f" time={op_stats.elapsed * 1000.0:.3f} ms]"
+            )
+        lines.append("  " * depth + text)
+        for child in op.children():
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    lines.append(f"Planning Time: {planning_ms:.3f} ms")
+    lines.append(f"Execution Time: {execution_ms:.3f} ms")
+    return "\n".join(lines)
+
+
+def stats_tree(root: Operator, stats: Dict[int, OpStats]) -> Dict[str, Any]:
+    """The same information as a JSON-serialisable nested dict."""
+    node: Dict[str, Any] = {"op": op_label(root)}
+    op_stats = stats.get(id(root))
+    if op_stats is not None:
+        node.update(op_stats.to_dict())
+    children = [stats_tree(child, stats) for child in root.children()]
+    if children:
+        node["children"] = children
+    return node
+
+
+def op_label(op: Operator) -> str:
+    return op.label()

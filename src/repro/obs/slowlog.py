@@ -1,0 +1,80 @@
+"""Ring-buffered slow-operation log.
+
+Any span (or hand-rolled timing) whose duration crosses a configurable
+threshold is recorded here with its name, tags, and timestamp.  The ring
+keeps only the most recent ``capacity`` entries, so it is safe to leave on
+in long sessions; the app's debug window and ``Database.slow_log`` both
+read from the same ring.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+#: default threshold: 50 ms, generous for an interactive TUI frame budget
+DEFAULT_THRESHOLD_MS = 50.0
+DEFAULT_CAPACITY = 128
+
+
+class SlowLog:
+    """Threshold-filtered ring buffer of slow operations."""
+
+    def __init__(
+        self,
+        threshold_ms: float = DEFAULT_THRESHOLD_MS,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        self.threshold_ms = threshold_ms
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self.dropped = 0  # entries pushed out of the ring
+
+    def record(
+        self,
+        name: str,
+        duration_ms: float,
+        tags: Optional[Dict[str, Any]] = None,
+        when: Optional[float] = None,
+    ) -> bool:
+        """Record *name* if it crossed the threshold; True when kept."""
+        if duration_ms < self.threshold_ms:
+            return False
+        if len(self._ring) == self._ring.maxlen:
+            self.dropped += 1
+        self._ring.append(
+            {
+                "name": name,
+                "duration_ms": duration_ms,
+                "tags": dict(tags) if tags else {},
+                "when": when if when is not None else time.time(),
+            }
+        )
+        return True
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Entries oldest-first, as JSON-serialisable dicts."""
+        return list(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def dump(self) -> List[str]:
+        """Human-readable lines, newest last (for the debug window)."""
+        lines = []
+        for entry in self._ring:
+            stamp = time.strftime("%H:%M:%S", time.localtime(entry["when"]))
+            tags = entry["tags"]
+            suffix = (
+                " " + " ".join(f"{k}={v}" for k, v in sorted(tags.items()))
+                if tags
+                else ""
+            )
+            lines.append(
+                f"{stamp} {entry['duration_ms']:8.2f} ms  {entry['name']}{suffix}"
+            )
+        return lines

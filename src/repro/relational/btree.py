@@ -40,6 +40,10 @@ class BPlusTree:
         self._branching = branching
         self._root = _Node(leaf=True)
         self._size = 0
+        #: lifetime count of nodes touched by descents (get/insert/delete/
+        #: range); maintained with one local accumulation per operation so
+        #: the hot loops stay branch-free
+        self.node_visits = 0
 
     def __len__(self) -> int:
         return self._size
@@ -60,9 +64,12 @@ class BPlusTree:
     def get(self, key: Any, default: Any = None) -> Any:
         """Payload stored at *key*, or *default*."""
         node = self._root
+        visited = 1
         while not node.is_leaf:
             idx = bisect.bisect_right(node.keys, key)
             node = node.children[idx]
+            visited += 1
+        self.node_visits += visited
         idx = bisect.bisect_left(node.keys, key)
         if idx < len(node.keys) and not (node.keys[idx] < key or key < node.keys[idx]):
             return node.values[idx]
@@ -76,9 +83,12 @@ class BPlusTree:
         which the engine's table-rewrite path avoids by rebuilding indexes.
         """
         node = self._root
+        visited = 1
         while not node.is_leaf:
             idx = bisect.bisect_right(node.keys, key)
             node = node.children[idx]
+            visited += 1
+        self.node_visits += visited
         idx = bisect.bisect_left(node.keys, key)
         if idx < len(node.keys) and not (node.keys[idx] < key or key < node.keys[idx]):
             node.keys.pop(idx)
@@ -110,9 +120,12 @@ class BPlusTree:
             idx = 0
         else:
             node = self._root
+            visited = 1
             while not node.is_leaf:
                 child = bisect.bisect_right(node.keys, low)
                 node = node.children[child]
+                visited += 1
+            self.node_visits += visited
             if include_low:
                 idx = bisect.bisect_left(node.keys, low)
             else:
@@ -182,6 +195,7 @@ class BPlusTree:
         parent.children.insert(idx + 1, sibling)
 
     def _insert_nonfull(self, node: _Node, key: Any, value: Any) -> None:
+        visited = 1
         while not node.is_leaf:
             idx = bisect.bisect_right(node.keys, key)
             child = node.children[idx]
@@ -191,6 +205,8 @@ class BPlusTree:
                     idx += 1
                 child = node.children[idx]
             node = child
+            visited += 1
+        self.node_visits += visited
         idx = bisect.bisect_left(node.keys, key)
         if idx < len(node.keys) and not (node.keys[idx] < key or key < node.keys[idx]):
             node.values[idx] = value

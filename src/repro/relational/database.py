@@ -21,6 +21,7 @@ from __future__ import annotations
 import contextlib
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -33,6 +34,7 @@ from repro.errors import (
     SqlError,
     TransactionError,
 )
+from repro.obs import Registry, SlowLog, Tracer, get_registry, instrument, render_analyze
 from repro.relational import expr as E
 from repro.relational.catalog import Catalog
 from repro.relational.heap import HeapFile, RowId
@@ -81,8 +83,16 @@ class Database:
         path: Optional[str] = None,
         fsync: bool = True,
         planner_config: Optional[PlannerConfig] = None,
+        obs: Optional[Registry] = None,
+        slow_ms: Optional[float] = None,
     ) -> None:
         self.path = path
+        #: observability: metrics registry (shared process default unless a
+        #: private one is injected), per-database slow log, and a tracer
+        #: whose span stack is shared with the UI layers' tracers
+        self.obs = obs if obs is not None else get_registry()
+        self.slow_log = SlowLog(**({"threshold_ms": slow_ms} if slow_ms is not None else {}))
+        self.tracer = Tracer(self.obs, slow_log=self.slow_log)
         self._pagers: Dict[str, FilePager] = {}
         self.txn = TransactionManager()
         self.planner_config = planner_config or PlannerConfig()
@@ -121,7 +131,12 @@ class Database:
     def execute(self, sql: str) -> Result:
         """Parse and execute a single SQL statement."""
         statement = parse_statement(sql)
-        return self._execute_statement(statement, sql)
+        with self.tracer.span(
+            "db.execute", {"stmt": type(statement).__name__}
+        ) as span:
+            result = self._execute_statement(statement, sql)
+            span.tag("rows", result.rowcount)
+        return result
 
     def execute_script(self, sql: str) -> List[Result]:
         """Execute a ';'-separated script; returns one Result per statement."""
@@ -251,6 +266,8 @@ class Database:
             self._release_savepoint(statement.name)
             return Result()
         if isinstance(statement, A.Explain):
+            if statement.analyze:
+                return self._run_explain_analyze(statement.query)
             plan = self.planner.plan_select(statement.query)
             return Result(plan=plan.explain())
         if isinstance(statement, A.Insert):
@@ -531,6 +548,78 @@ class Database:
         self.auth.check(
             self.current_user, Privilege(privilege_name), target.lower()
         )
+
+    def _run_explain_analyze(self, select: A.Select) -> Result:
+        """EXPLAIN ANALYZE: execute the query with per-operator counters.
+
+        Like PostgreSQL, the statement *runs* the query (so it needs the
+        same privileges as the SELECT) but returns only the annotated plan;
+        the result's ``rowcount`` reports how many rows the plan produced.
+        """
+        self._check_select_privileges(select)
+        start = time.perf_counter()
+        plan = self.planner.plan_select(select)
+        planning_ms = (time.perf_counter() - start) * 1000.0
+        op_stats = instrument(plan)
+        with self.tracer.span("db.explain_analyze") as span:
+            start = time.perf_counter()
+            produced = sum(1 for _row in plan.rows())
+            execution_ms = (time.perf_counter() - start) * 1000.0
+            span.tag("rows", produced)
+        self.stats["selects"] += 1
+        text = render_analyze(plan, op_stats, planning_ms, execution_ms)
+        return Result(rowcount=produced, plan=text)
+
+    # ------------------------------------------------------------------
+    # Observability API
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """A JSON-serialisable dict of every layer's counters.
+
+        Covers storage (pager, WAL, B+-tree), transactions, planner
+        decisions, statement counts, the slow log, and the attached metrics
+        registry (which carries the forms/windows layer's counters and span
+        histograms when this database shares the process default registry).
+        """
+        pager_stats: Dict[str, int] = {}
+        btree_stats = {"trees": 0, "node_visits": 0, "max_depth": 0}
+        for table in self.catalog.tables():
+            pager = getattr(table.heap, "_pager", None)
+            stats = getattr(pager, "stats", None)
+            if stats:
+                for key, value in stats.items():
+                    pager_stats[key] = pager_stats.get(key, 0) + value
+            for index in table.indexes.values():
+                tree = getattr(index, "_tree", None)
+                if tree is not None:
+                    btree_stats["trees"] += 1
+                    btree_stats["node_visits"] += tree.node_visits
+                    btree_stats["max_depth"] = max(
+                        btree_stats["max_depth"], tree.depth()
+                    )
+        return {
+            "statements": dict(self.stats),
+            "pager": pager_stats,
+            "wal": dict(self.wal.stats) if self.wal is not None else {},
+            "btree": btree_stats,
+            "txn": dict(self.txn.stats),
+            "planner": dict(self.planner.metrics),
+            "slow_log": {
+                "threshold_ms": self.slow_log.threshold_ms,
+                "entries": len(self.slow_log),
+                "dropped": self.slow_log.dropped,
+            },
+            "registry": self.obs.snapshot(),
+        }
+
+    def slow_operations(self) -> List[Dict[str, Any]]:
+        """The slow log's entries, oldest first (JSON-serialisable)."""
+        return self.slow_log.entries()
+
+    def set_slow_threshold(self, threshold_ms: float) -> None:
+        """Operations at or above *threshold_ms* land in the slow log."""
+        self.slow_log.threshold_ms = threshold_ms
 
     def _run_select(self, select: A.Select) -> Result:
         self._check_select_privileges(select)

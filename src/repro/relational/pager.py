@@ -50,6 +50,8 @@ class MemoryPager(Pager):
 
     def __init__(self) -> None:
         self._pages: list = []
+        #: statistics counters, exposed for metrics_snapshot/benchmarks
+        self.stats: Dict[str, int] = {"reads": 0, "writes": 0}
 
     def page_count(self) -> int:
         return len(self._pages)
@@ -59,6 +61,7 @@ class MemoryPager(Pager):
         return len(self._pages) - 1
 
     def read_page(self, page_no: int) -> bytearray:
+        self.stats["reads"] += 1
         try:
             return self._pages[page_no]
         except IndexError as exc:
@@ -67,6 +70,7 @@ class MemoryPager(Pager):
     def mark_dirty(self, page_no: int) -> None:
         if not 0 <= page_no < len(self._pages):
             raise StorageError(f"no such page {page_no}")
+        self.stats["writes"] += 1
 
     def flush(self) -> None:
         pass
@@ -100,7 +104,13 @@ class FilePager(Pager):
             )
         self._page_count = size // PAGE_SIZE
         #: statistics counters, exposed for benchmarks and tests
-        self.stats: Dict[str, int] = {"hits": 0, "misses": 0, "evictions": 0, "writes": 0}
+        self.stats: Dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "writes": 0,
+            "fsyncs": 0,
+        }
 
     # -- Pager interface -----------------------------------------------------
 
@@ -148,6 +158,7 @@ class FilePager(Pager):
             self._write_back(page_no)
         self._dirty.clear()
         os.fsync(self._fd)
+        self.stats["fsyncs"] += 1
         # Shrink an overflowed pool back to its target (oldest-first).
         while len(self._pool) > self._pool_size:
             self._pool.popitem(last=False)

@@ -67,11 +67,23 @@ class Planner:
         self.config = config or PlannerConfig()
         #: optimizer statistics from ANALYZE: table name -> TableStats
         self.stats: Dict[str, Any] = {}
+        #: lifetime counters of planning decisions, exposed through
+        #: Database.metrics_snapshot()
+        self.metrics: Dict[str, int] = {
+            "plans": 0,
+            "seq_scans": 0,
+            "index_eq_scans": 0,
+            "index_range_scans": 0,
+            "nl_joins": 0,
+            "hash_joins": 0,
+            "merge_joins": 0,
+        }
 
     # -- public API ---------------------------------------------------------
 
     def plan_select(self, select: A.Select) -> Alg.Operator:
         """Produce an executable operator tree for *select*."""
+        self.metrics["plans"] += 1
         if select.from_table is None:
             return self._plan_constant_select(select)
         bindings = self._collect_bindings(select)
@@ -373,6 +385,7 @@ class Planner:
                 key = tuple(eq_values[col] for col in index.columns)
                 used = {eq_conjuncts[col] for col in index.columns}
                 remaining = [c for c in conjuncts if c not in used]
+                self.metrics["index_eq_scans"] += 1
                 return (
                     Alg.IndexEqScan(table, index, key, binding.alias),
                     remaining,
@@ -390,12 +403,14 @@ class Planner:
                 column.name, conjuncts
             )
             remaining = [c for c in conjuncts if c not in used]
+            self.metrics["index_range_scans"] += 1
             return (
                 Alg.IndexRangeScan(
                     table, index, low, high, incl_low, incl_high, binding.alias
                 ),
                 remaining,
             )
+        self.metrics["seq_scans"] += 1
         return Alg.SeqScan(table, binding.alias), conjuncts
 
     @staticmethod
@@ -501,6 +516,7 @@ class Planner:
             bound_predicate = (
                 E.bind(predicate, combined_layout) if predicate is not None else None
             )
+            self.metrics["nl_joins"] += 1
             return Alg.NestedLoopJoin(plan, scan, bound_predicate, left_outer)
 
         outer_positions = [
@@ -514,12 +530,14 @@ class Planner:
             E.bind(residual_expr, combined_layout) if residual_expr is not None else None
         )
         if strategy == "merge" and not left_outer:
+            self.metrics["merge_joins"] += 1
             joined: Alg.Operator = Alg.MergeJoin(
                 plan, scan, outer_positions, inner_positions
             )
             if bound_residual is not None:
                 joined = Alg.Filter(joined, bound_residual)
             return joined
+        self.metrics["hash_joins"] += 1
         return Alg.HashJoin(
             plan, scan, outer_positions, inner_positions, bound_residual, left_outer
         )

@@ -42,6 +42,8 @@ class TransactionManager:
         #: callbacks fired after COMMIT/ROLLBACK, e.g. WAL hooks
         self.on_commit: List[Callable[[], None]] = []
         self.on_rollback: List[Callable[[], None]] = []
+        #: lifetime counters, exposed through Database.metrics_snapshot()
+        self.stats: Dict[str, int] = {"begins": 0, "commits": 0, "rollbacks": 0}
 
     # -- state ------------------------------------------------------------
 
@@ -56,6 +58,7 @@ class TransactionManager:
             raise TransactionError("a transaction is already open")
         self._entries = []
         self._txn_counter += 1
+        self.stats["begins"] += 1
         return self._txn_counter
 
     def commit(self) -> None:
@@ -63,6 +66,7 @@ class TransactionManager:
         if not self.active:
             raise TransactionError("COMMIT without BEGIN")
         self._entries = None
+        self.stats["commits"] += 1
         for hook in self.on_commit:
             hook()
 
@@ -72,6 +76,7 @@ class TransactionManager:
             raise TransactionError("ROLLBACK without BEGIN")
         entries = self._entries
         self._entries = None  # log nothing while undoing
+        self.stats["rollbacks"] += 1
         self._undo(entries)
         for hook in self.on_rollback:
             hook()

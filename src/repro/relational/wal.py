@@ -47,7 +47,7 @@ class WriteAheadLog:
         )
         self._pending: List[str] = []
         #: statistics for benchmarks/tests
-        self.stats = {"commits": 0, "ops": 0, "bytes": 0}
+        self.stats = {"commits": 0, "ops": 0, "bytes": 0, "fsyncs": 0, "appends": 0}
 
     # -- logging ------------------------------------------------------------
 
@@ -82,8 +82,10 @@ class WriteAheadLog:
         lines = self._pending + [json.dumps({"t": "commit"})]
         payload = ("\n".join(lines) + "\n").encode("utf-8")
         os.write(self._fd, payload)
+        self.stats["appends"] += 1
         if self._fsync:
             os.fsync(self._fd)
+            self.stats["fsyncs"] += 1
         self.stats["commits"] += 1
         self.stats["ops"] += len(self._pending)
         self.stats["bytes"] += len(payload)

@@ -234,7 +234,11 @@ class Rollback(Statement):
 
 @dataclass
 class Explain(Statement):
+    """EXPLAIN [ANALYZE] SELECT — with ANALYZE the query is executed and
+    the plan is annotated with per-operator row counts and timings."""
+
     query: Select
+    analyze: bool = False
 
 
 @dataclass

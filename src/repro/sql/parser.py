@@ -214,7 +214,8 @@ class _Parser:
                 return A.RollbackTo(self.expect_ident("savepoint name"))
             return A.Rollback()
         if self.accept_keyword("EXPLAIN"):
-            return A.Explain(self.select())
+            analyze = bool(self.accept_keyword("ANALYZE"))
+            return A.Explain(self.select(), analyze=analyze)
         if self.accept_keyword("ANALYZE"):
             table = self.advance().value if self.at("IDENT") else None
             return A.Analyze(table)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+from repro.obs import get_registry
 from repro.windows.screen import Cell, ScreenBuffer
 
 
@@ -51,6 +52,11 @@ class Renderer:
         self.cells_transmitted += transmitted
         self.last_frame_cells = transmitted
         self.frames += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("windows.frames").inc()
+            registry.counter("windows.cells_transmitted").inc(transmitted)
+            registry.histogram("windows.frame_cells").observe(transmitted)
         return transmitted
 
     def changed_cells(self) -> List[Tuple[int, int, Cell]]:

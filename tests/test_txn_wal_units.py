@@ -128,7 +128,13 @@ class TestWriteAheadLogUnit:
         assert wal.pending_ops == 1
         wal.commit()
         assert wal.pending_ops == 0
-        assert wal.stats == {"commits": 1, "ops": 1, "bytes": wal.stats["bytes"]}
+        assert wal.stats == {
+            "commits": 1,
+            "ops": 1,
+            "bytes": wal.stats["bytes"],
+            "fsyncs": 0,  # fsync=False in make()
+            "appends": 1,
+        }
         wal.close()
 
     def test_empty_commit_writes_nothing(self, tmp_path):
