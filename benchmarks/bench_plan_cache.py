@@ -1,0 +1,148 @@
+"""Plan/statement cache benchmark: planning cost on hit vs miss, and the
+hit rate of the forms refresh loop.
+
+Three measurements:
+
+1. **Planning cost** — parse+plan from scratch vs serving the memoized
+   plan from the cache (the tentpole claim: >= 5x cheaper on a hit).
+2. **End-to-end statement cost** — ``db.execute`` throughput with the
+   cache on (warm) vs off (``plan_cache_size=0``).
+3. **Forms refresh hit rate** — a generated form refreshed repeatedly and
+   scrolled through QBF criteria must serve >= 90% of its statements from
+   the cache (the CI smoke gate).
+
+Run standalone (``python benchmarks/bench_plan_cache.py [--smoke]``);
+``--smoke`` uses small iteration counts and exits non-zero if the hit-rate
+gate fails.  Results land in ``benchmarks/results/plan_cache.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.forms.generate import generate_form  # noqa: E402
+from repro.forms.runtime import FormController  # noqa: E402
+from repro.relational.database import Database  # noqa: E402
+from repro.sql.parser import parse_statement  # noqa: E402
+from repro.workloads import build_university  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+SQL = (
+    "SELECT s.name, d.name FROM students s "
+    "JOIN departments d ON s.major_id = d.id "
+    "WHERE s.gpa >= 3.0 AND s.year = 2 ORDER BY s.name"
+)
+
+
+def time_per_call(fn, iterations: int) -> float:
+    """Mean microseconds per call."""
+    start = time.perf_counter()
+    for _ in range(iterations):
+        fn()
+    return (time.perf_counter() - start) / iterations * 1e6
+
+
+def bench_planning_cost(db: Database, iterations: int):
+    """(fresh parse+plan µs, cached lookup+serve µs)."""
+
+    def fresh():
+        db.planner.plan_select(parse_statement(SQL))
+
+    db.execute(SQL)  # warm the cache entry
+
+    def cached():
+        entry = db._lookup_statement(SQL)
+        db._select_plan(entry.statement, cache_entry=entry)
+
+    fresh()  # warm code paths before timing
+    cached()
+    return time_per_call(fresh, iterations), time_per_call(cached, iterations)
+
+
+def bench_end_to_end(iterations: int):
+    """(execute µs with cache, execute µs without cache)."""
+    cached_db = build_university(students=300, courses=20)
+    uncached_db = build_university(Database(plan_cache_size=0), students=300, courses=20)
+    cached_db.execute(SQL)
+    uncached_db.execute(SQL)
+    on = time_per_call(lambda: cached_db.execute(SQL), iterations)
+    off = time_per_call(lambda: uncached_db.execute(SQL), iterations)
+    return on, off
+
+
+def bench_forms_hit_rate(refreshes: int):
+    """Hit rate of a form's refresh/QBF loop, from the cache counters."""
+    db = build_university(students=200, courses=20)
+    controller = FormController(db, generate_form(db, "students"))
+    before = db.metrics_snapshot()["plan_cache"]
+    for i in range(refreshes):
+        controller.refresh()
+        if i % 10 == 5:  # periodically re-filter with a fresh criterion value
+            controller.begin_query()
+            controller.set_field("year", str(1 + i % 4))
+            controller.execute_query()
+    after = db.metrics_snapshot()["plan_cache"]
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    return hits, misses, hits / max(1, hits + misses)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small iteration counts; exit 1 if the refresh hit rate < 90%%",
+    )
+    args = parser.parse_args(argv)
+    iterations = 50 if args.smoke else 500
+    refreshes = 50 if args.smoke else 200
+
+    db = build_university(students=300, courses=20)
+    fresh_us, cached_us = bench_planning_cost(db, iterations)
+    speedup = fresh_us / cached_us if cached_us else float("inf")
+    on_us, off_us = bench_end_to_end(iterations)
+    hits, misses, hit_rate = bench_forms_hit_rate(refreshes)
+
+    lines = [
+        "Plan/statement cache benchmark",
+        "",
+        f"planning cost   fresh parse+plan : {fresh_us:10.1f} us/stmt",
+        f"                cached hit       : {cached_us:10.1f} us/stmt",
+        f"                reduction        : {speedup:10.1f} x",
+        "",
+        f"end-to-end      cache on (warm)  : {on_us:10.1f} us/execute",
+        f"                cache off        : {off_us:10.1f} us/execute",
+        f"                speedup          : {off_us / on_us:10.2f} x",
+        "",
+        f"forms refresh   hits={hits} misses={misses} hit rate={hit_rate:.1%}",
+        "",
+        f"mode: {'smoke' if args.smoke else 'full'} "
+        f"(iterations={iterations}, refreshes={refreshes})",
+    ]
+    text = "\n".join(lines)
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "plan_cache.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+    failures = []
+    if hit_rate < 0.9:
+        failures.append(f"refresh hit rate {hit_rate:.1%} < 90%")
+    if speedup < 5.0:
+        failures.append(f"planning-cost reduction {speedup:.1f}x < 5x")
+    if failures:
+        print("FAIL: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -67,6 +67,7 @@ def _snapshot_lines(db: Database) -> List[str]:
         ("btree", "btree"),
         ("txn", "txn"),
         ("planner", "planner"),
+        ("plan cache", "plan_cache"),
     ):
         counters = snap[key]
         section(title)

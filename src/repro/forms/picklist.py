@@ -20,6 +20,23 @@ from repro.windows.window import Window
 MAX_VISIBLE_ROWS = 8
 
 
+def pick_sql(pick) -> str:
+    """The SELECT behind a pick list.
+
+    The text is a pure function of the (immutable) pick-list spec, so the
+    runtime can prepare it once and hit the plan cache on every F7.
+    """
+    if pick.label_column and pick.label_column != pick.key_column:
+        return (
+            f"SELECT {pick.key_column}, {pick.label_column} "
+            f"FROM {pick.parent_table} ORDER BY {pick.key_column}"
+        )
+    return (
+        f"SELECT {pick.key_column} "
+        f"FROM {pick.parent_table} ORDER BY {pick.key_column}"
+    )
+
+
 class PickListWindow(Window):
     """A modal-ish popup offering (value, label) choices."""
 

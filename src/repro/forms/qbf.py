@@ -4,7 +4,7 @@ In QUERY mode the user types a *criterion* into any field; the conjunction
 of all non-empty criteria becomes the WHERE clause.  Criterion grammar::
 
     5            equality (typed per the column)
-    >5  >=5      comparison (also <, <=, !=)
+    >5  >=5      comparison (also <, <=, !=, <>)
     a%  _x%      LIKE pattern (any text containing % or _)
     ~            IS NULL
     !~           IS NOT NULL
@@ -22,7 +22,7 @@ from repro.errors import FieldValidationError
 from repro.relational import expr as E
 from repro.relational.types import ColumnType, parse_input
 
-_OPS = ("<=", ">=", "!=", "<", ">", "=")
+_OPS = ("<=", ">=", "!=", "<>", "<", ">", "=")
 
 
 def parse_criterion(column: str, text: str, ctype: ColumnType) -> Optional[E.Expr]:
@@ -42,7 +42,8 @@ def parse_criterion(column: str, text: str, ctype: ColumnType) -> Optional[E.Exp
     for op in _OPS:
         if text.startswith(op):
             value = _typed(text[len(op):], ctype)
-            actual = "=" if op == "=" else op
+            # <> is the SQL spelling of !=; expression trees use != only.
+            actual = "!=" if op == "<>" else op
             return E.BinOp(actual, ref, E.Literal(value))
     if ".." in text:
         low_text, _sep, high_text = text.partition("..")

@@ -18,14 +18,16 @@ Mode machine (classic 1983 forms interface)::
 from __future__ import annotations
 
 import enum
+from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import FieldValidationError, FormModeError
+from repro.forms.picklist import pick_sql
 from repro.forms.qbf import build_predicate
 from repro.forms.spec import FormSpec
 from repro.obs import get_registry
 from repro.relational import expr as E
-from repro.relational.database import Database
+from repro.relational.database import Database, PreparedStatement
 from repro.relational.types import format_value, parse_input
 from repro.windows.events import Key, KeyEvent
 
@@ -40,6 +42,9 @@ class Mode(enum.Enum):
 class FormController:
     """All form behaviour over a Database, with no UI dependency."""
 
+    #: distinct statement shapes kept prepared per form (LRU beyond this)
+    _MAX_PREPARED = 16
+
     def __init__(self, db: Database, spec: FormSpec) -> None:
         self.db = db
         self.spec = spec
@@ -53,6 +58,10 @@ class FormController:
         #: predicate from the last executed query-by-form
         self.query_filter: Optional[E.Expr] = None
         self.on_record_change: List[Callable[[], None]] = []
+        #: prepared handles keyed by SQL text — filter *values* become ``?``
+        #: parameters, so scrolling a linked master or re-running QBF with
+        #: new criteria values reuses one statement shape (and its plan).
+        self._prepared: "OrderedDict[str, PreparedStatement]" = OrderedDict()
         self.refresh()
 
     # -- data ----------------------------------------------------------------
@@ -60,11 +69,11 @@ class FormController:
     def refresh(self, keep_position: bool = False) -> None:
         """Re-run the form's query and reload the current record."""
         key = self._current_key() if keep_position and self.rows else None
-        sql = self._select_sql()
+        sql, params = self._select_sql()
         with self.db.tracer.span(
             "form.refresh", {"source": self.spec.source}
         ) as span:
-            self.rows = self.db.query(sql)
+            self.rows = self._prepared_stmt(sql).query(params)
             span.tag("rows", len(self.rows))
         get_registry().add("forms.refreshes")
         if key is not None:
@@ -77,7 +86,8 @@ class FormController:
         self.position = min(self.position, max(0, len(self.rows) - 1))
         self._load_current()
 
-    def _select_sql(self) -> str:
+    def _select_sql(self) -> Tuple[str, Tuple[Any, ...]]:
+        """The form's SELECT with filter constants lifted out as parameters."""
         items = []
         for field in self.spec.fields:
             if field.virtual:
@@ -91,11 +101,25 @@ class FormController:
         if self.extra_filter is not None:
             conjuncts.extend(E.split_conjuncts(self.extra_filter))
         predicate = E.conjoin(conjuncts)
+        params: List[Any] = []
         if predicate is not None:
+            predicate = E.extract_params(predicate, params)
             sql += f" WHERE {predicate.to_sql()}"
         if self.spec.order_by:
             sql += " ORDER BY " + ", ".join(self.spec.order_by)
-        return sql
+        return sql, tuple(params)
+
+    def _prepared_stmt(self, sql: str) -> PreparedStatement:
+        """The prepared handle for *sql*, kept in a small per-form LRU."""
+        stmt = self._prepared.get(sql)
+        if stmt is None:
+            stmt = self.db.prepare(sql)
+            self._prepared[sql] = stmt
+            while len(self._prepared) > self._MAX_PREPARED:
+                self._prepared.popitem(last=False)
+        else:
+            self._prepared.move_to_end(sql)
+        return stmt
 
     @property
     def current_row(self) -> Optional[Tuple[Any, ...]]:
@@ -226,14 +250,10 @@ class FormController:
         if field.pick_list is None:
             return []
         pick = field.pick_list
+        rows = self._prepared_stmt(pick_sql(pick)).query()
         if pick.label_column and pick.label_column != pick.key_column:
-            sql = (
-                f"SELECT {pick.key_column}, {pick.label_column} "
-                f"FROM {pick.parent_table} ORDER BY {pick.key_column}"
-            )
-            return [(row[0], str(row[1])) for row in self.db.query(sql)]
-        sql = f"SELECT {pick.key_column} FROM {pick.parent_table} ORDER BY {pick.key_column}"
-        return [(row[0], format_value(row[0])) for row in self.db.query(sql)]
+            return [(row[0], str(row[1])) for row in rows]
+        return [(row[0], format_value(row[0])) for row in rows]
 
     # -- actions -----------------------------------------------------------
 

@@ -14,7 +14,7 @@ join before materialisation, or a re-executed view).
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Iterator, List, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.relational.algebra import Operator
 
@@ -73,8 +73,16 @@ def render_analyze(
     stats: Dict[int, OpStats],
     planning_ms: float,
     execution_ms: float,
+    plan_cache: Optional[Dict[str, int]] = None,
 ) -> str:
-    """The annotated plan text returned by EXPLAIN ANALYZE."""
+    """The annotated plan text returned by EXPLAIN ANALYZE.
+
+    *plan_cache*, when given, is the database's statement-cache counter
+    snapshot; EXPLAIN ANALYZE itself always plans fresh (instrumentation
+    wraps the plan's ``rows`` methods, which must never leak into a cached
+    tree), so the line reports the cache's lifetime counters, not a hit for
+    this statement.
+    """
     lines: List[str] = []
 
     def walk(op: Operator, depth: int) -> None:
@@ -93,6 +101,11 @@ def render_analyze(
 
     walk(root, 0)
     lines.append(f"Planning Time: {planning_ms:.3f} ms")
+    if plan_cache is not None:
+        lines.append(
+            "Plan Cache: hits={hits} misses={misses} "
+            "invalidations={invalidations}".format(**plan_cache)
+        )
     lines.append(f"Execution Time: {execution_ms:.3f} ms")
     return "\n".join(lines)
 

@@ -32,6 +32,18 @@ class Catalog:
         self._heap_factory = heap_factory or (lambda name: HeapFile(MemoryPager()))
         self._tables: Dict[str, Table] = {}
         self._views: Dict[str, ViewDefinition] = {}
+        #: Monotonic counter bumped on every schema change.  Consumers key
+        #: memoized derivations (updatability analyses, cached plans) on it
+        #: so a stale derivation can never outlive the schema it described.
+        self.generation: int = 0
+        #: view name -> (generation, UpdatableViewInfo) memo; see
+        #: :func:`repro.views.update.analyze_updatability`.
+        self.updatability_cache: Dict[str, tuple] = {}
+
+    def bump_generation(self) -> None:
+        """Record a schema change: invalidate every generation-keyed memo."""
+        self.generation += 1
+        self.updatability_cache.clear()
 
     # -- tables ---------------------------------------------------------------
 
@@ -40,12 +52,14 @@ class Catalog:
         self._check_free(schema.name)
         table = Table(schema, self._heap_factory(schema.name))
         self._tables[schema.name] = table
+        self.bump_generation()
         return table
 
     def add_existing_table(self, table: Table) -> None:
         """Register a table object built elsewhere (recovery path)."""
         self._check_free(table.name)
         self._tables[table.name] = table
+        self.bump_generation()
 
     def drop_table(self, name: str) -> Table:
         """Unregister a table; fails if any view depends on it."""
@@ -59,6 +73,7 @@ class Catalog:
                 f"cannot drop table {name!r}: views depend on it: {dependants}"
             )
         del self._tables[name]
+        self.bump_generation()
         return table
 
     def table(self, name: str) -> Table:
@@ -83,6 +98,7 @@ class Catalog:
     def create_view(self, view: ViewDefinition) -> None:
         self._check_free(view.name)
         self._views[view.name] = view
+        self.bump_generation()
 
     def drop_view(self, name: str) -> ViewDefinition:
         name = name.lower()
@@ -98,6 +114,7 @@ class Catalog:
                 f"cannot drop view {name!r}: views depend on it: {dependants}"
             )
         del self._views[name]
+        self.bump_generation()
         return view
 
     def view(self, name: str) -> ViewDefinition:

@@ -39,6 +39,7 @@ from repro.relational import expr as E
 from repro.relational.catalog import Catalog
 from repro.relational.heap import HeapFile, RowId
 from repro.relational.pager import FilePager, MemoryPager
+from repro.relational.plancache import CacheEntry, PlanCache
 from repro.relational.planner import Planner, PlannerConfig
 from repro.relational.schema import Column, ForeignKey, TableSchema
 from repro.relational.table import Table
@@ -46,7 +47,7 @@ from repro.relational.txn import TransactionManager
 from repro.relational.types import ColumnType
 from repro.relational.wal import WriteAheadLog
 from repro.sql import ast_nodes as A
-from repro.sql.parser import parse_script, parse_statement
+from repro.sql.parser import parse_prepared, parse_script, parse_statement
 from repro.views.definition import ViewDefinition
 from repro.views.update import UpdatableViewInfo, analyze_updatability
 
@@ -75,6 +76,53 @@ class Result:
         return [dict(zip(self.columns, row)) for row in self.rows]
 
 
+class PreparedStatement:
+    """A parsed (and, for SELECTs, planned) statement with ``?`` parameters.
+
+    Obtained from :meth:`Database.prepare`.  The handle owns the live
+    :class:`~repro.relational.expr.Param` nodes embedded in its AST;
+    :meth:`execute` assigns their values and runs the statement without
+    re-lexing or re-parsing.  For cacheable SELECTs the physical plan is
+    kept on the handle and reused until the database's plan generation
+    moves (DDL, ANALYZE, or a planner-config change), at which point the
+    next execute re-plans transparently.
+    """
+
+    def __init__(
+        self,
+        db: "Database",
+        sql: str,
+        statement: A.Statement,
+        params: Sequence[E.Param],
+    ) -> None:
+        self._db = db
+        self.sql = sql
+        self.statement = statement
+        self._params = tuple(params)
+        #: plan slot managed by Database._select_plan
+        self._plan: Optional[Any] = None
+        self._plan_generation: Optional[int] = None
+
+    @property
+    def param_count(self) -> int:
+        return len(self._params)
+
+    def execute(self, args: Sequence[Any] = ()) -> Result:
+        """Bind *args* to the ``?`` markers (in order) and run."""
+        if len(args) != len(self._params):
+            raise SqlError(
+                f"prepared statement takes {len(self._params)} parameter(s), "
+                f"got {len(args)}"
+            )
+        for param, value in zip(self._params, args):
+            param.set(value)
+        return self._db._execute_prepared(self)
+
+    def query(self, args: Sequence[Any] = ()) -> List[Row]:
+        """Shorthand: execute and return the rows."""
+        return self.execute(args).rows
+
+
 class Database:
     """A relational database instance (see module docstring)."""
 
@@ -85,6 +133,7 @@ class Database:
         planner_config: Optional[PlannerConfig] = None,
         obs: Optional[Registry] = None,
         slow_ms: Optional[float] = None,
+        plan_cache_size: int = 128,
     ) -> None:
         self.path = path
         #: observability: metrics registry (shared process default unless a
@@ -106,6 +155,11 @@ class Database:
             self._load_catalog()
             self._recover()
         self.planner = Planner(self.catalog, self.planner_config)
+        #: statement/plan cache; ``plan_cache_size=0`` disables memoization
+        #: entirely (every execute re-parses and re-plans, the pre-cache
+        #: behaviour — used by benchmarks for before/after comparisons)
+        self.plan_cache = PlanCache(capacity=plan_cache_size)
+        self._catalog_generation_seen = self.catalog.generation
         if self.wal is not None:
             self.txn.on_commit.append(self.wal.commit)
             self.txn.on_rollback.append(self.wal.discard_pending)
@@ -124,17 +178,38 @@ class Database:
         """Switch the session user (authentication was the OS's job in 1983)."""
         self.current_user = name.lower()
 
+    def set_planner_config(self, config: PlannerConfig) -> None:
+        """Swap the planner configuration, invalidating every cached plan.
+
+        In-place mutation of :attr:`planner_config` is also safe — the
+        config fingerprint is part of every cache key — but this is the
+        supported way to change configuration at runtime, and it bumps the
+        cache generation so prepared-statement plans re-plan too.
+        """
+        self.planner_config = config
+        self.planner.config = config
+        self._invalidate_plans()
+
     # ------------------------------------------------------------------
     # SQL entry points
     # ------------------------------------------------------------------
 
     def execute(self, sql: str) -> Result:
-        """Parse and execute a single SQL statement."""
-        statement = parse_statement(sql)
+        """Parse and execute a single SQL statement.
+
+        Parsed ASTs — and, for cacheable SELECTs, physical plans — are
+        memoized in :attr:`plan_cache`, keyed on the normalized statement
+        text and the planner-config fingerprint.  DDL, ``ANALYZE``, and
+        planner-config changes invalidate every cached entry; plain DML
+        does not (plans read live tables, so data changes are always
+        visible).
+        """
+        entry = self._lookup_statement(sql)
+        statement = entry.statement
         with self.tracer.span(
             "db.execute", {"stmt": type(statement).__name__}
         ) as span:
-            result = self._execute_statement(statement, sql)
+            result = self._execute_statement(statement, sql, cache_entry=entry)
             span.tag("rows", result.rowcount)
         return result
 
@@ -146,6 +221,17 @@ class Database:
         """Shorthand: execute a SELECT and return its rows."""
         return self.execute(sql).rows
 
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Parse *sql* once into a reusable handle with ``?`` parameters.
+
+        The forms runtime's hot path: refresh/scroll/picklist queries are
+        prepared once per statement shape and re-executed with new
+        parameter values, skipping the lexer, parser, and (until the next
+        DDL/ANALYZE/config change) the planner.
+        """
+        statement, params = parse_prepared(sql)
+        return PreparedStatement(self, sql, statement, params)
+
     def stream(self, sql: str) -> Tuple[List[str], Iterator[Row]]:
         """Execute a SELECT lazily: (column names, row iterator).
 
@@ -153,13 +239,131 @@ class Database:
         up front, so huge scans cost O(1) memory.  Do not run DML on the
         tables being scanned while the iterator is live.
         """
-        statement = parse_statement(sql)
+        entry = self._lookup_statement(sql)
+        statement = entry.statement
         if not isinstance(statement, A.Select):
             raise SqlError("stream() takes a single SELECT")
         self._check_select_privileges(statement)
-        plan = self.planner.plan_select(statement)
+        plan = self._select_plan(statement, cache_entry=entry)
         self.stats["selects"] += 1
         return plan.layout.names(), plan.rows()
+
+    # -- statement/plan cache plumbing --------------------------------------
+
+    def _plan_generation(self) -> int:
+        """The current plan-cache generation.
+
+        Folds in out-of-band catalog changes (code that mutates
+        ``db.catalog`` directly, bypassing SQL DDL): whenever the catalog's
+        own generation has moved since we last looked, every cached plan is
+        invalidated here before anyone can be served a stale one.
+        """
+        if self.catalog.generation != self._catalog_generation_seen:
+            self._invalidate_plans()
+        return self.plan_cache.generation
+
+    def _invalidate_plans(self) -> None:
+        """Bump the plan-cache generation (and absorb the catalog's)."""
+        self.plan_cache.invalidate()
+        self._catalog_generation_seen = self.catalog.generation
+
+    def _lookup_statement(self, sql: str) -> CacheEntry:
+        """The cache entry for *sql*, parsing and registering on a miss."""
+        self._plan_generation()  # sync before the lookup, never after
+        key = self.plan_cache.key(sql, self.planner_config.fingerprint())
+        entry = self.plan_cache.lookup(key)
+        if entry is None:
+            statement = parse_statement(sql)
+            entry = self.plan_cache.store(key, statement, None)
+        return entry
+
+    def _select_plan(
+        self,
+        select: A.Select,
+        cache_entry: Optional[CacheEntry] = None,
+        prepared: Optional[PreparedStatement] = None,
+    ) -> Any:
+        """A physical plan for *select*, served from the cache when safe."""
+        generation = self._plan_generation()
+        if prepared is not None:
+            if prepared._plan is not None and prepared._plan_generation == generation:
+                self.plan_cache.stats["hits"] += 1
+                return prepared._plan
+            self.plan_cache.stats["misses"] += 1
+        elif (
+            cache_entry is not None
+            and cache_entry.plan is not None
+            and cache_entry.generation == generation
+        ):
+            return cache_entry.plan
+        plan = self.planner.plan_select(select)
+        if self._plan_cacheable(select):
+            if prepared is not None:
+                prepared._plan = plan
+                prepared._plan_generation = generation
+            elif cache_entry is not None and cache_entry.generation == generation:
+                cache_entry.plan = plan
+        return plan
+
+    def _plan_cacheable(self, select: A.Select) -> bool:
+        """True when re-running *select*'s operator tree is always correct.
+
+        Two constructs freeze transient state into the plan and so forbid
+        plan reuse (the AST is still cached): uncorrelated subqueries are
+        materialised into literal lists at plan time, and system-table
+        scans snapshot the catalog into a throwaway table.  View expansion
+        recurses: a view whose definition contains either construct taints
+        every statement that reads it.
+        """
+        from repro.relational.catalog import SYSTEM_TABLE_NAMES
+        from repro.sql.parser import AggExpr, SubqueryExpr
+
+        def expr_clean(expr: Any) -> bool:
+            if not isinstance(expr, E.Expr):
+                if isinstance(expr, A.AggCall):
+                    return expr.arg is None or expr_clean(expr.arg)
+                return True
+            for node in expr.walk():
+                if isinstance(node, SubqueryExpr):
+                    return False
+                if isinstance(node, AggExpr):
+                    call = node.call
+                    if call.arg is not None and not expr_clean(call.arg):
+                        return False
+            return True
+
+        def select_clean(sel: A.Select) -> bool:
+            sources: List[str] = []
+            if sel.from_table is not None:
+                sources.append(sel.from_table.name.lower())
+            sources.extend(join.table.name.lower() for join in sel.joins)
+            for name in sources:
+                if name in SYSTEM_TABLE_NAMES:
+                    return False
+                if self.catalog.has_view(name):
+                    if not select_clean(self.catalog.view(name).query):
+                        return False
+            exprs: List[Any] = [sel.where, sel.having]
+            exprs.extend(join.condition for join in sel.joins)
+            exprs.extend(sel.group_by)
+            exprs.extend(item.expr for item in sel.order_by)
+            exprs.extend(item.expr for item in sel.items if item.expr is not None)
+            return all(expr is None or expr_clean(expr) for expr in exprs)
+
+        return select_clean(select)
+
+    def _execute_prepared(self, prepared: PreparedStatement) -> Result:
+        """Run a prepared statement (parameters already bound by the handle)."""
+        statement = prepared.statement
+        with self.tracer.span(
+            "db.execute", {"stmt": type(statement).__name__, "prepared": True}
+        ) as span:
+            if isinstance(statement, A.Select):
+                result = self._run_select(statement, prepared=prepared)
+            else:
+                result = self._execute_statement(statement, prepared.sql)
+            span.tag("rows", result.rowcount)
+        return result
 
     # ------------------------------------------------------------------
     # Programmatic DML (used by the forms runtime)
@@ -240,9 +444,14 @@ class Database:
     # Statement dispatch
     # ------------------------------------------------------------------
 
-    def _execute_statement(self, statement: A.Statement, sql_text: str) -> Result:
+    def _execute_statement(
+        self,
+        statement: A.Statement,
+        sql_text: str,
+        cache_entry: Optional[CacheEntry] = None,
+    ) -> Result:
         if isinstance(statement, A.Select):
-            return self._run_select(statement)
+            return self._run_select(statement, cache_entry=cache_entry)
         if isinstance(statement, A.Union):
             for arm in statement.selects:
                 self._check_select_privileges(arm)
@@ -484,6 +693,9 @@ class Database:
             tables = self.catalog.tables()
         for table in tables:
             self.planner.stats[table.name] = analyze_table(table)
+        # Fresh statistics can change index and join choices; cached plans
+        # made under the old statistics must not survive.
+        self._invalidate_plans()
         return Result(rowcount=len(tables))
 
     def _run_grant_revoke(self, statement) -> Result:
@@ -567,7 +779,10 @@ class Database:
             execution_ms = (time.perf_counter() - start) * 1000.0
             span.tag("rows", produced)
         self.stats["selects"] += 1
-        text = render_analyze(plan, op_stats, planning_ms, execution_ms)
+        text = render_analyze(
+            plan, op_stats, planning_ms, execution_ms,
+            plan_cache=self.plan_cache.snapshot(),
+        )
         return Result(rowcount=produced, plan=text)
 
     # ------------------------------------------------------------------
@@ -605,6 +820,7 @@ class Database:
             "btree": btree_stats,
             "txn": dict(self.txn.stats),
             "planner": dict(self.planner.metrics),
+            "plan_cache": self.plan_cache.snapshot(),
             "slow_log": {
                 "threshold_ms": self.slow_log.threshold_ms,
                 "entries": len(self.slow_log),
@@ -621,9 +837,14 @@ class Database:
         """Operations at or above *threshold_ms* land in the slow log."""
         self.slow_log.threshold_ms = threshold_ms
 
-    def _run_select(self, select: A.Select) -> Result:
+    def _run_select(
+        self,
+        select: A.Select,
+        cache_entry: Optional[CacheEntry] = None,
+        prepared: Optional[PreparedStatement] = None,
+    ) -> Result:
         self._check_select_privileges(select)
-        plan = self.planner.plan_select(select)
+        plan = self._select_plan(select, cache_entry=cache_entry, prepared=prepared)
         rows = list(plan.rows())
         self.stats["selects"] += 1
         return Result(columns=plan.layout.names(), rows=rows, rowcount=len(rows))
@@ -814,7 +1035,17 @@ class Database:
         return Result()
 
     def _ddl_checkpoint(self) -> None:
-        """DDL is made durable immediately (documented simplification)."""
+        """Common DDL epilogue: invalidate cached plans, then make durable.
+
+        The invalidation is unconditional — every DDL path (CREATE/DROP
+        TABLE/VIEW/INDEX, ALTER) funnels through here, and a generation
+        bump is required even when the durability step is skipped (memory
+        databases, DDL inside a transaction).  Catalog mutations also bump
+        ``catalog.generation``, which :meth:`_plan_generation` folds in;
+        this explicit bump covers index DDL, which changes no catalog
+        entry but changes what the planner would choose.
+        """
+        self._invalidate_plans()
         if self.path is not None and not self.txn.active:
             self.checkpoint()
 

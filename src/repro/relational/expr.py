@@ -141,6 +141,40 @@ class Literal(Expr):
         return hash(("Literal", self.value))
 
 
+class Param(Expr):
+    """A ``?`` placeholder filled in at execute time by a prepared statement.
+
+    Unlike every other node, a Param is deliberately mutable: the parser
+    creates one node per marker, binding and planning thread the *same*
+    object through (``rewrite`` passes unknown leaves along unchanged), and
+    :meth:`PreparedStatement.execute` assigns the value right before
+    evaluation.  Identity (not structural) equality keeps two statements'
+    parameters distinct.
+    """
+
+    __slots__ = ("position", "value", "is_set")
+
+    def __init__(self, position: int) -> None:
+        self.position = position  # zero-based, in lexical order
+        self.value: Any = None
+        self.is_set = False
+
+    def set(self, value: Any) -> None:
+        self.value = value
+        self.is_set = True
+
+    def eval(self, row: Sequence[Any]) -> Any:
+        if not self.is_set:
+            raise ExecutionError(
+                f"parameter ?{self.position + 1} has no value; "
+                "execute this statement through Database.prepare()"
+            )
+        return self.value
+
+    def to_sql(self) -> str:
+        return "?"
+
+
 class ColumnRef(Expr):
     """A reference to a column; bound copies carry a resolved position."""
 
@@ -601,6 +635,28 @@ def rewrite(expr: Expr, fn: Callable[[Expr], Optional[Expr]]) -> Expr:
         node = expr
     replacement = fn(node)
     return node if replacement is None else replacement
+
+
+def extract_params(expr: Expr, values: List[Any]) -> Expr:
+    """Replace every Literal with a bound Param, appending its value to *values*.
+
+    ``rewrite`` visits children in the same order ``to_sql`` renders them, so
+    the collected values line up positionally with the ``?`` markers in the
+    rewritten expression's text.  The forms runtime uses this to turn a
+    per-refresh predicate with embedded literal values into a stable
+    statement text plus a parameter vector, so one prepared plan serves
+    every refresh regardless of the current criterion or link values.
+    """
+
+    def swap(node: Expr) -> Optional[Expr]:
+        if isinstance(node, Literal):
+            param = Param(len(values))
+            param.set(node.value)
+            values.append(node.value)
+            return param
+        return None
+
+    return rewrite(expr, swap)
 
 
 def column_refs(expr: Expr) -> List[ColumnRef]:

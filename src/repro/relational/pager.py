@@ -50,6 +50,7 @@ class MemoryPager(Pager):
 
     def __init__(self) -> None:
         self._pages: list = []
+        self._dirty: set = set()
         #: statistics counters, exposed for metrics_snapshot/benchmarks
         self.stats: Dict[str, int] = {"reads": 0, "writes": 0}
 
@@ -70,10 +71,14 @@ class MemoryPager(Pager):
     def mark_dirty(self, page_no: int) -> None:
         if not 0 <= page_no < len(self._pages):
             raise StorageError(f"no such page {page_no}")
-        self.stats["writes"] += 1
+        # Count a write per page per flush interval, mirroring FilePager's
+        # dirty set, so Memory/File backends report comparable counters.
+        if page_no not in self._dirty:
+            self._dirty.add(page_no)
+            self.stats["writes"] += 1
 
     def flush(self) -> None:
-        pass
+        self._dirty.clear()
 
 
 class FilePager(Pager):
@@ -153,6 +158,12 @@ class FilePager(Pager):
 
     def flush(self) -> None:
         if self._fd is None:
+            return
+        if not self._dirty:
+            # Clean pool: nothing to write back, so the fsync (and its
+            # counter) would only charge callers for a durability no-op.
+            # The pool can only overflow its target while dirty pages pin
+            # it (no-steal), so there is nothing to shrink here either.
             return
         for page_no in sorted(self._dirty):
             self._write_back(page_no)

@@ -1,0 +1,129 @@
+"""Statement & plan cache with generation-based invalidation.
+
+Every ``Database.execute`` used to re-lex, re-parse, and re-plan its
+statement from scratch — a cost the forms runtime pays on every refresh,
+scroll, and master–detail link follow.  This cache memoizes the parsed AST
+and (when safe) the physical plan, keyed on the normalized SQL text plus a
+fingerprint of the active :class:`~repro.relational.planner.PlannerConfig`.
+
+Staleness is impossible by construction: the cache carries a **generation**
+counter, every entry records the generation it was built under, and the
+database bumps the generation on every event that could change what a plan
+means — DDL (``CREATE/DROP TABLE/VIEW/INDEX``, ``ALTER``), ``ANALYZE``
+(optimizer statistics feed index/join choices), and planner-config changes.
+A lookup that finds an entry from an older generation discards it.  Plain
+DML does *not* invalidate: operator trees scan live ``Table`` objects, so
+data changes are visible to a cached plan at iteration time.
+
+Not every statement's plan is safe to reuse (see
+``Database._plan_cacheable``): statements with subqueries materialize them
+into literals at plan time, and system-table scans snapshot the catalog.
+Those statements still benefit from AST caching; only the plan slot stays
+empty.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+
+def normalize_sql(sql: str) -> str:
+    """Collapse runs of whitespace so trivial reformatting shares an entry.
+
+    Case is deliberately preserved: string literals are case-sensitive, and
+    a duplicate entry for ``SELECT``-vs-``select`` spelling is merely one
+    extra slot, never a wrong answer.
+    """
+    return " ".join(sql.split())
+
+
+@dataclass
+class CacheEntry:
+    """One memoized statement: its AST and, when safe, its physical plan."""
+
+    statement: Any  # parsed A.Statement
+    plan: Optional[Any]  # physical operator tree, or None if not cacheable
+    generation: int
+
+
+@dataclass
+class PlanCache:
+    """An LRU map from (normalized SQL, config fingerprint) to CacheEntry."""
+
+    capacity: int = 128
+    generation: int = 0
+    stats: Dict[str, int] = field(
+        default_factory=lambda: {
+            "hits": 0,
+            "misses": 0,
+            "invalidations": 0,
+            "evictions": 0,
+        }
+    )
+    _entries: "collections.OrderedDict[Hashable, CacheEntry]" = field(
+        default_factory=collections.OrderedDict, repr=False
+    )
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key(self, sql: str, fingerprint: Tuple[Any, ...]) -> Hashable:
+        return (normalize_sql(sql), fingerprint)
+
+    def lookup(self, key: Hashable) -> Optional[CacheEntry]:
+        """The live entry for *key*, or None (counting a miss).
+
+        An entry from an older generation is dropped on sight — a cached
+        plan must never be served across a generation bump.
+        """
+        if not self.enabled:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats["misses"] += 1
+            return None
+        if entry.generation != self.generation:
+            del self._entries[key]
+            self.stats["misses"] += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats["hits"] += 1
+        return entry
+
+    def store(
+        self, key: Hashable, statement: Any, plan: Optional[Any] = None
+    ) -> CacheEntry:
+        """Memoize *statement* (and *plan*, when given) at the current generation.
+
+        Returns the entry so the executor can backfill its plan slot once
+        the statement has actually been planned.  With the cache disabled
+        the entry is still created — just never registered — so callers
+        need no special case.
+        """
+        entry = CacheEntry(statement, plan, self.generation)
+        if self.enabled:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats["evictions"] += 1
+        return entry
+
+    def invalidate(self) -> None:
+        """Bump the generation: every cached entry is now unservable."""
+        self.generation += 1
+        self.stats["invalidations"] += 1
+        self._entries.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        """Counters for ``Database.metrics_snapshot()`` / the F11 window."""
+        out = dict(self.stats)
+        out["entries"] = len(self._entries)
+        out["generation"] = self.generation
+        return out

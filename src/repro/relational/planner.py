@@ -44,6 +44,17 @@ class PlannerConfig:
     #: 'auto' (hash for equi-joins, NL otherwise), or force 'nl'/'hash'/'merge'
     join_strategy: str = "auto"
 
+    def fingerprint(self) -> Tuple[Any, ...]:
+        """Hashable digest of every switch; part of the plan-cache key, so
+        plans produced under one configuration are never replayed under
+        another (even when the config object is mutated in place)."""
+        return (
+            self.enable_pushdown,
+            self.enable_index_selection,
+            self.enable_join_reorder,
+            self.join_strategy,
+        )
+
 
 @dataclass
 class _Binding:
@@ -822,6 +833,8 @@ def _index_of_expr(expr: E.Expr, pool: Sequence[E.Expr]) -> Optional[int]:
 
 def infer_expr_type(expr: E.Expr, layout: E.RowLayout) -> ColumnType:
     """Best-effort static type of *expr* over *layout* (for output schemas)."""
+    if isinstance(expr, E.Param):
+        return ColumnType.TEXT  # arbitrary; a `?` has no static type
     if isinstance(expr, E.Literal):
         if expr.value is None:
             return ColumnType.TEXT  # arbitrary; NULL literal has no type

@@ -36,7 +36,7 @@ _PUNCT = "(),.;"
 
 @dataclass(frozen=True)
 class Token:
-    kind: str  # KEYWORD, IDENT, INT, FLOAT, STRING, OP, PUNCT, EOF
+    kind: str  # KEYWORD, IDENT, INT, FLOAT, STRING, OP, PUNCT, PARAM, EOF
     value: str
     pos: int  # character offset, for error messages
 
@@ -104,6 +104,11 @@ def tokenize(text: str) -> List[Token]:
             continue
         if ch in _PUNCT:
             tokens.append(Token("PUNCT", ch, i))
+            i += 1
+            continue
+        if ch == "?":
+            # Positional parameter marker for prepared statements.
+            tokens.append(Token("PARAM", "?", i))
             i += 1
             continue
         raise LexError(f"unexpected character {ch!r} at position {i}")

@@ -114,6 +114,22 @@ def parse_statement(sql: str) -> A.Statement:
     return statements[0]
 
 
+def parse_prepared(sql: str) -> Tuple[A.Statement, List[E.Param]]:
+    """Parse one statement, returning its ``?`` parameters in lexical order.
+
+    The returned :class:`~repro.relational.expr.Param` nodes are the live
+    objects embedded in the AST: assigning their values (via ``Param.set``)
+    is how a prepared statement binds arguments before execution.
+    """
+    parser = _Parser(tokenize(sql))
+    statement = parser.statement()
+    while parser.accept_punct(";"):
+        pass
+    if not parser.at("EOF"):
+        raise ParseError("expected one statement")
+    return statement, parser.params
+
+
 def parse_script(sql: str) -> List[A.Statement]:
     """Parse a ';'-separated sequence of statements."""
     parser = _Parser(tokenize(sql))
@@ -129,6 +145,8 @@ class _Parser:
     def __init__(self, tokens: List[Token]) -> None:
         self._tokens = tokens
         self._pos = 0
+        #: E.Param nodes in lexical order, one per `?` marker seen so far.
+        self.params: List[E.Param] = []
 
     # -- token helpers ------------------------------------------------------
 
@@ -742,6 +760,11 @@ class _Parser:
 
     def primary(self, allow_agg: bool = False) -> E.Expr:
         token = self.peek()
+        if token.kind == "PARAM":
+            self.advance()
+            param = E.Param(len(self.params))
+            self.params.append(param)
+            return param
         if token.kind == "INT":
             self.advance()
             return E.Literal(int(token.value))

@@ -22,7 +22,7 @@ the view iff the predicate evaluates to True on it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.errors import CheckOptionError, ViewNotUpdatable
@@ -44,6 +44,15 @@ class UpdatableViewInfo:
     column_map: Dict[str, str]  # view column name -> base column name
     predicate: Optional[E.Expr]  # over base columns, unqualified refs
     check_option: bool
+    # Lazily-built evaluation state, shared across every row the info
+    # touches.  Binding resolves names against the base schema, which is
+    # fixed for the lifetime of this info (DDL produces a new analysis).
+    _bound_predicate: Optional[E.Expr] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _view_positions: Optional[Tuple[int, ...]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def translate_changes(self, changes: Dict[str, Any]) -> Dict[str, Any]:
         """Map a {view column: value} dict to base-table columns."""
@@ -61,9 +70,10 @@ class UpdatableViewInfo:
         """True iff *base_row* satisfies the view's (flattened) predicate."""
         if self.predicate is None:
             return True
-        layout = E.RowLayout.for_table(self.base.name, self.base.schema)
-        bound = E.bind(self.predicate, layout)
-        return bound.eval(base_row) is True
+        if self._bound_predicate is None:
+            layout = E.RowLayout.for_table(self.base.name, self.base.schema)
+            self._bound_predicate = E.bind(self.predicate, layout)
+        return self._bound_predicate.eval(base_row) is True
 
     def enforce_check_option(self, base_row: Tuple[Any, ...]) -> None:
         """Raise CheckOptionError if *base_row* would escape the view."""
@@ -91,10 +101,12 @@ class UpdatableViewInfo:
 
     def view_row(self, base_row: Tuple[Any, ...]) -> Tuple[Any, ...]:
         """Project a base row into the view's column order."""
-        return tuple(
-            base_row[self.base.schema.column_index(self.column_map[col.name])]
-            for col in self.view.schema.columns
-        )
+        if self._view_positions is None:
+            self._view_positions = tuple(
+                self.base.schema.column_index(self.column_map[col.name])
+                for col in self.view.schema.columns
+            )
+        return tuple(base_row[index] for index in self._view_positions)
 
 
 def analyze_updatability(view: ViewDefinition, catalog: "Catalog") -> UpdatableViewInfo:
@@ -102,7 +114,22 @@ def analyze_updatability(view: ViewDefinition, catalog: "Catalog") -> UpdatableV
 
     Raises :class:`ViewNotUpdatable` with a reason when the view falls
     outside the select–project subset.
+
+    The result is memoized on the catalog, keyed by view name and the
+    catalog's schema generation: DML through a view re-analyses nothing as
+    long as no DDL has run, and any DDL clears the memo wholesale (see
+    :meth:`~repro.relational.catalog.Catalog.bump_generation`).  Negative
+    results (ViewNotUpdatable) are not cached; they are off the hot path.
     """
+    memo = catalog.updatability_cache.get(view.name)
+    if memo is not None and memo[0] == catalog.generation:
+        return memo[1]
+    info = _analyze_updatability(view, catalog)
+    catalog.updatability_cache[view.name] = (catalog.generation, info)
+    return info
+
+
+def _analyze_updatability(view: ViewDefinition, catalog: "Catalog") -> UpdatableViewInfo:
     query = view.query
     reason = _reject_reason(query)
     if reason is not None:

@@ -110,6 +110,17 @@ class TestMemoryPager:
         with pytest.raises(StorageError):
             MemoryPager().read_page(0)
 
+    def test_mark_dirty_counts_once_per_flush_interval(self):
+        pager = MemoryPager()
+        n = pager.allocate_page()
+        writes = pager.stats["writes"]
+        for _ in range(10):
+            pager.mark_dirty(n)  # same page: one logical write, not ten
+        assert pager.stats["writes"] == writes + 1
+        pager.flush()
+        pager.mark_dirty(n)  # new interval: counts again
+        assert pager.stats["writes"] == writes + 2
+
 
 class TestFilePager:
     def test_persistence_roundtrip(self, tmp_path):
@@ -170,6 +181,20 @@ class TestFilePager:
         for n in range(5):
             pager.read_page(n)
         assert pager.stats["evictions"] > 0
+        pager.close()
+
+    def test_clean_flush_does_not_fsync(self, tmp_path):
+        """flush() on a clean pool is a no-op: no write-back, no fsync."""
+        pager = FilePager(str(tmp_path / "c.pg"))
+        n = pager.allocate_page()
+        pager.read_page(n)[0] = 1
+        pager.mark_dirty(n)
+        pager.flush()
+        writes, fsyncs = pager.stats["writes"], pager.stats["fsyncs"]
+        for _ in range(3):
+            pager.flush()  # nothing dirty -> counters must not move
+        assert pager.stats["writes"] == writes
+        assert pager.stats["fsyncs"] == fsyncs
         pager.close()
 
 

@@ -231,3 +231,56 @@ class TestDmlThroughViews:
     def test_constraints_still_enforced_through_view(self, company):
         with pytest.raises(ConstraintError):
             company.insert("eng_emps", {"id": 10, "name": "dup", "salary": 1.0})
+
+
+class TestUpdatabilityMemoization:
+    def test_analysis_memoized_until_ddl(self, company):
+        view = company.catalog.view("eng_emps")
+        first = analyze_updatability(view, company.catalog)
+        assert analyze_updatability(view, company.catalog) is first
+        company.execute("CREATE TABLE unrelated (a INT)")  # any DDL clears
+        assert analyze_updatability(view, company.catalog) is not first
+
+    def test_row_visible_binds_predicate_once(self, company, monkeypatch):
+        import repro.relational.expr as E
+
+        view = company.catalog.view("eng_emps")
+        info = analyze_updatability(view, company.catalog)
+        calls = []
+        real_bind = E.bind
+        monkeypatch.setattr(
+            E, "bind", lambda e, layout: calls.append(1) or real_bind(e, layout)
+        )
+        base = company.catalog.table("emp")
+        for row in list(base.rows()):
+            info.row_visible(row)
+        assert len(calls) == 1  # one bind for the whole scan, not per row
+
+    def test_view_row_positions_precomputed(self, company, monkeypatch):
+        view = company.catalog.view("eng_emps")
+        info = analyze_updatability(view, company.catalog)
+        base = company.catalog.table("emp")
+        rows = list(base.rows())
+        assert info.view_row(rows[0]) == (10, "ada", 100.0)
+        # Schema lookups happen on the first projection only.
+        calls = []
+        schema = base.schema
+        real_index = schema.column_index
+        monkeypatch.setattr(
+            type(schema),
+            "column_index",
+            lambda self, name: calls.append(name) or real_index(name),
+        )
+        for row in rows:
+            info.view_row(row)
+        assert not calls  # positions were cached by the first call
+
+    def test_memoized_dml_still_correct_after_ddl(self, company):
+        company.update("eng_emps", {"salary": 111.0}, "id = 10")
+        company.execute("DROP VIEW eng_emps")
+        company.execute(
+            "CREATE VIEW eng_emps AS "
+            "SELECT id, name FROM emp WHERE dept_id = 1 WITH CHECK OPTION"
+        )
+        company.update("eng_emps", {"name": "ada2"}, "id = 10")
+        assert company.query("SELECT name FROM emp WHERE id = 10") == [("ada2",)]
