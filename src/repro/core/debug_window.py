@@ -68,6 +68,7 @@ def _snapshot_lines(db: Database) -> List[str]:
         ("txn", "txn"),
         ("planner", "planner"),
         ("plan cache", "plan_cache"),
+        ("integrity", "integrity"),
     ):
         counters = snap[key]
         section(title)

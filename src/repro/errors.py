@@ -48,6 +48,14 @@ class StorageError(DatabaseError):
     """Low-level storage failure (bad page, torn file, missing heap)."""
 
 
+class WalCorruptionError(StorageError):
+    """The WAL holds records proven invalid (bad CRC, garbage mid-log)."""
+
+
+class ReadOnlyError(DatabaseError):
+    """A write was attempted while the database is degraded to read-only."""
+
+
 class TransactionError(DatabaseError):
     """Illegal transaction state transition (commit without begin, ...)."""
 

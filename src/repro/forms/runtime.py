@@ -188,9 +188,21 @@ class FormController:
 
     # -- mode transitions ----------------------------------------------------
 
+    def _reject_if_read_only(self) -> bool:
+        """True (with a banner message) when the database is degraded."""
+        if self.db.read_only:
+            self.message = (
+                "database is READ-ONLY (corruption detected) — "
+                "browsing still works"
+            )
+            return True
+        return False
+
     def begin_edit(self) -> None:
         if self.mode is not Mode.BROWSE:
             raise FormModeError(f"cannot edit from {self.mode.value}")
+        if self._reject_if_read_only():
+            return
         if self.current_row is None:
             self.message = "no record to edit"
             return
@@ -200,6 +212,8 @@ class FormController:
     def begin_insert(self) -> None:
         if self.mode is not Mode.BROWSE:
             raise FormModeError(f"cannot insert from {self.mode.value}")
+        if self._reject_if_read_only():
+            return
         self.mode = Mode.INSERT
         for field in self.spec.fields:
             self.field_texts[field.column] = ""
@@ -401,6 +415,8 @@ class FormController:
     def delete_record(self) -> bool:
         if self.mode is not Mode.BROWSE:
             raise FormModeError("delete only in BROWSE mode")
+        if self._reject_if_read_only():
+            return False
         row = self.current_row
         if row is None:
             self.message = "no record to delete"
@@ -485,7 +501,8 @@ class FormController:
             position = "0/0"
         filtered = " [filtered]" if self.query_filter is not None else ""
         linked = " [linked]" if self.extra_filter is not None else ""
-        text = f"{self.mode.value} {position}{filtered}{linked}"
+        banner = "[READ-ONLY] " if self.db.read_only else ""
+        text = f"{banner}{self.mode.value} {position}{filtered}{linked}"
         if self.message:
             text += f" | {self.message}"
         return text

@@ -31,13 +31,25 @@ from repro.errors import (
     DatabaseError,
     ExecutionError,
     ForeignKeyError,
+    ReadOnlyError,
     SqlError,
+    StorageError,
     TransactionError,
 )
 from repro.obs import Registry, SlowLog, Tracer, get_registry, instrument, render_analyze
 from repro.relational import expr as E
 from repro.relational.catalog import Catalog
+from repro.relational.faults import DEFAULT_IO, IOShim
 from repro.relational.heap import HeapFile, RowId
+from repro.relational.integrity import (
+    IntegrityReport,
+    check_database,
+    clear_checkpoint_journal,
+    JOURNAL_NAME,
+    read_checkpoint_journal,
+    rollback_checkpoint_journal,
+    write_checkpoint_journal,
+)
 from repro.relational.pager import FilePager, MemoryPager
 from repro.relational.plancache import CacheEntry, PlanCache
 from repro.relational.planner import Planner, PlannerConfig
@@ -134,8 +146,21 @@ class Database:
         obs: Optional[Registry] = None,
         slow_ms: Optional[float] = None,
         plan_cache_size: int = 128,
+        io: Optional[IOShim] = None,
     ) -> None:
         self.path = path
+        #: I/O shim every durability-relevant call goes through; tests
+        #: inject a FaultInjector here (see repro.relational.faults)
+        self._io = io if io is not None else DEFAULT_IO
+        #: True once corruption was detected: every write path refuses
+        #: with ReadOnlyError, checkpoints become no-ops, and close()
+        #: leaves the (possibly damaged, still diagnosable) files alone
+        self.read_only = False
+        #: corruption events recorded while opening; surfaced through
+        #: integrity_check() and metrics_snapshot()["integrity"]
+        self._corruption_events: List[Dict[str, str]] = []
+        #: the WAL group sequence the last durable checkpoint covered
+        self._checkpoint_seq = 0
         #: observability: metrics registry (shared process default unless a
         #: private one is injected), per-database slow log, and a tracer
         #: whose span stack is shared with the UI layers' tracers
@@ -151,8 +176,14 @@ class Database:
         else:
             os.makedirs(path, exist_ok=True)
             self.catalog = Catalog(heap_factory=self._disk_heap)
-            self.wal = WriteAheadLog(os.path.join(path, "wal.log"), fsync=fsync)
+            # A leftover checkpoint journal means a crash mid-checkpoint:
+            # settle the heap files before anything reads them.
+            self._recover_checkpoint_journal()
+            self.wal = WriteAheadLog(
+                os.path.join(path, "wal.log"), fsync=fsync, io=self._io
+            )
             self._load_catalog()
+            self._remove_orphan_heaps()
             self._recover()
         self.planner = Planner(self.catalog, self.planner_config)
         #: statement/plan cache; ``plan_cache_size=0`` disables memoization
@@ -420,21 +451,62 @@ class Database:
     # ------------------------------------------------------------------
 
     def checkpoint(self) -> None:
-        """Flush all data to disk and truncate the WAL (no-op in memory)."""
-        if self.path is None:
+        """Flush all data to disk and truncate the WAL (no-op in memory).
+
+        Protocol (each step's crash behaviour is proven by the exhaustion
+        harness in ``tests/test_crash_consistency.py``):
+
+        1. journal pre-images of every dirty heap page (+ fsync);
+        2. flush + fsync the heaps;
+        3. atomically replace ``catalog.json``, which records
+           ``checkpoint_seq`` — the **commit point**;
+        4. truncate the WAL;
+        5. delete the journal.
+
+        A crash before step 3 rolls the heaps back from the journal and
+        replays the intact WAL; a crash after it skips replay of every
+        group the new catalog covers.  Read-only (degraded) databases
+        never checkpoint — the damaged files stay untouched for forensics.
+        """
+        if self.path is None or self.read_only:
             return
-        for pager in self._pagers.values():
-            pager.flush()
-        self._save_catalog()
-        if self.wal is not None:
-            self.wal.truncate()
+        if self.txn.active:
+            # Flushing mid-transaction would write uncommitted rows into
+            # the heaps, breaking the no-steal invariant recovery rests on.
+            raise TransactionError("checkpoint inside an open transaction")
+        seq = self.wal.last_seq if self.wal is not None else 0
+        try:
+            write_checkpoint_journal(
+                self._journal_path(), seq, self._pagers, io=self._io
+            )
+            for pager in self._pagers.values():
+                pager.flush()
+            self._checkpoint_seq = seq
+            self._save_catalog()
+            if self.wal is not None:
+                self.wal.truncate()
+            clear_checkpoint_journal(self._journal_path(), io=self._io)
+        except OSError as exc:
+            # A failed fsync/write mid-checkpoint is recoverable — the
+            # journal (or the still-intact WAL) covers us — but it must
+            # surface as a database error, not a raw OSError.
+            raise StorageError(f"checkpoint failed: {exc}") from exc
 
     def close(self) -> None:
-        """Checkpoint (if persistent) and release every file handle."""
+        """Checkpoint (if persistent) and release every file handle.
+
+        A degraded (read-only) database closes **without** flushing: its
+        pools hold partially replayed state, and the on-disk files are the
+        only trustworthy evidence left.  An open transaction is rolled
+        back first — closing is not committing.
+        """
         if self.path is not None:
+            if self.txn.active:
+                self.txn.rollback()
+                self._savepoints.clear()
             self.checkpoint()
             for pager in self._pagers.values():
-                pager.close()
+                pager.close(flush=not self.read_only)
             self._pagers.clear()
             if self.wal is not None:
                 self.wal.close()
@@ -450,6 +522,17 @@ class Database:
         sql_text: str,
         cache_entry: Optional[CacheEntry] = None,
     ) -> Result:
+        if isinstance(
+            statement,
+            (
+                A.AlterTable, A.CreateTable, A.DropTable, A.CreateIndex,
+                A.DropIndex, A.CreateView, A.DropView, A.Grant, A.Revoke,
+            ),
+        ):
+            # DDL and privilege changes rewrite the catalog; a degraded
+            # database must not touch its files.  (DML is gated in
+            # _check_dml_privilege, which the programmatic API shares.)
+            self._require_writable()
         if isinstance(statement, A.Select):
             return self._run_select(statement, cache_entry=cache_entry)
         if isinstance(statement, A.Union):
@@ -757,6 +840,9 @@ class Database:
     def _check_dml_privilege(self, target: str, privilege_name: str) -> None:
         from repro.relational.auth import Privilege
 
+        # Every DML path — SQL or programmatic — funnels through here, so
+        # the read-only gate lives here too.
+        self._require_writable()
         self.auth.check(
             self.current_user, Privilege(privilege_name), target.lower()
         )
@@ -821,6 +907,16 @@ class Database:
             "txn": dict(self.txn.stats),
             "planner": dict(self.planner.metrics),
             "plan_cache": self.plan_cache.snapshot(),
+            "integrity": {
+                "read_only": self.read_only,
+                "corruption_events": len(self._corruption_events),
+                **{
+                    f"wal_{key}": value
+                    for key, value in (
+                        self.wal.recovery_stats if self.wal is not None else {}
+                    ).items()
+                },
+            },
             "slow_log": {
                 "threshold_ms": self.slow_log.threshold_ms,
                 "entries": len(self.slow_log),
@@ -961,10 +1057,15 @@ class Database:
         self.auth.forget_object(name)
         pager = self._pagers.pop(name, None)
         if pager is not None:
-            pager.close()
-            with contextlib.suppress(FileNotFoundError):
-                os.remove(pager.path)
+            pager.close(flush=False)
+        # The heap file is removed only AFTER the checkpoint makes the
+        # table's absence durable in the catalog: a crash in between leaves
+        # an orphan file (harmless, re-droppable) rather than a catalog
+        # entry pointing at a missing heap.
         self._ddl_checkpoint()
+        if pager is not None:
+            with contextlib.suppress(FileNotFoundError):
+                self._io.remove(pager.path)
         return Result()
 
     def _require_ownership(self, obj: str) -> None:
@@ -1376,12 +1477,98 @@ class Database:
     # ------------------------------------------------------------------
 
     def _disk_heap(self, name: str) -> HeapFile:
-        pager = FilePager(os.path.join(self.path, f"{name}.heap"))
+        pager = FilePager(os.path.join(self.path, f"{name}.heap"), io=self._io)
         self._pagers[name] = pager
         return HeapFile(pager)
 
     def _catalog_path(self) -> str:
         return os.path.join(self.path, "catalog.json")
+
+    def _journal_path(self) -> str:
+        return os.path.join(self.path, JOURNAL_NAME)
+
+    # -- corruption handling / read-only degradation ------------------------
+
+    def _record_corruption(self, component: str, obj: str, message: str) -> None:
+        """Note a corruption event and degrade the database to read-only."""
+        self._corruption_events.append(
+            {"component": component, "object": obj, "message": message}
+        )
+        self.read_only = True
+        self.obs.add("integrity.corruption_events")
+
+    def _require_writable(self) -> None:
+        if self.read_only:
+            raise ReadOnlyError(
+                "database is in read-only mode after corruption was "
+                "detected; see Database.integrity_check() for the report"
+            )
+
+    def integrity_check(self) -> IntegrityReport:
+        """Verify heaps, indexes, FKs, and the catalog; returns a report.
+
+        Includes every corruption event recorded while opening (bad WAL
+        CRC, unloadable catalog/heap) plus an active scan of the loaded
+        state.  ``report.ok`` is True on a healthy database.
+        """
+        return check_database(self)
+
+    def _recover_checkpoint_journal(self) -> None:
+        """Settle a crash that hit mid-checkpoint (see ``checkpoint()``).
+
+        Runs before the catalog or any heap is opened.  A complete journal
+        newer than the on-disk catalog's ``checkpoint_seq`` means the
+        catalog rename (the commit point) never happened: heap files may
+        hold a partial flush, so the journal's pre-images roll them back
+        to the previous checkpoint and WAL replay redoes the lost work.
+        """
+        journal = read_checkpoint_journal(self._journal_path())
+        if journal is None:
+            # Absent, or incomplete (crash while writing it — the heaps
+            # were never touched).  Nothing to undo.
+            if os.path.exists(self._journal_path()):
+                clear_checkpoint_journal(self._journal_path(), io=self._io)
+            return
+        disk_seq = self._read_disk_checkpoint_seq()
+        if disk_seq is None or disk_seq < journal["seq"]:
+            try:
+                rollback_checkpoint_journal(journal, self.path, io=self._io)
+            except StorageError as exc:
+                self._record_corruption("journal", JOURNAL_NAME, str(exc))
+                return  # keep the journal for forensics
+        clear_checkpoint_journal(self._journal_path(), io=self._io)
+
+    def _remove_orphan_heaps(self) -> None:
+        """Delete heap files no catalog entry references.
+
+        DROP TABLE removes the heap file only *after* its checkpoint (so a
+        crash never leaves a catalog entry pointing at a missing heap); the
+        price is that a crash in between leaves an orphan file that a later
+        CREATE TABLE of the same name would resurrect.  This sweep closes
+        that window.  Skipped on a degraded database — if the catalog did
+        not load cleanly, "unreferenced" proves nothing.
+        """
+        if self.read_only:
+            return
+        live = {f"{table.name}.heap" for table in self.catalog.tables()}
+        try:
+            entries = os.listdir(self.path)
+        except OSError:
+            return
+        for entry in entries:
+            if entry.endswith(".heap") and entry not in live:
+                with contextlib.suppress(OSError):
+                    self._io.remove(os.path.join(self.path, entry))
+
+    def _read_disk_checkpoint_seq(self) -> Optional[int]:
+        """The ``checkpoint_seq`` recorded in catalog.json (None = unknown)."""
+        try:
+            with open(self._catalog_path(), "r", encoding="utf-8") as fh:
+                return int(json.load(fh).get("checkpoint_seq", 0))
+        except FileNotFoundError:
+            return 0
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError, OSError):
+            return None
 
     def _save_catalog(self) -> None:
         doc = {
@@ -1426,82 +1613,126 @@ class Database:
                 for view in self.catalog.views()
             ],
             "auth": self.auth.to_doc() if hasattr(self, "auth") else {},
+            # The WAL group the heaps on disk are current through; replay
+            # after a crash skips every group at or below this.
+            "checkpoint_seq": self._checkpoint_seq,
         }
+        # Atomic replace: write a tmp file, fsync it, rename over the old
+        # catalog, then fsync the directory so the rename itself is durable.
         tmp_path = self._catalog_path() + ".tmp"
-        with open(tmp_path, "w", encoding="utf-8") as fh:
-            json.dump(doc, fh, indent=1)
-        os.replace(tmp_path, self._catalog_path())
+        payload = json.dumps(doc, indent=1).encode("utf-8")
+        fd = os.open(tmp_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            self._io.write_all(fd, payload)
+            self._io.fsync(fd)
+        finally:
+            os.close(fd)
+        self._io.replace(tmp_path, self._catalog_path())
+        self._io.fsync_dir(self.path)
 
     def _load_catalog(self) -> None:
         if not os.path.exists(self._catalog_path()):
             return
-        with open(self._catalog_path(), "r", encoding="utf-8") as fh:
-            doc = json.load(fh)
+        try:
+            with open(self._catalog_path(), "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+            # An unparseable catalog leaves nothing to load; degrade rather
+            # than crash so integrity_check() can still report the damage.
+            self._record_corruption("catalog", "catalog.json", f"unparseable: {exc}")
+            return
+        try:
+            self._checkpoint_seq = int(doc.get("checkpoint_seq", 0))
+        except (TypeError, ValueError):
+            self._record_corruption(
+                "catalog", "catalog.json",
+                f"bad checkpoint_seq {doc.get('checkpoint_seq')!r}",
+            )
         if doc.get("auth"):
             from repro.relational.auth import AuthManager
 
             self.auth = AuthManager.from_doc(doc["auth"])
         for spec in doc.get("tables", []):
-            schema = TableSchema(
-                spec["name"],
-                [
-                    Column(
-                        c["name"],
-                        ColumnType.from_name(c["type"]),
-                        c["nullable"],
-                        c["default"],
+            try:
+                schema = TableSchema(
+                    spec["name"],
+                    [
+                        Column(
+                            c["name"],
+                            ColumnType.from_name(c["type"]),
+                            c["nullable"],
+                            c["default"],
+                        )
+                        for c in spec["columns"]
+                    ],
+                    primary_key=spec["primary_key"] or None,
+                    unique=spec["unique"],
+                    foreign_keys=[
+                        ForeignKey(
+                            tuple(fk["columns"]),
+                            fk["parent_table"],
+                            tuple(fk["parent_columns"]),
+                        )
+                        for fk in spec["foreign_keys"]
+                    ],
+                    checks=[
+                        self._parse_predicate(text) for text in spec.get("checks", [])
+                    ],
+                )
+                table = self.catalog.create_table(schema)
+                for index_spec in spec.get("indexes", []):
+                    table.add_index(
+                        index_spec["name"],
+                        index_spec["kind"],
+                        index_spec["columns"],
+                        index_spec["unique"],
                     )
-                    for c in spec["columns"]
-                ],
-                primary_key=spec["primary_key"] or None,
-                unique=spec["unique"],
-                foreign_keys=[
-                    ForeignKey(
-                        tuple(fk["columns"]),
-                        fk["parent_table"],
-                        tuple(fk["parent_columns"]),
-                    )
-                    for fk in spec["foreign_keys"]
-                ],
-                checks=[
-                    self._parse_predicate(text) for text in spec.get("checks", [])
-                ],
-            )
-            table = self.catalog.create_table(schema)
-            for index_spec in spec.get("indexes", []):
-                table.add_index(
-                    index_spec["name"],
-                    index_spec["kind"],
-                    index_spec["columns"],
-                    index_spec["unique"],
+            except (DatabaseError, KeyError, TypeError, ValueError) as exc:
+                # One damaged table entry (or its torn heap file) must not
+                # take down the rest of the catalog: record, skip, continue.
+                self._record_corruption(
+                    "catalog", str(spec.get("name", "?")), f"unloadable table: {exc}"
                 )
         # Views are re-created by re-parsing their original SQL; a planner
         # bound to this catalog is needed to re-derive schemas.
         planner = Planner(self.catalog, self.planner_config)
         for view_spec in doc.get("views", []):
-            statement = parse_statement(view_spec["sql"])
-            assert isinstance(statement, A.CreateView)
-            schema = planner.output_schema(statement.query, statement.name)
-            if statement.column_names is not None:
-                schema = TableSchema(
-                    statement.name,
-                    [
-                        Column(new_name, col.ctype, col.nullable, col.default)
-                        for new_name, col in zip(statement.column_names, schema.columns)
-                    ],
+            try:
+                statement = parse_statement(view_spec["sql"])
+                assert isinstance(statement, A.CreateView)
+                schema = planner.output_schema(statement.query, statement.name)
+                if statement.column_names is not None:
+                    schema = TableSchema(
+                        statement.name,
+                        [
+                            Column(new_name, col.ctype, col.nullable, col.default)
+                            for new_name, col in zip(statement.column_names, schema.columns)
+                        ],
+                    )
+                self.catalog.create_view(
+                    ViewDefinition(
+                        name=statement.name.lower(),
+                        query=statement.query,
+                        schema=schema,
+                        check_option=statement.check_option,
+                        sql_text=view_spec["sql"],
+                    )
                 )
-            self.catalog.create_view(
-                ViewDefinition(
-                    name=statement.name.lower(),
-                    query=statement.query,
-                    schema=schema,
-                    check_option=statement.check_option,
-                    sql_text=view_spec["sql"],
+            except (DatabaseError, AssertionError, KeyError, TypeError) as exc:
+                self._record_corruption(
+                    "catalog", str(view_spec.get("name", "?")),
+                    f"unloadable view: {exc}",
                 )
-            )
 
     def _recover(self) -> None:
-        """Replay committed WAL records over the checkpointed data files."""
+        """Replay committed WAL records over the checkpointed data files.
+
+        Groups at or below the catalog's ``checkpoint_seq`` are skipped —
+        a crash between the catalog rename and the WAL truncation leaves
+        already-flushed groups in the log, and replaying them would apply
+        every row twice.  Proven corruption (a bad CRC followed by valid
+        records) keeps the applied prefix and degrades to read-only.
+        """
         if self.wal is None:
             return
 
@@ -1523,7 +1754,10 @@ class Database:
                         table.update(rid, new_image)
                         break
 
-        self.wal.replay(apply)
+        try:
+            self.wal.replay(apply, min_seq=self._checkpoint_seq)
+        except DatabaseError as exc:
+            self._record_corruption("wal", os.path.basename(self.wal.path), str(exc))
 
     # -- misc helpers -------------------------------------------------------
 

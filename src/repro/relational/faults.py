@@ -1,0 +1,219 @@
+"""Deterministic fault injection for the storage layer.
+
+Every durability-relevant I/O call made by :class:`~repro.relational.pager.
+FilePager`, :class:`~repro.relational.wal.WriteAheadLog`, and the catalog
+checkpoint goes through an :class:`IOShim`.  The default shim simply calls
+the ``os`` functions; tests inject a :class:`FaultInjector` instead, which
+counts calls and can
+
+* **crash** (raise :class:`InjectedCrash`) at the Nth I/O call, optionally
+  tearing the in-flight write by persisting only a prefix of it first;
+* simulate **short writes** (every ``write`` persists at most a few bytes,
+  exercising the callers' retry loops);
+* **fail fsync** with ``OSError``, the way a dying disk does.
+
+:class:`InjectedCrash` deliberately does *not* subclass ``WowError`` — it
+models the process dying, so nothing in the engine may catch it.
+
+The crash-point exhaustion harness (:func:`crash_points`,
+:func:`exhaust_crash_points`) is the reusable driver behind
+``tests/test_crash_consistency.py``: count the I/O calls of a workload,
+then re-run it once per call with a crash injected there and hand each
+crashed world to a verifier.  New subsystems that add I/O paths get crash
+coverage by routing them through the shim — no harness changes needed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Callable, List, Optional, Tuple
+
+
+class InjectedCrash(BaseException):
+    """A simulated kill -9 at an I/O boundary (never caught by the engine)."""
+
+
+class IOShim:
+    """Pass-through I/O layer; subclass to observe or perturb calls."""
+
+    def write(self, fd: int, data: bytes) -> int:
+        """One ``os.write`` attempt; may write fewer bytes than given."""
+        return os.write(fd, data)
+
+    def write_all(self, fd: int, data: bytes) -> None:
+        """Write *data* fully, retrying short writes until done."""
+        view = memoryview(data)
+        while view:
+            written = self.write(fd, bytes(view))
+            if written <= 0:
+                raise OSError(f"write returned {written}")
+            view = view[written:]
+
+    def fsync(self, fd: int) -> None:
+        os.fsync(fd)
+
+    def ftruncate(self, fd: int, length: int) -> None:
+        os.ftruncate(fd, length)
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        os.remove(path)
+
+    def fsync_dir(self, path: str) -> None:
+        """fsync a directory so a rename within it is durable."""
+        with contextlib.suppress(OSError):
+            dir_fd = os.open(path, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+
+
+#: the process-wide default shim (plain ``os`` calls)
+DEFAULT_IO = IOShim()
+
+
+class FaultInjector(IOShim):
+    """An :class:`IOShim` that counts calls and injects failures.
+
+    Parameters
+    ----------
+    crash_at:
+        Crash (raise :class:`InjectedCrash`) when the running I/O-call
+        count reaches this 1-based number, *before* the call takes effect.
+        ``None`` just counts — the enumeration pass of the harness.
+    torn:
+        When crashing on a ``write``, first persist roughly half of the
+        payload, simulating a torn sector-straddling write.
+    short_writes:
+        Every ``write`` persists at most *short_writes* bytes, forcing
+        callers' retry loops to iterate (no crash).
+    fail_fsync:
+        Every ``fsync``/``fsync_dir`` raises ``OSError`` (disk reporting a
+        flush failure) instead of syncing.
+    real_fsync:
+        When False (the default), counted fsyncs skip the actual
+        ``os.fsync`` — same-process reopen sees ``os.write`` data anyway,
+        and skipping keeps exhaustion runs fast on slow filesystems.
+    """
+
+    def __init__(
+        self,
+        crash_at: Optional[int] = None,
+        *,
+        torn: bool = False,
+        short_writes: Optional[int] = None,
+        fail_fsync: bool = False,
+        real_fsync: bool = False,
+    ) -> None:
+        self.crash_at = crash_at
+        self.torn = torn
+        self.short_writes = short_writes
+        self.fail_fsync = fail_fsync
+        self.real_fsync = real_fsync
+        #: running I/O call count (1-based at the first call)
+        self.io_calls = 0
+        #: (op, detail) log of every intercepted call, for diagnostics
+        self.calls: List[Tuple[str, str]] = []
+
+    # -- interception core ---------------------------------------------------
+
+    def _point(self, op: str, detail: str, tear: Optional[Callable[[], None]] = None) -> None:
+        """Count one I/O point; crash here if it is the chosen one."""
+        self.io_calls += 1
+        self.calls.append((op, detail))
+        if self.crash_at is not None and self.io_calls >= self.crash_at:
+            if tear is not None and self.torn:
+                tear()
+            raise InjectedCrash(f"injected crash at I/O call {self.io_calls}: {op} {detail}")
+
+    # -- IOShim overrides ----------------------------------------------------
+
+    def write(self, fd: int, data: bytes) -> int:
+        self._point(
+            "write",
+            f"fd={fd} len={len(data)}",
+            tear=lambda: os.write(fd, data[: max(1, len(data) // 2)]),
+        )
+        if self.short_writes is not None and len(data) > self.short_writes:
+            return os.write(fd, data[: self.short_writes])
+        return os.write(fd, data)
+
+    def fsync(self, fd: int) -> None:
+        self._point("fsync", f"fd={fd}")
+        if self.fail_fsync:
+            raise OSError(f"injected fsync failure on fd {fd}")
+        if self.real_fsync:
+            os.fsync(fd)
+
+    def ftruncate(self, fd: int, length: int) -> None:
+        self._point("ftruncate", f"fd={fd} len={length}")
+        os.ftruncate(fd, length)
+
+    def replace(self, src: str, dst: str) -> None:
+        self._point("replace", f"{os.path.basename(src)} -> {os.path.basename(dst)}")
+        os.replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        self._point("remove", os.path.basename(path))
+        os.remove(path)
+
+    def fsync_dir(self, path: str) -> None:
+        self._point("fsync_dir", os.path.basename(path) or path)
+        if self.fail_fsync:
+            raise OSError(f"injected fsync failure on directory {path}")
+        if self.real_fsync:
+            super().fsync_dir(path)
+
+
+# ---------------------------------------------------------------------------
+# Crash-point exhaustion harness
+# ---------------------------------------------------------------------------
+
+def crash_points(run: Callable[[FaultInjector], None]) -> FaultInjector:
+    """Run *run* with a counting injector; returns it (see ``io_calls``)."""
+    shim = FaultInjector()
+    run(shim)
+    return shim
+
+
+def select_points(total: int, max_points: Optional[int]) -> List[int]:
+    """The 1-based crash points to exercise: all, or an even sample."""
+    if total <= 0:
+        return []
+    if max_points is None or total <= max_points:
+        return list(range(1, total + 1))
+    # Even sample that always includes the first and last point.
+    step = (total - 1) / (max_points - 1)
+    points = sorted({round(1 + i * step) for i in range(max_points)})
+    return points
+
+
+def exhaust_crash_points(
+    run: Callable[[FaultInjector], None],
+    verify: Callable[[FaultInjector], None],
+    *,
+    torn: bool = False,
+    max_points: Optional[int] = None,
+) -> List[int]:
+    """Crash *run* at every enumerated I/O point and verify each world.
+
+    *run* must be self-contained (fresh directory per call) and is expected
+    to raise :class:`InjectedCrash` when a crash point is armed; *verify*
+    is then called with the injector (which carries the call log) and
+    should reopen the workload's directory and assert its invariants.
+    Returns the list of crash points exercised.
+    """
+    total = crash_points(run).io_calls
+    points = select_points(total, max_points)
+    for point in points:
+        shim = FaultInjector(crash_at=point, torn=torn)
+        try:
+            run(shim)
+        except InjectedCrash:
+            pass
+        verify(shim)
+    return points

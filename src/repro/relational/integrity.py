@@ -1,0 +1,309 @@
+"""Crash consistency: the checkpoint journal and integrity checking.
+
+**Checkpoint journal.**  A checkpoint must atomically move *all* heap
+files, the catalog, and the WAL from one consistent state to the next, but
+it writes many files.  The protocol (see docs/INTERNALS.md) makes the
+catalog rename the single commit point by journaling heap page pre-images
+first:
+
+1. write ``ckpt.journal``: the old size of every heap with dirty pages,
+   plus the on-disk pre-image of every dirty page, sealed by a CRC-32
+   ``end`` record; fsync;
+2. flush + fsync the heaps;
+3. atomically replace ``catalog.json`` (now carrying ``checkpoint_seq`` =
+   the WAL's last committed group) — **the commit point**;
+4. truncate the WAL;
+5. delete the journal.
+
+Recovery inverts it: a *complete* journal whose seq is newer than the
+catalog's means the crash hit before the commit point, so the pre-images
+roll the heaps back to the previous checkpoint and the WAL replays over
+them; a complete journal at or behind the catalog means the checkpoint
+committed, so the heaps are current and replay skips everything the
+catalog covers.  An incomplete journal means the heaps were never touched.
+Every step is idempotent, so a crash during recovery itself re-runs
+cleanly.
+
+**Integrity checking.**  :func:`check_database` walks every heap, index,
+foreign key, and the catalog file, returning an :class:`IntegrityReport`
+of findings — the report backing ``Database.integrity_check()`` and the
+read-only degradation banner.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.errors import ForeignKeyError, StorageError
+from repro.relational.faults import DEFAULT_IO, IOShim
+from repro.relational.pager import PAGE_SIZE
+
+JOURNAL_NAME = "ckpt.journal"
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint journal
+# ---------------------------------------------------------------------------
+
+def write_checkpoint_journal(
+    journal_path: str,
+    seq: int,
+    pagers: Mapping[str, Any],
+    io: Optional[IOShim] = None,
+) -> bool:
+    """Capture pre-images of every dirty page before a checkpoint flush.
+
+    Returns False (writing nothing) when no pager has dirty pages — the
+    flush will not touch the heaps, so there is nothing to undo.
+    """
+    io = io if io is not None else DEFAULT_IO
+    entries: List[str] = []
+    files: List[Dict[str, Any]] = []
+    for name, pager in sorted(pagers.items()):
+        dirty = pager.dirty_pages()
+        if not dirty:
+            continue
+        on_disk = pager.disk_page_count()
+        files.append({"name": os.path.basename(pager.path), "pages": on_disk})
+        for page_no in dirty:
+            if page_no >= on_disk:
+                continue  # freshly allocated: rollback = truncate
+            image = pager.read_page_from_disk(page_no)
+            entries.append(
+                json.dumps(
+                    {
+                        "t": "page",
+                        "file": os.path.basename(pager.path),
+                        "page": page_no,
+                        "data": base64.b64encode(image).decode("ascii"),
+                    }
+                )
+            )
+    if not files:
+        return False
+    head = json.dumps({"t": "begin", "v": 1, "seq": seq, "files": files})
+    body = "\n".join([head] + entries) + "\n"
+    seal = json.dumps({"t": "end", "crc": zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF})
+    payload = (body + seal + "\n").encode("utf-8")
+    fd = os.open(journal_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        io.write_all(fd, payload)
+        io.fsync(fd)
+    finally:
+        os.close(fd)
+    return True
+
+
+def read_checkpoint_journal(journal_path: str) -> Optional[Dict[str, Any]]:
+    """Load and validate a journal; None when absent or incomplete.
+
+    An incomplete journal (missing/invalid ``end`` seal or CRC mismatch)
+    means the crash happened while writing it — before any heap page was
+    overwritten — so it carries no information worth recovering.
+    """
+    try:
+        with open(journal_path, "rb") as fh:
+            raw = fh.read()
+    except FileNotFoundError:
+        return None
+    lines = raw.split(b"\n")
+    while lines and not lines[-1].strip():
+        lines.pop()
+    if len(lines) < 2:
+        return None
+    body = b"\n".join(lines[:-1]) + b"\n"
+    try:
+        seal = json.loads(lines[-1])
+        if seal.get("t") != "end" or seal.get("crc") != (zlib.crc32(body) & 0xFFFFFFFF):
+            return None
+        head = json.loads(lines[0])
+        if head.get("t") != "begin":
+            return None
+        pages = []
+        for line in lines[1:-1]:
+            record = json.loads(line)
+            if record.get("t") != "page":
+                return None
+            pages.append(record)
+    except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
+        return None
+    return {"seq": head.get("seq", 0), "files": head.get("files", []), "pages": pages}
+
+
+def rollback_checkpoint_journal(
+    journal: Dict[str, Any], directory: str, io: Optional[IOShim] = None
+) -> int:
+    """Restore heap files to their pre-checkpoint state; returns pages restored.
+
+    Idempotent: truncating to the recorded size and rewriting the recorded
+    pre-images lands in the same state no matter how often it runs.
+    """
+    io = io if io is not None else DEFAULT_IO
+    restored = 0
+    images: Dict[str, List[Dict[str, Any]]] = {}
+    for record in journal["pages"]:
+        images.setdefault(record["file"], []).append(record)
+    for entry in journal["files"]:
+        path = os.path.join(directory, entry["name"])
+        try:
+            fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+        except OSError as exc:
+            raise StorageError(f"cannot roll back heap {path!r}: {exc}") from exc
+        try:
+            io.ftruncate(fd, entry["pages"] * PAGE_SIZE)
+            for record in images.get(entry["name"], ()):
+                try:
+                    image = base64.b64decode(record["data"], validate=True)
+                except (binascii.Error, ValueError) as exc:
+                    raise StorageError(
+                        f"checkpoint journal page for {path!r} is corrupt: {exc}"
+                    ) from exc
+                os.lseek(fd, record["page"] * PAGE_SIZE, os.SEEK_SET)
+                io.write_all(fd, image)
+                restored += 1
+            io.fsync(fd)
+        finally:
+            os.close(fd)
+    return restored
+
+
+def clear_checkpoint_journal(journal_path: str, io: Optional[IOShim] = None) -> None:
+    io = io if io is not None else DEFAULT_IO
+    try:
+        io.remove(journal_path)
+    except FileNotFoundError:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Integrity checking
+# ---------------------------------------------------------------------------
+
+@dataclass
+class IntegrityFinding:
+    """One verified problem (or recorded corruption event)."""
+
+    component: str  #: "catalog" | "heap" | "index" | "fk" | "wal" | "journal"
+    object: str     #: table/index/file the finding is about
+    message: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"component": self.component, "object": self.object, "message": self.message}
+
+
+@dataclass
+class IntegrityReport:
+    """The outcome of ``Database.integrity_check()``."""
+
+    findings: List[IntegrityFinding] = field(default_factory=list)
+    read_only: bool = False
+    #: what the active scan covered: tables, rows, indexes, fk_rows
+    checked: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def add(self, component: str, obj: str, message: str) -> None:
+        self.findings.append(IntegrityFinding(component, obj, message))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "read_only": self.read_only,
+            "checked": dict(self.checked),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_lines(self) -> List[str]:
+        state = "READ-ONLY" if self.read_only else "read-write"
+        lines = [f"integrity: {'OK' if self.ok else 'CORRUPT'} ({state})"]
+        lines.append(
+            "checked: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.checked.items()))
+        )
+        for finding in self.findings:
+            lines.append(f"  [{finding.component}] {finding.object}: {finding.message}")
+        return lines
+
+
+def check_database(db) -> IntegrityReport:
+    """Scan every table, index, and foreign key of *db* for inconsistencies.
+
+    Merges the corruption events recorded when the database was opened
+    (bad WAL CRC, unloadable catalog/heap) with an active verification
+    pass over the loaded state.
+    """
+    report = IntegrityReport(read_only=getattr(db, "read_only", False))
+    for event in getattr(db, "_corruption_events", ()):
+        report.add(event.get("component", "?"), event.get("object", "?"), event.get("message", ""))
+
+    # Catalog file parses?
+    if db.path is not None:
+        catalog_path = os.path.join(db.path, "catalog.json")
+        if os.path.exists(catalog_path):
+            try:
+                with open(catalog_path, "r", encoding="utf-8") as fh:
+                    json.load(fh)
+            except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+                report.add("catalog", "catalog.json", f"unparseable: {exc}")
+
+    tables = rows_seen = indexes_seen = fk_rows = 0
+    for table in db.catalog.tables():
+        tables += 1
+        scanned = []
+        try:
+            for rid, row in table.scan():
+                scanned.append((rid, row))
+                if len(row) != table.schema.arity:
+                    report.add(
+                        "heap", table.name,
+                        f"row {rid} has {len(row)} columns, schema has {table.schema.arity}",
+                    )
+        except Exception as exc:
+            report.add("heap", table.name, f"scan failed: {exc}")
+            continue
+        rows_seen += len(scanned)
+
+        for index in table.indexes.values():
+            indexes_seen += 1
+            if len(index) != len(scanned):
+                report.add(
+                    "index", index.name,
+                    f"{len(index)} entries for {len(scanned)} rows in {table.name!r}",
+                )
+            positions = [table.schema.column_index(c) for c in index.columns]
+            for rid, row in scanned:
+                key = tuple(row[p] for p in positions)
+                try:
+                    if rid not in index.lookup(key):
+                        report.add(
+                            "index", index.name,
+                            f"row {rid} with key {key!r} missing from index",
+                        )
+                except Exception as exc:
+                    report.add("index", index.name, f"lookup failed for {key!r}: {exc}")
+
+        if table.schema.foreign_keys:
+            for _rid, row in scanned:
+                fk_rows += 1
+                try:
+                    db._check_fk_child_side(table, row)
+                except ForeignKeyError as exc:
+                    report.add("fk", table.name, str(exc))
+                except Exception as exc:
+                    report.add("fk", table.name, f"check failed: {exc}")
+
+    report.checked = {
+        "tables": tables,
+        "rows": rows_seen,
+        "indexes": indexes_seen,
+        "fk_rows": fk_rows,
+    }
+    return report

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import collections
 import os
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.errors import StorageError
+from repro.relational.faults import DEFAULT_IO, IOShim
 
 PAGE_SIZE = 4096
 
@@ -91,12 +92,16 @@ class FilePager(Pager):
     pool_size:
         Maximum number of pages resident in the pool; evictions write back
         dirty pages.  Must be >= 1.
+    io:
+        The I/O shim durability-relevant calls go through (fault injection;
+        see :mod:`repro.relational.faults`).  Defaults to plain ``os``.
     """
 
-    def __init__(self, path: str, pool_size: int = 256) -> None:
+    def __init__(self, path: str, pool_size: int = 256, io: Optional[IOShim] = None) -> None:
         if pool_size < 1:
             raise StorageError("pool_size must be >= 1")
         self.path = path
+        self._io = io if io is not None else DEFAULT_IO
         self._pool_size = pool_size
         self._pool: "collections.OrderedDict[int, bytearray]" = collections.OrderedDict()
         self._dirty: set = set()
@@ -168,20 +173,24 @@ class FilePager(Pager):
         for page_no in sorted(self._dirty):
             self._write_back(page_no)
         self._dirty.clear()
-        os.fsync(self._fd)
+        self._io.fsync(self._fd)
         self.stats["fsyncs"] += 1
         # Shrink an overflowed pool back to its target (oldest-first).
         while len(self._pool) > self._pool_size:
             self._pool.popitem(last=False)
             self.stats["evictions"] += 1
 
-    def close(self) -> None:
+    def close(self, flush: bool = True) -> None:
+        """Release the file handle; *flush=False* abandons dirty pages
+        (used when a degraded database must not touch its files)."""
         if self._fd is None:
             return
-        self.flush()
+        if flush:
+            self.flush()
         os.close(self._fd)
         self._fd = None
         self._pool.clear()
+        self._dirty.clear()
 
     # -- internals -----------------------------------------------------------
 
@@ -208,5 +217,30 @@ class FilePager(Pager):
         if page is None:
             page = self._pool[page_no]
         os.lseek(self._fd, page_no * PAGE_SIZE, os.SEEK_SET)
-        os.write(self._fd, bytes(page))
+        # write_all loops until the full page hit the file: a short write
+        # here would leave a torn page that replay cannot repair.
+        self._io.write_all(self._fd, bytes(page))
         self.stats["writes"] += 1
+
+    # -- checkpoint-journal support ------------------------------------------
+
+    def dirty_pages(self) -> List[int]:
+        """The page numbers awaiting write-back, sorted."""
+        return sorted(self._dirty)
+
+    def disk_page_count(self) -> int:
+        """How many whole pages the *file* currently holds (not the pool)."""
+        self._require_open()
+        return os.fstat(self._fd).st_size // PAGE_SIZE
+
+    def read_page_from_disk(self, page_no: int) -> bytes:
+        """The on-disk bytes of *page_no*, bypassing the buffer pool.
+
+        Used by the checkpoint journal to capture pre-images before dirty
+        pages overwrite them; short reads pad with zeros like
+        :meth:`read_page` does.
+        """
+        self._require_open()
+        os.lseek(self._fd, page_no * PAGE_SIZE, os.SEEK_SET)
+        data = os.read(self._fd, PAGE_SIZE)
+        return data.ljust(PAGE_SIZE, b"\0")

@@ -1,6 +1,7 @@
 """Write-ahead logging and crash recovery for on-disk databases.
 
-Protocol (see DESIGN.md S9):
+Protocol (see DESIGN.md S9 and docs/INTERNALS.md "Transactions and
+recovery"):
 
 * Data files (heap pages, catalog JSON) are written **only** at checkpoints
   — the pager is strict no-steal, so between checkpoints the files stay
@@ -12,6 +13,26 @@ Protocol (see DESIGN.md S9):
   discarded.
 * ``checkpoint()`` flushes everything and truncates the WAL.
 
+**Record format v2.**  Each line is ``2|<seq>|<crc32:8 hex>|<json>`` where
+*seq* is the group sequence number (every record of a commit group,
+including its commit marker, carries the same seq; seqs increase by one
+per committed group and survive truncation via the catalog's
+``checkpoint_seq``) and the CRC-32 covers ``<seq>|<json>``.  A flipped bit
+anywhere in a record is caught by the CRC instead of being replayed as
+data.  Replay skips groups with ``seq <= min_seq`` — how recovery avoids
+re-applying work a crashed checkpoint already flushed to the heaps.
+
+**v1 compatibility.**  Lines starting with ``{`` are v1 records (raw JSON,
+no checksum, no seq); they replay exactly as before, so a database written
+by an older build opens cleanly.  New records are always written as v2.
+
+Torn-tail handling: any invalid line (bad CRC, bad JSON, unknown record
+kind, bad UTF-8) *poisons* the current group.  If the log ends there it
+was a torn final write and the group is discarded; if a valid record
+follows, the damage is in the middle of the log and replay raises
+:class:`~repro.errors.WalCorruptionError` — the database reacts by
+degrading to read-only rather than guessing.
+
 Row values are JSON-encoded; DATE values round-trip as ISO strings through
 :func:`repro.relational.types.coerce` at replay time.
 """
@@ -21,9 +42,14 @@ from __future__ import annotations
 import datetime
 import json
 import os
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+import zlib
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
-from repro.errors import StorageError
+from repro.errors import StorageError, WalCorruptionError
+from repro.relational.faults import DEFAULT_IO, IOShim
+
+#: record kinds replay understands; anything else is treated as corruption
+KNOWN_RECORD_KINDS = ("insert", "delete", "update", "commit")
 
 
 def _encode_value(value: Any) -> Any:
@@ -36,18 +62,81 @@ def _encode_row(row: Sequence[Any]) -> List[Any]:
     return [_encode_value(v) for v in row]
 
 
+def _crc(seq: int, payload: str) -> int:
+    return zlib.crc32(f"{seq}|{payload}".encode("utf-8")) & 0xFFFFFFFF
+
+
+def _frame(seq: int, payload: str) -> str:
+    """A v2 log line for *payload* under group sequence *seq*."""
+    return f"2|{seq}|{_crc(seq, payload):08x}|{payload}"
+
+
+class _Invalid(Exception):
+    """Internal: this log line cannot be trusted (reason in args)."""
+
+
+def _parse_line(line: bytes) -> tuple:
+    """Decode one log line -> (seq | None, record dict).
+
+    Raises :class:`_Invalid` for anything unparseable or unknown; the
+    caller decides whether that means a torn tail or real corruption.
+    """
+    try:
+        text = line.decode("utf-8", errors="strict")
+    except UnicodeDecodeError as exc:
+        raise _Invalid(f"undecodable bytes: {exc}") from exc
+    if text.startswith("2|"):
+        parts = text.split("|", 3)
+        if len(parts) != 4:
+            raise _Invalid("truncated v2 frame")
+        _version, seq_text, crc_text, payload = parts
+        try:
+            seq = int(seq_text)
+            crc = int(crc_text, 16)
+        except ValueError as exc:
+            raise _Invalid(f"bad v2 frame header: {exc}") from exc
+        if _crc(seq, payload) != crc:
+            raise _Invalid(f"CRC mismatch on seq {seq}")
+    elif text.startswith("{"):
+        seq, payload = None, text  # v1 record: raw JSON, no checksum
+    else:
+        raise _Invalid(f"unrecognized line prefix {text[:8]!r}")
+    try:
+        record = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise _Invalid(f"bad JSON: {exc}") from exc
+    if not isinstance(record, dict) or record.get("t") not in KNOWN_RECORD_KINDS:
+        raise _Invalid(f"unknown record kind {record!r:.60}")
+    return seq, record
+
+
 class WriteAheadLog:
     """Append-only logical redo log for one database directory."""
 
-    def __init__(self, path: str, fsync: bool = True) -> None:
+    def __init__(self, path: str, fsync: bool = True, io: Optional[IOShim] = None) -> None:
         self.path = path
         self._fsync = fsync
+        self._io = io if io is not None else DEFAULT_IO
         self._fd: Optional[int] = os.open(
             path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644
         )
         self._pending: List[str] = []
+        #: the sequence number the next committed group will carry
+        self.next_seq = 1
         #: statistics for benchmarks/tests
         self.stats = {"commits": 0, "ops": 0, "bytes": 0, "fsyncs": 0, "appends": 0}
+        #: recovery-side counters (kept apart from the write-side stats)
+        self.recovery_stats: Dict[str, int] = {
+            "replayed_ops": 0,
+            "skipped_groups": 0,
+            "torn_tail_records": 0,
+            "crc_errors": 0,
+        }
+
+    @property
+    def last_seq(self) -> int:
+        """The sequence number of the newest committed group (0 if none)."""
+        return self.next_seq - 1
 
     # -- logging ------------------------------------------------------------
 
@@ -79,13 +168,23 @@ class WriteAheadLog:
             raise StorageError("WAL is closed")
         if not self._pending:
             return
-        lines = self._pending + [json.dumps({"t": "commit"})]
+        seq = self.next_seq
+        lines = [_frame(seq, line) for line in self._pending]
+        lines.append(_frame(seq, json.dumps({"t": "commit"})))
         payload = ("\n".join(lines) + "\n").encode("utf-8")
-        os.write(self._fd, payload)
-        self.stats["appends"] += 1
-        if self._fsync:
-            os.fsync(self._fd)
-            self.stats["fsyncs"] += 1
+        try:
+            self._io.write_all(self._fd, payload)
+            self.stats["appends"] += 1
+            if self._fsync:
+                self._io.fsync(self._fd)
+                self.stats["fsyncs"] += 1
+        except OSError as exc:
+            # The group may be partially on disk; it carries no commit
+            # marker that fsync confirmed, so recovery will discard it.
+            # Drop it here too so a retry cannot double-log.
+            self._pending.clear()
+            raise StorageError(f"WAL append failed: {exc}") from exc
+        self.next_seq = seq + 1
         self.stats["commits"] += 1
         self.stats["ops"] += len(self._pending)
         self.stats["bytes"] += len(payload)
@@ -109,57 +208,94 @@ class WriteAheadLog:
 
     # -- recovery ------------------------------------------------------------
 
-    def replay(self, apply: Callable[[dict], None]) -> int:
-        """Feed every committed op to *apply*; returns the op count.
-
-        Malformed trailing data (torn final write) is treated as an
-        uncommitted group and ignored; malformed data *before* a commit
-        marker raises StorageError because it means real corruption.
-        """
-        if self._fd is None:
-            raise StorageError("WAL is closed")
+    def _lines(self) -> Iterator[bytes]:
+        """Stream the log's lines without materialising the whole file."""
         os.lseek(self._fd, 0, os.SEEK_SET)
-        chunks = []
+        tail = b""
         while True:
             chunk = os.read(self._fd, 1 << 20)
             if not chunk:
                 break
-            chunks.append(chunk)
+            tail += chunk
+            lines = tail.split(b"\n")
+            tail = lines.pop()
+            for line in lines:
+                yield line
         os.lseek(self._fd, 0, os.SEEK_END)
-        text = b"".join(chunks).decode("utf-8", errors="replace")
+        if tail:
+            # No trailing newline: by construction this write never
+            # finished, so the final fragment is torn by definition.
+            yield tail
+
+    def replay(self, apply: Callable[[dict], None], min_seq: int = 0) -> int:
+        """Feed every committed op with seq > *min_seq* to *apply*.
+
+        Returns the applied op count.  Malformed trailing data (torn final
+        write) is treated as an uncommitted group and ignored; malformed
+        data *before* a later valid record raises
+        :class:`~repro.errors.WalCorruptionError` because it means real
+        corruption.  Groups at or below *min_seq* were already flushed to
+        the heaps by a checkpoint and are skipped.
+        """
+        if self._fd is None:
+            raise StorageError("WAL is closed")
         group: List[dict] = []
+        group_seq: Optional[int] = None
+        poisoned_at: Optional[str] = None
+        pending_invalid = 0
         applied = 0
-        for line_no, line in enumerate(text.splitlines(), start=1):
-            line = line.strip()
-            if not line:
+        max_seq = 0
+        for line_no, raw in enumerate(self._lines(), start=1):
+            if not raw.strip():
                 continue
             try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                # A torn final line is fine; anything else is corruption.
-                group = None  # mark group as poisoned
+                seq, record = _parse_line(raw)
+                if group and seq != group_seq:
+                    raise _Invalid(
+                        f"group sequence mismatch: {seq} in group {group_seq}"
+                    )
+            except _Invalid as exc:
+                if poisoned_at is None:
+                    poisoned_at = f"line {line_no}: {exc}"
+                if "CRC" in str(exc):
+                    self.recovery_stats["crc_errors"] += 1
+                pending_invalid += 1
                 continue
-            if group is None:
-                raise StorageError(
-                    f"WAL corruption: valid record after torn line {line_no}"
+            if poisoned_at is not None:
+                raise WalCorruptionError(
+                    f"WAL corruption in {self.path!r}: valid record after "
+                    f"invalid data ({poisoned_at})"
                 )
-            if record.get("t") == "commit":
-                for op in group:
-                    apply(op)
-                    applied += 1
+            if seq is not None:
+                max_seq = max(max_seq, seq)
+            if record["t"] == "commit":
+                if seq is not None and seq <= min_seq:
+                    self.recovery_stats["skipped_groups"] += 1
+                else:
+                    for op in group:
+                        apply(op)
+                        applied += 1
+                    self.recovery_stats["replayed_ops"] += len(group)
                 group = []
+                group_seq = None
             else:
+                if not group:
+                    group_seq = seq
                 group.append(record)
+        # Anything after the last commit marker — valid uncommitted records
+        # and/or a torn final write — is discarded, not corruption.
+        self.recovery_stats["torn_tail_records"] += pending_invalid
+        self.next_seq = max(self.next_seq, max_seq + 1, min_seq + 1)
         return applied
 
     def truncate(self) -> None:
         """Erase the log (after a checkpoint has made data files current)."""
         if self._fd is None:
             raise StorageError("WAL is closed")
-        os.ftruncate(self._fd, 0)
+        self._io.ftruncate(self._fd, 0)
         os.lseek(self._fd, 0, os.SEEK_END)
         if self._fsync:
-            os.fsync(self._fd)
+            self._io.fsync(self._fd)
 
     def close(self) -> None:
         if self._fd is not None:
