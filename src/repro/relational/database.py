@@ -156,8 +156,9 @@ class Database:
         #: with ReadOnlyError, checkpoints become no-ops, and close()
         #: leaves the (possibly damaged, still diagnosable) files alone
         self.read_only = False
-        #: corruption events recorded while opening; surfaced through
-        #: integrity_check() and metrics_snapshot()["integrity"]
+        #: corruption events recorded while opening or checkpointing;
+        #: surfaced through integrity_check() and
+        #: metrics_snapshot()["integrity"]
         self._corruption_events: List[Dict[str, str]] = []
         #: the WAL group sequence the last durable checkpoint covered
         self._checkpoint_seq = 0
@@ -467,6 +468,12 @@ class Database:
         replays the intact WAL; a crash after it skips replay of every
         group the new catalog covers.  Read-only (degraded) databases
         never checkpoint — the damaged files stay untouched for forensics.
+
+        An I/O *error* (rather than a crash) mid-checkpoint degrades the
+        database to read-only and raises :class:`StorageError`: the heaps
+        may be half-flushed, and a retried checkpoint would journal
+        contaminated pre-images.  Reopening recovers from the journal and
+        WAL like after a crash.
         """
         if self.path is None or self.read_only:
             return
@@ -487,9 +494,18 @@ class Database:
                 self.wal.truncate()
             clear_checkpoint_journal(self._journal_path(), io=self._io)
         except OSError as exc:
-            # A failed fsync/write mid-checkpoint is recoverable — the
-            # journal (or the still-intact WAL) covers us — but it must
-            # surface as a database error, not a raw OSError.
+            # A mid-checkpoint I/O failure leaves no state a *retry* can
+            # safely build on: the heaps may be half-flushed, so a second
+            # attempt would rewrite the journal with "pre-images" read
+            # from half-flushed heaps — post-images that poison rollback.
+            # Degrade to read-only instead: the journal and WAL already on
+            # disk reopen to the last consistent state, exactly as after a
+            # crash at this point (proven by the exhaustion harness).
+            self._record_corruption(
+                "checkpoint",
+                os.path.basename(self.path) or self.path,
+                f"checkpoint I/O failed: {exc}",
+            )
             raise StorageError(f"checkpoint failed: {exc}") from exc
 
     def close(self) -> None:

@@ -182,10 +182,12 @@ def crash_points(run: Callable[[FaultInjector], None]) -> FaultInjector:
 
 def select_points(total: int, max_points: Optional[int]) -> List[int]:
     """The 1-based crash points to exercise: all, or an even sample."""
-    if total <= 0:
+    if total <= 0 or (max_points is not None and max_points <= 0):
         return []
     if max_points is None or total <= max_points:
         return list(range(1, total + 1))
+    if max_points == 1:
+        return [1]
     # Even sample that always includes the first and last point.
     step = (total - 1) / (max_points - 1)
     points = sorted({round(1 + i * step) for i in range(max_points)})

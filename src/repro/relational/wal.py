@@ -31,7 +31,11 @@ kind, bad UTF-8) *poisons* the current group.  If the log ends there it
 was a torn final write and the group is discarded; if a valid record
 follows, the damage is in the middle of the log and replay raises
 :class:`~repro.errors.WalCorruptionError` — the database reacts by
-degrading to read-only rather than guessing.
+degrading to read-only rather than guessing.  A discarded tail is also
+**truncated from the file**: the fd is O_APPEND, so leaving the leftover
+bytes in place would put the next commit right behind (or on the same
+line as) them, and the following open would read that acknowledged group
+as corruption.
 
 Row values are JSON-encoded; DATE values round-trip as ISO strings through
 :func:`repro.relational.types.coerce` at replay time.
@@ -43,7 +47,7 @@ import datetime
 import json
 import os
 import zlib
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import StorageError, WalCorruptionError
 from repro.relational.faults import DEFAULT_IO, IOShim
@@ -130,6 +134,7 @@ class WriteAheadLog:
             "replayed_ops": 0,
             "skipped_groups": 0,
             "torn_tail_records": 0,
+            "tail_truncated_bytes": 0,
             "crc_errors": 0,
         }
 
@@ -172,6 +177,7 @@ class WriteAheadLog:
         lines = [_frame(seq, line) for line in self._pending]
         lines.append(_frame(seq, json.dumps({"t": "commit"})))
         payload = ("\n".join(lines) + "\n").encode("utf-8")
+        start = os.lseek(self._fd, 0, os.SEEK_END)
         try:
             self._io.write_all(self._fd, payload)
             self.stats["appends"] += 1
@@ -179,10 +185,25 @@ class WriteAheadLog:
                 self._io.fsync(self._fd)
                 self.stats["fsyncs"] += 1
         except OSError as exc:
-            # The group may be partially on disk; it carries no commit
-            # marker that fsync confirmed, so recovery will discard it.
-            # Drop it here too so a retry cannot double-log.
+            # The group — commit marker included — may already be in the
+            # file (a write that landed but whose fsync failed), and replay
+            # applies any marker-covered group regardless of fsync.  Make
+            # the failure atomic: truncate back to the pre-append offset so
+            # neither recovery nor a later append can observe a group the
+            # caller was told did not commit.
             self._pending.clear()
+            try:
+                self._io.ftruncate(self._fd, start)
+                os.lseek(self._fd, 0, os.SEEK_END)
+            except OSError as trunc_exc:
+                # Rollback failed too: the log may now hold a phantom
+                # commit.  Burn its seq so the next successful group cannot
+                # collide with it, and report both failures.
+                self.next_seq = seq + 1
+                raise StorageError(
+                    f"WAL append failed ({exc}) and could not be rolled "
+                    f"back ({trunc_exc}); the log may hold a phantom commit"
+                ) from exc
             raise StorageError(f"WAL append failed: {exc}") from exc
         self.next_seq = seq + 1
         self.stats["commits"] += 1
@@ -208,10 +229,16 @@ class WriteAheadLog:
 
     # -- recovery ------------------------------------------------------------
 
-    def _lines(self) -> Iterator[bytes]:
-        """Stream the log's lines without materialising the whole file."""
+    def _lines(self) -> Iterator[Tuple[bytes, int]]:
+        """Stream ``(line, end_offset)`` without materialising the file.
+
+        *end_offset* is the file offset just past the line, its newline
+        included — the offset replay truncates back to when everything
+        after a commit marker is discarded.
+        """
         os.lseek(self._fd, 0, os.SEEK_SET)
         tail = b""
+        offset = 0
         while True:
             chunk = os.read(self._fd, 1 << 20)
             if not chunk:
@@ -220,19 +247,25 @@ class WriteAheadLog:
             lines = tail.split(b"\n")
             tail = lines.pop()
             for line in lines:
-                yield line
+                offset += len(line) + 1
+                yield line, offset
         os.lseek(self._fd, 0, os.SEEK_END)
         if tail:
             # No trailing newline: by construction this write never
             # finished, so the final fragment is torn by definition.
-            yield tail
+            offset += len(tail)
+            yield tail, offset
 
     def replay(self, apply: Callable[[dict], None], min_seq: int = 0) -> int:
         """Feed every committed op with seq > *min_seq* to *apply*.
 
         Returns the applied op count.  Malformed trailing data (torn final
-        write) is treated as an uncommitted group and ignored; malformed
-        data *before* a later valid record raises
+        write) is treated as an uncommitted group and ignored — and then
+        **truncated from the file**, so the discard is durable rather than
+        implicit (the fd is O_APPEND; leftover tail bytes would otherwise
+        sit in front of the next commit and make the following open read
+        that acknowledged group as corruption).  Malformed data *before* a
+        later valid record raises
         :class:`~repro.errors.WalCorruptionError` because it means real
         corruption.  Groups at or below *min_seq* were already flushed to
         the heaps by a checkpoint and are skipped.
@@ -245,7 +278,10 @@ class WriteAheadLog:
         pending_invalid = 0
         applied = 0
         max_seq = 0
-        for line_no, raw in enumerate(self._lines(), start=1):
+        committed_end = 0  # offset just past the last commit marker
+        log_end = 0        # offset just past the last line seen
+        for line_no, (raw, end_offset) in enumerate(self._lines(), start=1):
+            log_end = end_offset
             if not raw.strip():
                 continue
             try:
@@ -269,6 +305,7 @@ class WriteAheadLog:
             if seq is not None:
                 max_seq = max(max_seq, seq)
             if record["t"] == "commit":
+                committed_end = end_offset
                 if seq is not None and seq <= min_seq:
                     self.recovery_stats["skipped_groups"] += 1
                 else:
@@ -283,8 +320,18 @@ class WriteAheadLog:
                     group_seq = seq
                 group.append(record)
         # Anything after the last commit marker — valid uncommitted records
-        # and/or a torn final write — is discarded, not corruption.
+        # and/or a torn final write — is discarded, not corruption.  Make
+        # the discard durable by truncating it away: the next commit is
+        # appended at EOF, so leftover tail bytes would otherwise turn that
+        # acknowledged group into a same-line continuation (torn fragment)
+        # or a group-seq-mismatching suffix (orphan records) on reopen.
         self.recovery_stats["torn_tail_records"] += pending_invalid
+        if log_end > committed_end:
+            self._io.ftruncate(self._fd, committed_end)
+            os.lseek(self._fd, 0, os.SEEK_END)
+            if self._fsync:
+                self._io.fsync(self._fd)
+            self.recovery_stats["tail_truncated_bytes"] += log_end - committed_end
         self.next_seq = max(self.next_seq, max_seq + 1, min_seq + 1)
         return applied
 

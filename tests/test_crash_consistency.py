@@ -28,6 +28,7 @@ from repro.relational.database import Database
 from repro.relational.faults import (
     FaultInjector,
     InjectedCrash,
+    IOShim,
     crash_points,
     exhaust_crash_points,
     select_points,
@@ -190,6 +191,10 @@ class TestCrashExhaustion:
         sampled = select_points(100, 7)
         assert sampled[0] == 1 and sampled[-1] == 100 and len(sampled) == 7
         assert select_points(0, 5) == []
+        # CRASH_MAX_POINTS=1 must test a single point, not crash.
+        assert select_points(100, 1) == [1]
+        assert select_points(1, 1) == [1]
+        assert select_points(5, 0) == []
 
 
 def _setup_disk(path, rows=3):
@@ -411,6 +416,67 @@ class TestWalV2:
         finally:
             db2.close()
 
+    def test_torn_tail_is_truncated_before_new_appends(self, tmp_path):
+        """Crash -> recover -> commit -> crash (two generations).
+
+        Recovery discards a torn tail; it must also truncate it from the
+        file — the fd is O_APPEND, so a leftover newline-less fragment
+        would otherwise share a line with the first post-recovery commit
+        and the SECOND recovery would read that acknowledged group as
+        corruption, bricking the database.
+        """
+        path = str(tmp_path / "db")
+        db = _setup_disk(path)
+        _hard_close(db)
+        wal_path = os.path.join(path, "wal.log")
+        committed_size = os.path.getsize(wal_path)
+        with open(wal_path, "ab") as fh:
+            fh.write(b'2|9|deadbeef|{"t": "ins')  # torn write, no newline
+        db2 = Database(path=path, fsync=False)
+        assert os.path.getsize(wal_path) == committed_size  # tail gone
+        assert db2.wal.recovery_stats["tail_truncated_bytes"] > 0
+        db2.insert("t", {"a": 50, "b": "second-generation"})
+        _hard_close(db2)
+        db3 = Database(path=path, fsync=False)
+        try:
+            assert not db3.read_only, f"events={db3._corruption_events}"
+            assert db3.execute("SELECT COUNT(*) FROM t").scalar() == 4
+            assert db3.query("SELECT b FROM t WHERE a = 50") == [
+                ("second-generation",)
+            ]
+            assert db3.integrity_check().ok
+        finally:
+            _hard_close(db3)
+
+    def test_uncommitted_tail_is_truncated_on_recovery(self, tmp_path):
+        """Orphan uncommitted records are erased, not merely skipped.
+
+        If they stayed in the file, the next commit (a different group
+        seq) would follow them as a group-seq-mismatching continuation and
+        the following open would silently drop that acknowledged group.
+        """
+        path = str(tmp_path / "db")
+        db = _setup_disk(path)
+        _hard_close(db)
+        wal_path = os.path.join(path, "wal.log")
+        committed_size = os.path.getsize(wal_path)
+        orphan = _frame(4, json.dumps({"t": "insert", "tab": "t", "row": [9, "orphan"]}))
+        with open(wal_path, "ab") as fh:
+            fh.write(orphan.encode() + b"\n")
+        db2 = Database(path=path, fsync=False)
+        assert os.path.getsize(wal_path) == committed_size
+        db2.insert("t", {"a": 4, "b": "four"})
+        _hard_close(db2)
+        db3 = Database(path=path, fsync=False)
+        try:
+            assert not db3.read_only, f"events={db3._corruption_events}"
+            # The committed post-recovery row survives; the orphan doesn't.
+            assert db3.query("SELECT a FROM t ORDER BY a") == [
+                (0,), (1,), (2,), (4,),
+            ]
+        finally:
+            _hard_close(db3)
+
     def test_undecodable_bytes_treated_as_torn_line(self, tmp_path):
         path = str(tmp_path / "db")
         db = _setup_disk(path)
@@ -489,6 +555,69 @@ class TestInjectedFailures:
                 db.execute("CREATE TABLE t (a INT)")
         finally:
             _hard_close(db)
+
+    def test_fsync_failure_during_commit_is_atomic(self, tmp_path):
+        """A commit whose fsync fails must not survive in the log.
+
+        The group (commit marker included) is already written when fsync
+        raises; without the rollback truncation, recovery would replay a
+        commit the caller was told failed (phantom commit), and the next
+        successful commit would reuse its seq.
+        """
+        path = str(tmp_path / "db")
+        db = Database(path=path, fsync=True)
+        db.execute("CREATE TABLE t (a INT PRIMARY KEY, b TEXT)")
+        db.insert("t", {"a": 0, "b": "zero"})
+        wal_path = os.path.join(path, "wal.log")
+        size_before = os.path.getsize(wal_path)
+        seq_before = db.wal.next_seq
+        db.wal._io = FaultInjector(fail_fsync=True)
+        with pytest.raises(StorageError):
+            db.insert("t", {"a": 1, "b": "one"})
+        # The un-fsynced group, commit marker included, was rolled back.
+        assert os.path.getsize(wal_path) == size_before
+        assert db.wal.next_seq == seq_before
+        db.wal._io = IOShim()
+        db.insert("t", {"a": 2, "b": "two"})
+        _hard_close(db)
+        db2 = Database(path=path, fsync=False)
+        try:
+            assert not db2.read_only, f"events={db2._corruption_events}"
+            # The failed commit is not replayed; the later one is.
+            assert db2.query("SELECT a FROM t ORDER BY a") == [(0,), (2,)]
+            assert db2.integrity_check().ok
+        finally:
+            _hard_close(db2)
+
+    def test_checkpoint_io_failure_degrades_to_read_only(self, tmp_path):
+        """A mid-checkpoint I/O error may leave the heaps half-flushed, so
+        a *retried* checkpoint would journal contaminated pre-images.  The
+        database degrades instead; reopening recovers like after a crash."""
+        path = str(tmp_path / "db")
+        db = _setup_disk(path)
+        db.checkpoint()
+        db.insert("t", {"a": 100, "b": "after-ckpt"})
+        shim = FaultInjector(fail_fsync=True)
+        db._io = shim
+        for pager in db._pagers.values():
+            pager._io = shim
+        db.wal._io = shim
+        with pytest.raises(StorageError):
+            db.checkpoint()
+        assert db.read_only
+        assert any(
+            e["component"] == "checkpoint" for e in db._corruption_events
+        )
+        with pytest.raises(ReadOnlyError):
+            db.insert("t", {"a": 101, "b": "rejected"})
+        _hard_close(db)
+        db2 = Database(path=path, fsync=False)
+        try:
+            assert not db2.read_only, f"events={db2._corruption_events}"
+            assert db2.query("SELECT COUNT(*) FROM t") == [(4,)]
+            assert db2.integrity_check().ok
+        finally:
+            _hard_close(db2)
 
     def test_injected_crash_is_not_a_catchable_wow_error(self):
         from repro.errors import WowError
