@@ -1,14 +1,19 @@
 """EXPLAIN ANALYZE support: per-operator runtime counters.
 
 :func:`instrument` walks an operator tree and wraps each node's ``rows()``
-with a counting/timing generator (instance-attribute assignment — operator
-classes have no ``__slots__``).  The wrappers only exist on trees that are
-being ANALYZEd, so the normal execution path pays nothing.
+and ``rows_batched()`` with counting/timing generators (instance-attribute
+assignment — operator classes have no ``__slots__``).  The wrappers only
+exist on trees that are being ANALYZEd, so the normal execution path pays
+nothing.
 
 Timings are *inclusive*: an operator's elapsed time includes its children,
 matching PostgreSQL's EXPLAIN ANALYZE convention.  ``loops`` counts how
 many times ``rows()`` was restarted (e.g. the inner side of a nested-loop
-join before materialisation, or a re-executed view).
+join before materialisation, or a re-executed view).  Under vectorized
+execution ``batches`` counts emitted batches; operators without a native
+batch path (served by the base-class adapter over ``rows()``) count their
+rows through the ``rows()`` wrapper and only the batch chunking here, so
+nothing is double-counted.
 """
 
 from __future__ import annotations
@@ -16,23 +21,25 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from repro.relational.algebra import Operator
+from repro.relational.algebra import DEFAULT_BATCH_SIZE, Operator
 
 
 class OpStats:
     """Runtime counters for one operator node."""
 
-    __slots__ = ("rows_out", "elapsed", "loops")
+    __slots__ = ("rows_out", "elapsed", "loops", "batches")
 
     def __init__(self) -> None:
         self.rows_out = 0
         self.elapsed = 0.0  # seconds, inclusive of children
         self.loops = 0
+        self.batches = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "rows": self.rows_out,
             "loops": self.loops,
+            "batches": self.batches,
             "time_ms": self.elapsed * 1000.0,
         }
 
@@ -47,6 +54,8 @@ def instrument(root: Operator) -> Dict[int, OpStats]:
     def wrap(op: Operator) -> None:
         op_stats = stats[id(op)] = OpStats()
         original_rows = op.rows
+        original_batched = op.rows_batched
+        native_batched = type(op).rows_batched is not Operator.rows_batched
 
         def counted_rows() -> Iterator[Tuple[Any, ...]]:
             op_stats.loops += 1
@@ -60,7 +69,31 @@ def instrument(root: Operator) -> Dict[int, OpStats]:
             finally:
                 op_stats.elapsed += time.perf_counter() - start
 
+        def counted_batches(
+            batch_size: int = DEFAULT_BATCH_SIZE,
+        ) -> Iterator[List[Tuple[Any, ...]]]:
+            if not native_batched:
+                # The base-class adapter pulls op.rows() — which is now
+                # counted_rows, already tracking rows/loops/time — so only
+                # tally the chunking here.
+                for batch in original_batched(batch_size):
+                    op_stats.batches += 1
+                    yield batch
+                return
+            op_stats.loops += 1
+            start = time.perf_counter()
+            try:
+                for batch in original_batched(batch_size):
+                    op_stats.elapsed += time.perf_counter() - start
+                    op_stats.batches += 1
+                    op_stats.rows_out += len(batch)
+                    yield batch
+                    start = time.perf_counter()
+            finally:
+                op_stats.elapsed += time.perf_counter() - start
+
         op.rows = counted_rows  # type: ignore[method-assign]
+        op.rows_batched = counted_batches  # type: ignore[method-assign]
         for child in op.children():
             wrap(child)
 
@@ -81,7 +114,8 @@ def render_analyze(
     snapshot; EXPLAIN ANALYZE itself always plans fresh (instrumentation
     wraps the plan's ``rows`` methods, which must never leak into a cached
     tree), so the line reports the cache's lifetime counters, not a hit for
-    this statement.
+    this statement.  Under vectorized execution each operator line carries
+    ``batches=`` and, where expressions were lowered, ``compiled=yes/no``.
     """
     lines: List[str] = []
 
@@ -91,10 +125,13 @@ def render_analyze(
             text += f"  [~{op.est_rows:.0f} rows]"
         op_stats = stats.get(id(op))
         if op_stats is not None:
-            text += (
-                f"  [rows={op_stats.rows_out} loops={op_stats.loops}"
-                f" time={op_stats.elapsed * 1000.0:.3f} ms]"
-            )
+            text += f"  [rows={op_stats.rows_out} loops={op_stats.loops}"
+            if op_stats.batches:
+                text += f" batches={op_stats.batches}"
+            compiled = op.compiled_status()
+            if compiled is not None:
+                text += f" compiled={compiled}"
+            text += f" time={op_stats.elapsed * 1000.0:.3f} ms]"
         lines.append("  " * depth + text)
         for child in op.children():
             walk(child, depth + 1)
@@ -116,6 +153,9 @@ def stats_tree(root: Operator, stats: Dict[int, OpStats]) -> Dict[str, Any]:
     op_stats = stats.get(id(root))
     if op_stats is not None:
         node.update(op_stats.to_dict())
+        compiled = root.compiled_status()
+        if compiled is not None:
+            node["compiled"] = compiled
     children = [stats_tree(child, stats) for child in root.children()]
     if children:
         node["children"] = children

@@ -3,12 +3,34 @@
 Every operator exposes:
 
 * ``layout`` — the :class:`~repro.relational.expr.RowLayout` of its output;
-* ``rows()`` — an iterator of plain tuples;
+* ``rows()`` — an iterator of plain tuples (the tuple-at-a-time path);
+* ``rows_batched(batch_size)`` — an iterator of row *lists* (the
+  vectorized path; see below);
 * ``explain()`` — a nested textual plan, one line per operator.
 
 Predicates and projections arrive *bound* (column references resolved to
 positions in the child's layout); the planner is responsible for binding.
-All operators are restartable: ``rows()`` may be called repeatedly.
+All operators are restartable: ``rows()``/``rows_batched()`` may be
+called repeatedly.
+
+**Batch execution.**  ``rows()`` is the original Volcano-style pull loop;
+``rows_batched()`` moves the same rows in lists so the per-row Python
+overhead (generator resumption, ``eval`` tree walks, per-record decode)
+is paid once per batch instead of once per row.  The base class provides
+an adapter that chunks ``rows()``, so every operator participates; the
+hot operators override it with native batch implementations that pull
+batches from their children and evaluate expressions through
+:mod:`~repro.relational.exprcompile` closures.  Both paths must produce
+identical row sequences — batches are a transport, not a semantic —
+which the property tests in ``tests/test_property_engine.py`` enforce.
+Batch *sizes* are a hint: operators may emit shorter or slightly longer
+lists (a scan flushes whole pages), and empty batches are suppressed.
+
+Compiled expression closures are cached on the operator instances, so
+plans held by the plan cache or a prepared statement compile once and
+re-execute the compiled form.  ``compiled_status()`` reports ``"yes"``/
+``"no"`` (or None for operators with nothing to compile) for EXPLAIN
+ANALYZE.
 """
 
 from __future__ import annotations
@@ -16,12 +38,20 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError, PlanError
+from repro.relational import exprcompile
 from repro.relational.expr import Expr, RowLayout
 from repro.relational.indexes import BTreeIndex, Index
 from repro.relational.table import Table
 from repro.relational.types import ColumnType, sort_key
 
 Row = Tuple[Any, ...]
+
+#: default number of rows per batch (X100-style: big enough to amortise
+#: per-batch overhead, small enough to stay cache- and memory-friendly)
+DEFAULT_BATCH_SIZE = 1024
+
+#: process-wide batch-executor counters (reported by ``metrics_snapshot()``)
+EXEC_METRICS: Dict[str, int] = {"batches": 0, "batch_rows": 0}
 
 
 class Operator:
@@ -34,6 +64,29 @@ class Operator:
 
     def rows(self) -> Iterator[Row]:
         raise NotImplementedError
+
+    def rows_batched(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[List[Row]]:
+        """Default adapter: chunk ``rows()`` into lists.
+
+        Operators without a native batch implementation still slot into a
+        batched pipeline through this; overriders must yield the same rows
+        in the same order.
+        """
+        batch: List[Row] = []
+        append = batch.append
+        for row in self.rows():
+            append(row)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+                append = batch.append
+        if batch:
+            yield batch
+
+    def compiled_status(self) -> Optional[str]:
+        """``"yes"``/``"no"`` once expression compilation was attempted;
+        None for operators that evaluate no expressions."""
+        return None
 
     def children(self) -> Tuple["Operator", ...]:
         return ()
@@ -67,6 +120,9 @@ class SeqScan(Operator):
     def rows(self) -> Iterator[Row]:
         return self.table.rows()
 
+    def rows_batched(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[List[Row]]:
+        return self.table.rows_batched(batch_size)
+
     def label(self) -> str:
         return f"SeqScan({self.table.name} AS {self.alias})"
 
@@ -84,6 +140,11 @@ class IndexEqScan(Operator):
     def rows(self) -> Iterator[Row]:
         for rid in self.index.lookup(self.key):
             yield self.table.read(rid)
+
+    def rows_batched(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[List[Row]]:
+        rids = list(self.index.lookup(self.key))
+        for start in range(0, len(rids), batch_size):
+            yield self.table.read_many(rids[start : start + batch_size])
 
     def label(self) -> str:
         return f"IndexEqScan({self.table.name}.{self.index.name} = {self.key!r})"
@@ -119,6 +180,19 @@ class IndexRangeScan(Operator):
         ):
             yield self.table.read(rid)
 
+    def rows_batched(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[List[Row]]:
+        read_many = self.table.read_many
+        rids: List[Any] = []
+        for _key, rid in self.index.range_scan(
+            self.low, self.high, self.include_low, self.include_high
+        ):
+            rids.append(rid)
+            if len(rids) >= batch_size:
+                yield read_many(rids)
+                rids = []
+        if rids:
+            yield read_many(rids)
+
     def label(self) -> str:
         low = "-inf" if self.low is None else repr(self.low)
         high = "+inf" if self.high is None else repr(self.high)
@@ -135,6 +209,11 @@ class RowSource(Operator):
 
     def rows(self) -> Iterator[Row]:
         return iter(self._rows)
+
+    def rows_batched(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[List[Row]]:
+        rows = self._rows
+        for start in range(0, len(rows), batch_size):
+            yield rows[start : start + batch_size]
 
     def label(self) -> str:
         return f"RowSource({self._name}, {len(self._rows)} rows)"
@@ -180,6 +259,9 @@ class Rename(Operator):
     def rows(self) -> Iterator[Row]:
         return self.child.rows()
 
+    def rows_batched(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[List[Row]]:
+        return self.child.rows_batched(batch_size)
+
     def label(self) -> str:
         return f"Rename({self.alias})"
 
@@ -191,6 +273,7 @@ class Filter(Operator):
         self.child = child
         self.predicate = predicate
         self.layout = child.layout
+        self._compiled: Optional[Tuple[Callable[[Row], Any], bool]] = None
 
     def children(self) -> Tuple[Operator, ...]:
         return (self.child,)
@@ -200,6 +283,22 @@ class Filter(Operator):
         for row in self.child.rows():
             if predicate.eval(row) is True:  # 3VL: NULL filters out
                 yield row
+
+    def _predicate_fn(self) -> Callable[[Row], Any]:
+        if self._compiled is None:
+            self._compiled = exprcompile.compile_expr(self.predicate)
+        return self._compiled[0]
+
+    def rows_batched(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[List[Row]]:
+        predicate = self._predicate_fn()
+        for batch in self.child.rows_batched(batch_size):
+            kept = [row for row in batch if predicate(row) is True]
+            if kept:
+                yield kept
+
+    def compiled_status(self) -> Optional[str]:
+        self._predicate_fn()
+        return "yes" if self._compiled[1] else "no"
 
     def label(self) -> str:
         return f"Filter({self.predicate.to_sql()})"
@@ -221,6 +320,7 @@ class Project(Operator):
         self.exprs = tuple(exprs)
         self.names = tuple(n.lower() for n in names)
         self.layout = RowLayout([(None, n, t) for n, t in zip(self.names, types)])
+        self._compiled: Optional[Tuple[Callable[[Row], Row], bool]] = None
 
     def children(self) -> Tuple[Operator, ...]:
         return (self.child,)
@@ -229,6 +329,20 @@ class Project(Operator):
         exprs = self.exprs
         for row in self.child.rows():
             yield tuple(e.eval(row) for e in exprs)
+
+    def _row_fn(self) -> Callable[[Row], Row]:
+        if self._compiled is None:
+            self._compiled = exprcompile.compile_row_fn(self.exprs)
+        return self._compiled[0]
+
+    def rows_batched(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[List[Row]]:
+        project = self._row_fn()
+        for batch in self.child.rows_batched(batch_size):
+            yield [project(row) for row in batch]
+
+    def compiled_status(self) -> Optional[str]:
+        self._row_fn()
+        return "yes" if self._compiled[1] else "no"
 
     def label(self) -> str:
         return "Project(" + ", ".join(self.names) + ")"
@@ -242,6 +356,7 @@ class Sort(Operator):
         self.child = child
         self.keys = tuple(keys)
         self.layout = child.layout
+        self._compiled: Optional[List[Tuple[Callable[[Row], Any], bool]]] = None
 
     def children(self) -> Tuple[Operator, ...]:
         return (self.child,)
@@ -254,6 +369,28 @@ class Sort(Operator):
                 key=lambda row: sort_key(expr.eval(row)), reverse=not ascending
             )
         return iter(materialised)
+
+    def _key_fns(self) -> List[Tuple[Callable[[Row], Any], bool]]:
+        if self._compiled is None:
+            self._compiled = [
+                exprcompile.compile_expr(expr) for expr, _asc in self.keys
+            ]
+        return self._compiled
+
+    def rows_batched(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[List[Row]]:
+        materialised: List[Row] = []
+        for batch in self.child.rows_batched(batch_size):
+            materialised.extend(batch)
+        key_fns = self._key_fns()
+        for (key_fn, _), (_expr, ascending) in zip(reversed(key_fns), reversed(self.keys)):
+            materialised.sort(
+                key=lambda row: sort_key(key_fn(row)), reverse=not ascending
+            )
+        for start in range(0, len(materialised), batch_size):
+            yield materialised[start : start + batch_size]
+
+    def compiled_status(self) -> Optional[str]:
+        return "yes" if all(ok for _fn, ok in self._key_fns()) else "no"
 
     def label(self) -> str:
         parts = ", ".join(
@@ -288,6 +425,25 @@ class Limit(Operator):
             produced += 1
             yield row
 
+    def rows_batched(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[List[Row]]:
+        to_skip = self.offset
+        remaining = self.limit  # None = unbounded
+        for batch in self.child.rows_batched(batch_size):
+            if to_skip:
+                if to_skip >= len(batch):
+                    to_skip -= len(batch)
+                    continue
+                batch = batch[to_skip:]
+                to_skip = 0
+            if remaining is not None:
+                if len(batch) > remaining:
+                    batch = batch[:remaining]
+                remaining -= len(batch)
+            if batch:
+                yield batch
+            if remaining == 0:
+                return
+
     def label(self) -> str:
         return f"Limit({self.limit}, offset={self.offset})"
 
@@ -308,6 +464,18 @@ class Distinct(Operator):
             if row not in seen:
                 seen.add(row)
                 yield row
+
+    def rows_batched(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[List[Row]]:
+        seen: set = set()
+        add = seen.add
+        for batch in self.child.rows_batched(batch_size):
+            fresh = []
+            for row in batch:
+                if row not in seen:
+                    add(row)
+                    fresh.append(row)
+            if fresh:
+                yield fresh
 
 
 # ---------------------------------------------------------------------------
@@ -383,6 +551,7 @@ class HashJoin(Operator):
         self.residual = residual
         self.left_outer = left_outer
         self.layout = outer.layout + inner.layout
+        self._compiled: Optional[Tuple[Callable[[Row], Any], bool]] = None
 
     def children(self) -> Tuple[Operator, ...]:
         return (self.outer, self.inner)
@@ -407,6 +576,75 @@ class HashJoin(Operator):
                         yield combined
             if self.left_outer and not matched:
                 yield outer_row + pad
+
+    def _residual_fn(self) -> Optional[Callable[[Row], Any]]:
+        if self.residual is None:
+            return None
+        if self._compiled is None:
+            self._compiled = exprcompile.compile_expr(self.residual)
+        return self._compiled[0]
+
+    def rows_batched(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[List[Row]]:
+        # Build phase: single-column keys hash the bare value (the common
+        # equi-join shape); multi-column keys hash the tuple.  NULL keys
+        # never enter the table, so probes need no separate NULL check for
+        # the matched path.
+        build: Dict[Any, List[Row]] = {}
+        inner_keys = self.inner_keys
+        single = len(inner_keys) == 1
+        single_inner = inner_keys[0]
+        single_outer = self.outer_keys[0]
+        for batch in self.inner.rows_batched(batch_size):
+            if single:
+                for inner_row in batch:
+                    key = inner_row[single_inner]
+                    if key is not None:
+                        build.setdefault(key, []).append(inner_row)
+            else:
+                for inner_row in batch:
+                    key = tuple(inner_row[p] for p in inner_keys)
+                    if not any(component is None for component in key):
+                        build.setdefault(key, []).append(inner_row)
+        pad = (None,) * len(self.inner.layout)
+        residual = self._residual_fn()
+        left_outer = self.left_outer
+        outer_keys = self.outer_keys
+        get = build.get
+        out: List[Row] = []
+        append = out.append
+        for batch in self.outer.rows_batched(batch_size):
+            for outer_row in batch:
+                if single:
+                    bucket = get(outer_row[single_outer])
+                else:
+                    key = tuple(outer_row[p] for p in outer_keys)
+                    bucket = None if any(c is None for c in key) else get(key)
+                matched = False
+                if bucket:
+                    if residual is None:
+                        matched = True
+                        for inner_row in bucket:
+                            append(outer_row + inner_row)
+                    else:
+                        for inner_row in bucket:
+                            combined = outer_row + inner_row
+                            if residual(combined) is True:
+                                matched = True
+                                append(combined)
+                if left_outer and not matched:
+                    append(outer_row + pad)
+            if len(out) >= batch_size:
+                yield out
+                out = []
+                append = out.append
+        if out:
+            yield out
+
+    def compiled_status(self) -> Optional[str]:
+        if self.residual is None:
+            return None
+        self._residual_fn()
+        return "yes" if self._compiled[1] else "no"
 
     def label(self) -> str:
         kind = "LeftOuterHashJoin" if self.left_outer else "HashJoin"
@@ -501,6 +739,10 @@ class UnionAll(Operator):
     def rows(self) -> Iterator[Row]:
         yield from self.left.rows()
         yield from self.right.rows()
+
+    def rows_batched(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[List[Row]]:
+        yield from self.left.rows_batched(batch_size)
+        yield from self.right.rows_batched(batch_size)
 
 
 # ---------------------------------------------------------------------------
@@ -604,9 +846,73 @@ class Aggregate(Operator):
         if not slots:
             raise PlanError("aggregate with neither groups nor aggregates")
         self.layout = RowLayout(slots)
+        self._compiled_key: Optional[Tuple[Callable[[Row], Row], bool]] = None
+        self._compiled_args: Optional[List[Optional[Tuple[Callable[[Row], Any], bool]]]] = None
 
     def children(self) -> Tuple[Operator, ...]:
         return (self.child,)
+
+    def _ensure_compiled(self) -> None:
+        if self._compiled_key is None:
+            self._compiled_key = exprcompile.compile_row_fn(
+                [expr for expr, _n, _t in self.group_exprs]
+            )
+            self._compiled_args = [
+                None if spec.arg is None else exprcompile.compile_expr(spec.arg)
+                for spec in self.aggregates
+            ]
+
+    def rows_batched(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[List[Row]]:
+        specs = self.aggregates
+        if not self.group_exprs and all(
+            spec.func == "count" and spec.arg is None for spec in specs
+        ):
+            # Ungrouped COUNT(*): the batch sizes ARE the answer.
+            total = 0
+            for batch in self.child.rows_batched(batch_size):
+                total += len(batch)
+            yield [(total,) * len(specs)]
+            return
+        self._ensure_compiled()
+        key_of = self._compiled_key[0]
+        arg_fns = [
+            None if compiled is None else compiled[0]
+            for compiled in self._compiled_args
+        ]
+        groups: Dict[Tuple[Any, ...], List[_AggState]] = {}
+        order: List[Tuple[Any, ...]] = []
+        for batch in self.child.rows_batched(batch_size):
+            for row in batch:
+                key = key_of(row)
+                states = groups.get(key)
+                if states is None:
+                    states = [_AggState(spec.func, spec.distinct) for spec in specs]
+                    groups[key] = states
+                    order.append(key)
+                for arg_fn, state in zip(arg_fns, states):
+                    if arg_fn is None:
+                        state.add(True)  # COUNT(*)
+                    else:
+                        state.add(arg_fn(row))
+        if not groups and not self.group_exprs:
+            groups[()] = [_AggState(spec.func) for spec in specs]
+            order.append(())
+        result = [
+            key + tuple(state.result() for state in groups[key]) for key in order
+        ]
+        for start in range(0, len(result), batch_size):
+            yield result[start : start + batch_size]
+
+    def compiled_status(self) -> Optional[str]:
+        if not self.group_exprs and all(
+            spec.func == "count" and spec.arg is None for spec in self.aggregates
+        ):
+            return "yes"  # runs as a pure batch-length sum
+        self._ensure_compiled()
+        ok = self._compiled_key[1] and all(
+            compiled is None or compiled[1] for compiled in self._compiled_args
+        )
+        return "yes" if ok else "no"
 
     def rows(self) -> Iterator[Row]:
         groups: Dict[Tuple[Any, ...], List[_AggState]] = {}

@@ -38,6 +38,8 @@ from repro.errors import (
 )
 from repro.obs import Registry, SlowLog, Tracer, get_registry, instrument, render_analyze
 from repro.relational import expr as E
+from repro.relational import exprcompile
+from repro.relational.algebra import EXEC_METRICS, Operator
 from repro.relational.catalog import Catalog
 from repro.relational.faults import DEFAULT_IO, IOShim
 from repro.relational.heap import HeapFile, RowId
@@ -278,7 +280,7 @@ class Database:
         self._check_select_privileges(statement)
         plan = self._select_plan(statement, cache_entry=entry)
         self.stats["selects"] += 1
-        return plan.layout.names(), plan.rows()
+        return plan.layout.names(), self._iter_rows(plan)
 
     # -- statement/plan cache plumbing --------------------------------------
 
@@ -555,7 +557,7 @@ class Database:
             for arm in statement.selects:
                 self._check_select_privileges(arm)
             plan = self.planner.plan_union(statement)
-            rows = list(plan.rows())
+            rows = self._collect_rows(plan)
             self.stats["selects"] += 1
             return Result(columns=plan.layout.names(), rows=rows, rowcount=len(rows))
         if isinstance(statement, A.AlterTable):
@@ -877,7 +879,10 @@ class Database:
         op_stats = instrument(plan)
         with self.tracer.span("db.explain_analyze") as span:
             start = time.perf_counter()
-            produced = sum(1 for _row in plan.rows())
+            if self.planner_config.vectorized:
+                produced = sum(len(batch) for batch in plan.rows_batched())
+            else:
+                produced = sum(1 for _row in plan.rows())
             execution_ms = (time.perf_counter() - start) * 1000.0
             span.tag("rows", produced)
         self.stats["selects"] += 1
@@ -923,6 +928,13 @@ class Database:
             "txn": dict(self.txn.stats),
             "planner": dict(self.planner.metrics),
             "plan_cache": self.plan_cache.snapshot(),
+            "executor": {
+                "vectorized": self.planner_config.vectorized,
+                "batches": EXEC_METRICS["batches"],
+                "batch_rows": EXEC_METRICS["batch_rows"],
+                "exprs_compiled": exprcompile.COMPILE_METRICS["compiled"],
+                "exprs_fallback": exprcompile.COMPILE_METRICS["fallback"],
+            },
             "integrity": {
                 "read_only": self.read_only,
                 "corruption_events": len(self._corruption_events),
@@ -949,6 +961,33 @@ class Database:
         """Operations at or above *threshold_ms* land in the slow log."""
         self.slow_log.threshold_ms = threshold_ms
 
+    def _collect_rows(self, plan: Operator) -> List[Row]:
+        """Materialise a plan's output through the configured executor mode."""
+        if not self.planner_config.vectorized:
+            return list(plan.rows())
+        rows: List[Row] = []
+        extend = rows.extend
+        batches = 0
+        for batch in plan.rows_batched():
+            extend(batch)
+            batches += 1
+        EXEC_METRICS["batches"] += batches
+        EXEC_METRICS["batch_rows"] += len(rows)
+        return rows
+
+    def _iter_rows(self, plan: Operator) -> Iterator[Row]:
+        """Lazy row iterator through the configured executor mode."""
+        if not self.planner_config.vectorized:
+            return plan.rows()
+
+        def flatten() -> Iterator[Row]:
+            for batch in plan.rows_batched():
+                EXEC_METRICS["batches"] += 1
+                EXEC_METRICS["batch_rows"] += len(batch)
+                yield from batch
+
+        return flatten()
+
     def _run_select(
         self,
         select: A.Select,
@@ -957,7 +996,7 @@ class Database:
     ) -> Result:
         self._check_select_privileges(select)
         plan = self._select_plan(select, cache_entry=cache_entry, prepared=prepared)
-        rows = list(plan.rows())
+        rows = self._collect_rows(plan)
         self.stats["selects"] += 1
         return Result(columns=plan.layout.names(), rows=rows, rowcount=len(rows))
 
@@ -1002,7 +1041,7 @@ class Database:
                 f"for {len(target_columns)} target columns"
             )
         # Materialise before writing: the source may be the target table.
-        source_rows = list(plan.rows())
+        source_rows = self._collect_rows(plan)
         count = 0
         with self._atomic():
             for row in source_rows:
@@ -1357,7 +1396,7 @@ class Database:
         row = table.read(rid)
         self._check_fk_parent_side(table, row, ignore_rid=rid)
         table.delete(rid)
-        self.txn.log_delete(table, row)
+        self.txn.log_delete(table, row, rid=rid)
         if self.wal is not None:
             self.wal.log_delete(table.name, row)
 

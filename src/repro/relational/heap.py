@@ -124,6 +124,18 @@ class HeapFile:
 
     def insert(self, record: bytes) -> RowId:
         """Store *record*; return its RowId."""
+        rid = self._insert_no_count(record)
+        if self._count is not None:
+            self._count += 1
+        return rid
+
+    def _insert_no_count(self, record: bytes) -> RowId:
+        """Place *record* without touching the live-count cache.
+
+        The count invariant lives in the callers: ``insert`` adds one new
+        record; the relocation path of ``update`` moves an existing one,
+        so the net live count must not change.
+        """
         if len(record) > MAX_RECORD_SIZE:
             raise StorageError(
                 f"record of {len(record)} bytes exceeds max {MAX_RECORD_SIZE}"
@@ -131,8 +143,6 @@ class HeapFile:
         rid = self._try_insert_into_hint(record)
         if rid is None:
             rid = self._insert_scan(record)
-        if self._count is not None:
-            self._count += 1
         return rid
 
     def read(self, rid: RowId) -> bytes:
@@ -185,26 +195,45 @@ class HeapFile:
             view.set_header(view.slot_count, new_end)
             self._pager.mark_dirty(rid.page)
             return rid
-        # Relocate to another page.
-        self.delete(rid)
-        new_rid = self.insert(record)
-        if self._count is not None:
-            self._count -= 1  # insert() counted the moved record twice
-        return new_rid
+        # Relocate to another page.  A move never changes the live count,
+        # so free the old slot and place the record through the uncounted
+        # insert path rather than compensating after delete()+insert().
+        view.set_slot(rid.slot, _DEAD, 0)
+        self._pager.mark_dirty(rid.page)
+        self._free_hint = rid.page
+        return self._insert_no_count(record)
 
     # -- iteration ---------------------------------------------------------
 
     def scan(self) -> Iterator[Tuple[RowId, bytes]]:
         """Yield every live (RowId, record) in page order."""
+        for page_no, data, live in self.scan_pages():
+            for slot_no, offset, length in live:
+                yield RowId(page_no, slot_no), bytes(data[offset : offset + length])
+
+    def scan_pages(self) -> Iterator[Tuple[int, bytearray, List[Tuple[int, int, int]]]]:
+        """Yield (page_no, page data, live slot entries) per non-empty page.
+
+        Each live entry is (slot_no, offset, length).  The whole slot
+        directory is decoded in one ``struct.iter_unpack`` pass instead of
+        one ``unpack_from`` per slot; batch consumers (``Table.
+        scan_batched``) decode records straight out of the page buffer.
+        """
+        read_page = self._pager.read_page
+        iter_unpack = _SLOT.iter_unpack
         for page_no in range(self._pager.page_count()):
-            view = self._view(page_no)
-            for slot_no in range(view.slot_count):
-                offset, length = view.slot(slot_no)
-                if offset != _DEAD:
-                    yield (
-                        RowId(page_no, slot_no),
-                        bytes(view.data[offset : offset + length]),
-                    )
+            data = read_page(page_no)
+            slot_count = _HEADER.unpack_from(data, 0)[0]
+            if not slot_count:
+                continue
+            directory = memoryview(data)[_HEADER_SIZE : _HEADER_SIZE + slot_count * _SLOT_SIZE]
+            live = [
+                (slot_no, offset, length)
+                for slot_no, (offset, length) in enumerate(iter_unpack(directory))
+                if offset != _DEAD
+            ]
+            if live:
+                yield page_no, data, live
 
     def count(self) -> int:
         """Number of live records (cached after first full scan)."""

@@ -259,13 +259,16 @@ def check_database(db) -> IntegrityReport:
         tables += 1
         scanned = []
         try:
-            for rid, row in table.scan():
-                scanned.append((rid, row))
-                if len(row) != table.schema.arity:
-                    report.add(
-                        "heap", table.name,
-                        f"row {rid} has {len(row)} columns, schema has {table.schema.arity}",
-                    )
+            # The batched scan is the verification path: it exercises the
+            # same page-at-a-time decode the vectorized executor uses.
+            for batch in table.scan_batched():
+                scanned.extend(batch)
+                for rid, row in batch:
+                    if len(row) != table.schema.arity:
+                        report.add(
+                            "heap", table.name,
+                            f"row {rid} has {len(row)} columns, schema has {table.schema.arity}",
+                        )
         except Exception as exc:
             report.add("heap", table.name, f"scan failed: {exc}")
             continue

@@ -43,6 +43,9 @@ class PlannerConfig:
     enable_join_reorder: bool = True
     #: 'auto' (hash for equi-joins, NL otherwise), or force 'nl'/'hash'/'merge'
     join_strategy: str = "auto"
+    #: batch-at-a-time execution with compiled expressions; False forces
+    #: the tuple-at-a-time path (the A/B baseline for bench_vectorized)
+    vectorized: bool = True
 
     def fingerprint(self) -> Tuple[Any, ...]:
         """Hashable digest of every switch; part of the plan-cache key, so
@@ -53,6 +56,7 @@ class PlannerConfig:
             self.enable_index_selection,
             self.enable_join_reorder,
             self.join_strategy,
+            self.vectorized,
         )
 
 

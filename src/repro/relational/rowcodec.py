@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import datetime
 import struct
-from typing import Any, List, Sequence, Tuple
+from typing import Any, Callable, List, Sequence, Tuple
 
 from repro.errors import StorageError
 from repro.relational.schema import TableSchema
@@ -139,3 +139,210 @@ def decode_row(schema: TableSchema, data: bytes) -> Tuple[Any, ...]:
             f"trailing bytes after row record ({len(data) - pos} extra)"
         )
     return tuple(values)
+
+
+# ---------------------------------------------------------------------------
+# Batch decoding
+# ---------------------------------------------------------------------------
+# The batch executor decodes whole pages at a time: one shared buffer plus
+# (start, end) spans per record, instead of one bytes copy + decode_row
+# call per record.  The decoder below is the same wire format with the
+# varint read inlined (INT, TEXT, and DATE all start with one) and the
+# per-schema column types cached, because at batch rates the attribute
+# and call overhead of the scalar path dominates.
+
+_INT = ColumnType.INT
+_FLOAT = ColumnType.FLOAT
+_TEXT = ColumnType.TEXT
+_BOOL = ColumnType.BOOL
+_DATE = ColumnType.DATE
+
+_unpack_double_from = struct.Struct(">d").unpack_from
+_date_fromordinal = datetime.date.fromordinal
+
+
+def _codec_ctypes(schema: TableSchema) -> Tuple[ColumnType, ...]:
+    ctypes = getattr(schema, "_codec_ctypes", None)
+    if ctypes is None:
+        ctypes = tuple(col.ctype for col in schema.columns)
+        schema._codec_ctypes = ctypes
+    return ctypes
+
+
+def decode_row_span(
+    schema: TableSchema, buf: bytes, start: int, end: int
+) -> Tuple[Any, ...]:
+    """Decode one row out of ``buf[start:end]`` without slicing a copy."""
+    ctypes = _codec_ctypes(schema)
+    bitmap_len = (len(ctypes) + 7) // 8
+    if end - start < bitmap_len:
+        raise StorageError("row record shorter than its null bitmap")
+    pos = start + bitmap_len
+    values: List[Any] = []
+    append = values.append
+    for i, ctype in enumerate(ctypes):
+        if buf[start + (i >> 3)] & (1 << (i & 7)):
+            append(None)
+            continue
+        if ctype is _FLOAT:
+            if pos + 8 > end:
+                raise StorageError("truncated FLOAT value")
+            append(_unpack_double_from(buf, pos)[0])
+            pos += 8
+            continue
+        if ctype is _BOOL:
+            if pos >= end:
+                raise StorageError("truncated BOOL value")
+            append(bool(buf[pos]))
+            pos += 1
+            continue
+        # INT, TEXT, and DATE all lead with a varint.
+        value = 0
+        shift = 0
+        while True:
+            if pos >= end:
+                raise StorageError("truncated varint")
+            byte = buf[pos]
+            pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+            if shift > 70:
+                raise StorageError("varint too long")
+        if ctype is _INT:
+            append((value >> 1) ^ -(value & 1))
+        elif ctype is _TEXT:
+            if pos + value > end:
+                raise StorageError("truncated TEXT value")
+            append(buf[pos : pos + value].decode("utf-8"))
+            pos += value
+        elif ctype is _DATE:
+            append(_date_fromordinal(value))
+        else:  # pragma: no cover - exhaustive over ColumnType
+            raise StorageError(f"cannot decode type {ctype}")
+    if pos != end:
+        raise StorageError(
+            f"trailing bytes after row record ({end - pos} extra)"
+        )
+    return tuple(values)
+
+
+def decode_rows_spans(
+    schema: TableSchema, buf: bytes, spans: Sequence[Tuple[int, int]]
+) -> List[Tuple[Any, ...]]:
+    """Decode many rows sharing one buffer — the batch-scan entry point."""
+    decoder = span_decoder(schema)
+    return [decoder(buf, start, end) for start, end in spans]
+
+
+# ---------------------------------------------------------------------------
+# Compiled decoders
+# ---------------------------------------------------------------------------
+# The schema is fixed for the lifetime of a table, so the decode loop above
+# can be specialised: generate one function per schema with the column
+# dispatch unrolled, the varint reads inlined, and the null-bitmap bytes
+# loaded once.  Same wire format, same error messages — just no per-column
+# interpretation.  The generated source for a (INT, TEXT) schema looks
+# like::
+#
+#     def _decode(buf, start, end):
+#         pos = start + 1
+#         bm0 = buf[start]
+#         if bm0 & 1:
+#             v0 = None
+#         else:
+#             <inlined varint>; v0 = (value >> 1) ^ -(value & 1)
+#         ...
+#         return (v0, v1)
+
+_VARINT_TEMPLATE = """\
+        value = 0
+        shift = 0
+        while True:
+            if pos >= end:
+                raise _err("truncated varint")
+            byte = buf[pos]
+            pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+            if shift > 70:
+                raise _err("varint too long")
+"""
+
+_FIELD_TEMPLATES = {
+    ColumnType.INT: _VARINT_TEMPLATE + """\
+        v{i} = (value >> 1) ^ -(value & 1)
+""",
+    ColumnType.TEXT: _VARINT_TEMPLATE + """\
+        npos = pos + value
+        if npos > end:
+            raise _err("truncated TEXT value")
+        v{i} = buf[pos:npos].decode("utf-8")
+        pos = npos
+""",
+    ColumnType.DATE: _VARINT_TEMPLATE + """\
+        v{i} = _fromordinal(value)
+""",
+    ColumnType.FLOAT: """\
+        if pos + 8 > end:
+            raise _err("truncated FLOAT value")
+        v{i} = _unpack(buf, pos)[0]
+        pos += 8
+""",
+    ColumnType.BOOL: """\
+        if pos >= end:
+            raise _err("truncated BOOL value")
+        v{i} = buf[pos] != 0
+        pos += 1
+""",
+}
+
+
+def _generate_decoder(ctypes: Tuple[ColumnType, ...]) -> Callable[[bytes, int, int], Tuple[Any, ...]]:
+    arity = len(ctypes)
+    bitmap_len = (arity + 7) // 8
+    lines = [
+        "def _decode(buf, start, end):",
+        f"    if end - start < {bitmap_len}:",
+        '        raise _err("row record shorter than its null bitmap")',
+        f"    pos = start + {bitmap_len}",
+    ]
+    for byte_no in range(bitmap_len):
+        offset = f" + {byte_no}" if byte_no else ""
+        lines.append(f"    bm{byte_no} = buf[start{offset}]")
+    for i, ctype in enumerate(ctypes):
+        lines.append(f"    if bm{i >> 3} & {1 << (i & 7)}:")
+        lines.append(f"        v{i} = None")
+        lines.append("    else:")
+        lines.append(_FIELD_TEMPLATES[ctype].format(i=i).rstrip("\n"))
+    lines.append("    if pos != end:")
+    lines.append(
+        '        raise _err(f"trailing bytes after row record ({end - pos} extra)")'
+    )
+    lines.append("    return (" + "".join(f"v{i}, " for i in range(arity)) + ")")
+    source = "\n".join(lines) + "\n"
+    namespace = {
+        "_err": StorageError,
+        "_unpack": _unpack_double_from,
+        "_fromordinal": _date_fromordinal,
+    }
+    exec(compile(source, "<rowcodec>", "exec"), namespace)
+    fn = namespace["_decode"]
+    fn.__source__ = source  # debugging aid
+    return fn
+
+
+def span_decoder(schema: TableSchema) -> Callable[[bytes, int, int], Tuple[Any, ...]]:
+    """The compiled ``decode(buf, start, end)`` function for *schema*.
+
+    Generated on first use and cached on the schema object (schemas are
+    immutable once a table exists; ALTER TABLE builds a new schema).
+    """
+    decoder = getattr(schema, "_codec_decoder", None)
+    if decoder is None:
+        decoder = _generate_decoder(_codec_ctypes(schema))
+        schema._codec_decoder = decoder
+    return decoder

@@ -17,7 +17,7 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Seque
 from repro.errors import CatalogError, ConstraintError, StorageError
 from repro.relational.heap import HeapFile, RowId
 from repro.relational.indexes import BTreeIndex, Index, make_index
-from repro.relational.rowcodec import decode_row, encode_row
+from repro.relational.rowcodec import decode_row, encode_row, span_decoder
 from repro.relational.schema import TableSchema
 
 Row = Tuple[Any, ...]
@@ -160,6 +160,51 @@ class Table:
         """All live rows (no RowIds)."""
         for _rid, row in self.scan():
             yield row
+
+    def scan_batched(
+        self, batch_size: int = 1024
+    ) -> Iterator[List[Tuple[RowId, Row]]]:
+        """Like :meth:`scan`, but in page-decoded batches.
+
+        Each heap page is converted to an immutable buffer once and every
+        live record on it is decoded from its (offset, length) span — no
+        per-record ``bytes`` copy, no per-record codec call setup.
+        """
+        decode = span_decoder(self.schema)
+        batch: List[Tuple[RowId, Row]] = []
+        append = batch.append
+        for page_no, data, live in self.heap.scan_pages():
+            buf = bytes(data)
+            for slot_no, offset, length in live:
+                append((RowId(page_no, slot_no), decode(buf, offset, offset + length)))
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+                append = batch.append
+        if batch:
+            yield batch
+
+    def rows_batched(self, batch_size: int = 1024) -> Iterator[List[Row]]:
+        """All live rows in batches (no RowIds) — the executor's scan path."""
+        decode = span_decoder(self.schema)
+        batch: List[Row] = []
+        append = batch.append
+        for _page_no, data, live in self.heap.scan_pages():
+            buf = bytes(data)
+            for _slot_no, offset, length in live:
+                append(decode(buf, offset, offset + length))
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+                append = batch.append
+        if batch:
+            yield batch
+
+    def read_many(self, rids: Sequence[RowId]) -> List[Row]:
+        """Decode the rows at *rids* (index-scan batch path)."""
+        schema = self.schema
+        read = self.heap.read
+        return [decode_row(schema, read(rid)) for rid in rids]
 
     def count(self) -> int:
         """Live row count."""

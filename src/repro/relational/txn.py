@@ -107,7 +107,12 @@ class TransactionManager:
             if entry.kind == "insert":
                 entry.table.delete(resolve(entry.table, entry.rid))
             elif entry.kind == "delete":
-                entry.table.insert(entry.row)
+                new_rid = entry.table.insert(entry.row)
+                # The row rarely lands back on its old slot.  Earlier
+                # entries (still to be undone) reference the freed rid, so
+                # route them to the re-inserted copy.
+                if entry.rid is not None and new_rid != entry.rid:
+                    translation[(id(entry.table), entry.rid)] = new_rid
             elif entry.kind == "update":
                 current = resolve(entry.table, entry.rid)
                 new_rid, _old = entry.table.update(current, entry.row)
@@ -122,9 +127,11 @@ class TransactionManager:
         if self._entries is not None:
             self._entries.append(UndoEntry("insert", table, rid=rid))
 
-    def log_delete(self, table: Table, row: Tuple[Any, ...]) -> None:
+    def log_delete(
+        self, table: Table, row: Tuple[Any, ...], rid: Optional[RowId] = None
+    ) -> None:
         if self._entries is not None:
-            self._entries.append(UndoEntry("delete", table, row=row))
+            self._entries.append(UndoEntry("delete", table, rid=rid, row=row))
 
     def log_update(self, table: Table, new_rid: RowId, old_row: Tuple[Any, ...]) -> None:
         if self._entries is not None:

@@ -115,6 +115,73 @@ class TestPlannerEquivalence:
         assert positive + negative + nulls == len(rows)
 
 
+batched_query_strategy = st.sampled_from(
+    [
+        # Plain scans and filters (NULL-heavy columns flow through batches).
+        "SELECT id, grp, val, tag FROM t ORDER BY id",
+        "SELECT id FROM t WHERE val IS NULL ORDER BY id",
+        "SELECT id FROM t WHERE val > 0 ORDER BY id",
+        # LIMIT/OFFSET chosen to straddle the small batch sizes below.
+        "SELECT id FROM t ORDER BY id LIMIT 5",
+        "SELECT id FROM t ORDER BY id LIMIT 5 OFFSET 3",
+        "SELECT id FROM t ORDER BY id LIMIT 0",
+        # DISTINCT must dedupe across batch boundaries.
+        "SELECT DISTINCT grp FROM t ORDER BY grp",
+        "SELECT DISTINCT tag FROM t ORDER BY tag",
+        # Joins, grouping, and index scans get their native batched paths.
+        "SELECT t.id, g.label FROM t JOIN g ON t.grp = g.grp ORDER BY t.id",
+        "SELECT t.id FROM t LEFT JOIN g ON t.grp = g.grp ORDER BY t.id",
+        "SELECT grp, COUNT(*) AS n, SUM(val) AS s FROM t GROUP BY grp ORDER BY grp",
+        "SELECT id FROM t WHERE val = 3 ORDER BY id",
+        "SELECT id FROM t WHERE val >= -5 AND val <= 5 ORDER BY id",
+    ]
+)
+
+
+class TestBatchedEquivalence:
+    """rows_batched() is transport, not semantics: identical rows, same order."""
+
+    @given(
+        rows=st.lists(row_strategy, max_size=30),
+        sql=batched_query_strategy,
+        batch_size=st.sampled_from([1, 2, 3, 7, 1024]),
+    )
+    @settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_rows_batched_matches_rows(self, rows, sql, batch_size):
+        from repro.sql.parser import parse_statement
+
+        db = _make_db(rows)
+        plan = db.planner.plan_select(parse_statement(sql))
+        reference = list(plan.rows())
+        batches = list(plan.rows_batched(batch_size=batch_size))
+        assert all(batches), f"empty batch emitted for {sql}"
+        assert [row for batch in batches for row in batch] == reference, (
+            f"batched execution (batch_size={batch_size}) diverged for {sql}"
+        )
+
+    @given(rows=st.lists(row_strategy, max_size=30), sql=batched_query_strategy)
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_vectorized_flag_preserves_results(self, rows, sql):
+        """End-to-end: the A/B config flag must not change any result."""
+        db = _make_db(rows)
+        db.set_planner_config(PlannerConfig(vectorized=False))
+        reference = db.query(sql)
+        db.set_planner_config(PlannerConfig(vectorized=True))
+        assert db.query(sql) == reference, f"vectorized flag changed results for {sql}"
+
+    def test_empty_table_yields_no_batches(self):
+        from repro.sql.parser import parse_statement
+
+        db = _make_db([])
+        for sql in (
+            "SELECT id FROM t",
+            "SELECT DISTINCT tag FROM t",
+            "SELECT id FROM t ORDER BY id LIMIT 5",
+        ):
+            plan = db.planner.plan_select(parse_statement(sql))
+            assert list(plan.rows_batched()) == []
+
+
 op_strategy = st.one_of(
     st.tuples(st.just("insert"), st.integers(0, 30), st.integers(-5, 5)),
     st.tuples(st.just("delete"), st.integers(0, 30), st.just(0)),

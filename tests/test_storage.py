@@ -262,6 +262,38 @@ class TestHeapFile:
         heap.insert(b"new")
         assert heap.count() == 10
 
+    def test_count_survives_relocating_updates(self):
+        """A relocation is a move, not a delete+insert, for the live count.
+
+        Regression: the relocation path used to go through delete()+insert(),
+        decrementing the cached count once per move without a matching
+        increment, so interleaving grow-updates with count() drifted low.
+        """
+        heap = HeapFile(MemoryPager())
+        rids = [heap.insert(b"x" * 1300) for _ in range(3)]  # fills page 0
+        assert heap.count() == 3  # prime the cached count
+        for step in range(1, 6):
+            # Each grow forces the record off its (full) original page.
+            rids[0] = heap.update(rids[0], bytes([step]) * (1300 + step * 300))
+            assert heap.count() == 3
+            assert sum(1 for _ in heap.scan()) == 3
+        # The moved record is intact and the others untouched.
+        assert heap.read(rids[0]) == bytes([5]) * (1300 + 5 * 300)
+        assert heap.read(rids[1]) == b"x" * 1300
+
+    def test_scan_pages_matches_scan(self):
+        """scan_pages() is the batch transport for exactly scan()'s records."""
+        heap = HeapFile(MemoryPager())
+        rids = [heap.insert(f"record-{i}".encode() * (1 + i % 7)) for i in range(200)]
+        for rid in rids[::3]:
+            heap.delete(rid)
+        flat = [
+            (RowId(page_no, slot_no), bytes(data[offset : offset + length]))
+            for page_no, data, live in heap.scan_pages()
+            for slot_no, offset, length in live
+        ]
+        assert flat == [(rid, bytes(record)) for rid, record in heap.scan()]
+
     def test_oversize_record_rejected(self):
         heap = HeapFile(MemoryPager())
         with pytest.raises(StorageError):
