@@ -1,0 +1,10 @@
+"""CLI entry point: ``python -m repro.analysis --check src tests``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.linter import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Baseline (allowlist) handling for wowlint.
+
+The baseline file (``wowlint.baseline`` at the repo root) records known,
+justified violations so existing debt stays visible without failing CI.
+Format: one entry per line, ``CODE path scope``; ``#`` starts a comment —
+the convention is a justification comment directly above each entry (or
+block of entries).  Matching is count-insensitive on ``(code, path, scope)``:
+a scope with three baselined WOW002 hits stays green if a fourth appears in
+the *same* scope, but a hit in a new scope or file fails.  This trades a
+little strictness for baseline lines that survive refactors.
+
+Stale entries (baselined but no longer present) are reported as notes, not
+failures, so cleanups don't require a lockstep baseline edit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.rules import Violation
+
+BASELINE_FILENAME = "wowlint.baseline"
+
+BaselineKey = Tuple[str, str, str]  # (code, path, scope)
+
+
+def parse_baseline(text: str) -> Set[BaselineKey]:
+    entries: Set[BaselineKey] = set()
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(None, 2)
+        if len(parts) != 3:
+            raise ValueError(f"malformed baseline line: {raw!r} (want `CODE path scope`)")
+        code, path, scope = parts
+        entries.add((code, path, scope))
+    return entries
+
+
+def format_baseline(violations: Iterable[Violation]) -> str:
+    """Render a fresh baseline from current violations, grouped by file.
+    Justification comments are the author's job — regeneration emits a
+    TODO marker per group so they aren't silently dropped on the floor."""
+    by_key: Dict[BaselineKey, Violation] = {}
+    for v in violations:
+        by_key.setdefault(v.key(), v)
+    lines: List[str] = [
+        f"# {BASELINE_FILENAME}: known wowlint violations (CODE path scope).",
+        "# Each entry needs a justification comment.  Regenerate with",
+        "#   python -m repro.analysis --check src tests --write-baseline",
+        "# then restore/update the justifications.",
+        "",
+    ]
+    last_path = None
+    for code, path, scope in sorted(by_key):
+        if path != last_path:
+            if last_path is not None:
+                lines.append("")
+            lines.append(f"# TODO justify ({path}):")
+            last_path = path
+        lines.append(f"{code} {path} {scope}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def apply_baseline(
+    violations: List[Violation], baseline: Set[BaselineKey]
+) -> Tuple[List[Violation], List[BaselineKey], List[BaselineKey]]:
+    """Split into (new violations, suppressed keys, stale keys)."""
+    present: Set[BaselineKey] = {v.key() for v in violations}
+    new = [v for v in violations if v.key() not in baseline]
+    suppressed = sorted(present & baseline)
+    stale = sorted(baseline - present)
+    return new, suppressed, stale

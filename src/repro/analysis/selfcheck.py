@@ -1,0 +1,84 @@
+"""Self-audit: prove the analysis package stays stdlib-only and lints clean.
+
+CI runs ``python -m repro.analysis --self-check`` *before* installing any
+dependency.  Two checks:
+
+1. every import in ``repro.analysis`` resolves to the standard library or
+   to ``repro`` itself (no pytest, no typing_extensions, nothing pip'd);
+2. the package passes its own linter with zero violations (the rules are
+   written against engine paths, but a rule crash or syntax error here
+   would surface).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import List, Set
+
+
+def _stdlib_modules() -> Set[str]:
+    names = getattr(sys, "stdlib_module_names", None)
+    if names is not None:  # Python >= 3.10
+        return set(names)
+    # Fallback for 3.9: the modules this package could plausibly pull in.
+    return {
+        "abc", "argparse", "ast", "collections", "contextlib", "csv",
+        "dataclasses", "datetime", "enum", "functools", "io", "itertools",
+        "json", "math", "os", "pathlib", "re", "struct", "sys", "textwrap",
+        "types", "typing", "zlib",
+    }
+
+
+def _import_roots(tree: ast.AST) -> Set[str]:
+    roots: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                roots.add(alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module:  # relative imports stay in-package
+                roots.add(node.module.split(".")[0])
+    return roots
+
+
+def run_self_check() -> List[str]:
+    """Return a list of problems (empty = healthy)."""
+    problems: List[str] = []
+    package_dir = os.path.dirname(os.path.abspath(__file__))
+    stdlib = _stdlib_modules()
+
+    sources = {}
+    for name in sorted(os.listdir(package_dir)):
+        if not name.endswith(".py"):
+            continue
+        path = os.path.join(package_dir, name)
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            problems.append(f"{name}: syntax error at line {exc.lineno}")
+            continue
+        sources[name] = source
+        for root in sorted(_import_roots(tree)):
+            if root == "repro" or root in stdlib:
+                continue
+            problems.append(
+                f"{name}: imports non-stdlib module {root!r} — the linter "
+                "must run before dependencies are installed"
+            )
+
+    # Self-lint: the package's own files, under their real repo paths.
+    from repro.analysis.linter import lint_source
+
+    for name, source in sources.items():
+        relpath = f"src/repro/analysis/{name}"
+        try:
+            for violation in lint_source(source, relpath):
+                problems.append(f"self-lint: {violation.render()}")
+        except SyntaxError as exc:  # already reported above
+            problems.append(f"{name}: self-lint parse failure at line {exc.lineno}")
+
+    return problems

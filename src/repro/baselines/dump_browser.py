@@ -53,8 +53,8 @@ class DumpBrowser:
         try:
             self._run(text.strip())
         except WowError as exc:
-            self.message = f"error: {exc}"
-        except Exception as exc:  # surface engine errors as messages
+            # Every engine error derives from WowError; anything else —
+            # including InjectedCrash/KeyboardInterrupt — propagates.
             self.message = f"error: {exc}"
         self._emit(self.render_current())
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.errors import WowError
 from repro.metrics import KeystrokeMeter
 from repro.relational.database import Database, Result
 from repro.relational.types import format_value
@@ -32,7 +33,9 @@ class SqlCli:
         self.last_error = None
         try:
             self.last_result = self.db.execute(sql)
-        except Exception as exc:
+        except WowError as exc:
+            # Engine errors become monitor messages; anything else —
+            # including InjectedCrash/KeyboardInterrupt — propagates.
             self.last_result = None
             self.last_error = f"{type(exc).__name__}: {exc}"
             self._emit(self.last_error + "\n")

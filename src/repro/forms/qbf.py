@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.errors import FieldValidationError
+from repro.errors import FieldValidationError, WowError
 from repro.relational import expr as E
 from repro.relational.types import ColumnType, parse_input
 
@@ -65,7 +65,7 @@ def _typed(text: str, ctype: ColumnType):
         raise FieldValidationError("criterion operator needs a value")
     try:
         value = parse_input(text, ctype)
-    except Exception as exc:
+    except (WowError, ValueError, TypeError) as exc:
         raise FieldValidationError(f"bad criterion value {text!r}: {exc}") from exc
     if value is None:
         raise FieldValidationError("criterion operator needs a value")

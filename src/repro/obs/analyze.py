@@ -107,6 +107,7 @@ def render_analyze(
     planning_ms: float,
     execution_ms: float,
     plan_cache: Optional[Dict[str, int]] = None,
+    verified: Optional[int] = None,
 ) -> str:
     """The annotated plan text returned by EXPLAIN ANALYZE.
 
@@ -116,6 +117,8 @@ def render_analyze(
     tree), so the line reports the cache's lifetime counters, not a hit for
     this statement.  Under vectorized execution each operator line carries
     ``batches=`` and, where expressions were lowered, ``compiled=yes/no``.
+    *verified*, when given, is the operator count the static plan verifier
+    checked (see :mod:`repro.analysis.planverify`).
     """
     lines: List[str] = []
 
@@ -138,6 +141,8 @@ def render_analyze(
 
     walk(root, 0)
     lines.append(f"Planning Time: {planning_ms:.3f} ms")
+    if verified is not None:
+        lines.append(f"Plan verified: {verified} operators ok")
     if plan_cache is not None:
         lines.append(
             "Plan Cache: hits={hits} misses={misses} "

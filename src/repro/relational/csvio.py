@@ -10,10 +10,12 @@ from __future__ import annotations
 
 import csv
 import io
+import os
 from typing import Iterable, List, Optional, Sequence, TextIO, Union
 
 from repro.errors import SchemaError
 from repro.relational.database import Database
+from repro.relational.faults import DEFAULT_IO
 from repro.relational.types import ColumnType, format_value, parse_input
 
 _NULL_TOKEN = ""
@@ -51,8 +53,17 @@ def export_csv(
             )
 
     if isinstance(out, str):
-        with open(out, "w", encoding="utf-8", newline="") as fh:
-            write(fh)
+        # Path target: buffer the CSV and write it through the database's
+        # IOShim, so crash exhaustion covers exports like any engine write.
+        buffer = io.StringIO()
+        write(buffer)
+        io_shim = getattr(db, "_io", None) or DEFAULT_IO
+        fd = io_shim.open(out, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            io_shim.write_all(fd, buffer.getvalue().encode("utf-8"))
+            io_shim.fsync(fd)
+        finally:
+            os.close(fd)
     else:
         write(out)
     return len(rows)

@@ -331,6 +331,7 @@ class Database:
         ):
             return cache_entry.plan
         plan = self.planner.plan_select(select)
+        self._maybe_verify_plan(plan)
         if self._plan_cacheable(select):
             if prepared is not None:
                 prepared._plan = plan
@@ -338,6 +339,23 @@ class Database:
             elif cache_entry is not None and cache_entry.generation == generation:
                 cache_entry.plan = plan
         return plan
+
+    @staticmethod
+    def _maybe_verify_plan(plan: Any) -> None:
+        """Static plan verification on every fresh plan, when switched on
+        (``WOW_VERIFY_PLANS=1``; the tier-1 conftest and CI set it)."""
+        from repro.analysis import planverify
+
+        planverify.maybe_verify_plan(plan)
+
+    @staticmethod
+    def _verify_metrics() -> Dict[str, int]:
+        from repro.analysis.planverify import VERIFY_METRICS
+
+        return {
+            "plans_verified": VERIFY_METRICS["verified_plans"],
+            "plans_rejected": VERIFY_METRICS["rejected_plans"],
+        }
 
     def _plan_cacheable(self, select: A.Select) -> bool:
         """True when re-running *select*'s operator tree is always correct.
@@ -557,6 +575,7 @@ class Database:
             for arm in statement.selects:
                 self._check_select_privileges(arm)
             plan = self.planner.plan_union(statement)
+            self._maybe_verify_plan(plan)
             rows = self._collect_rows(plan)
             self.stats["selects"] += 1
             return Result(columns=plan.layout.names(), rows=rows, rowcount=len(rows))
@@ -578,8 +597,14 @@ class Database:
         if isinstance(statement, A.Explain):
             if statement.analyze:
                 return self._run_explain_analyze(statement.query)
+            from repro.analysis.planverify import verify_plan
+
             plan = self.planner.plan_select(statement.query)
-            return Result(plan=plan.explain())
+            # EXPLAIN always verifies: a malformed plan fails here with a
+            # precise diagnostic instead of rendering a bogus tree.
+            verified = verify_plan(plan)
+            text = plan.explain() + f"\nPlan verified: {verified} operators ok"
+            return Result(plan=text)
         if isinstance(statement, A.Insert):
             return self._run_insert(statement)
         if isinstance(statement, A.Update):
@@ -684,7 +709,7 @@ class Database:
         if pager is not None:
             pager.close()
             with contextlib.suppress(FileNotFoundError):
-                os.remove(pager.path)
+                self._io.remove(pager.path)
         if new_schema.name != old.name:
             owner = self.auth.owner_of(old.name) or self.current_user
             self.auth.forget_object(old.name)
@@ -872,10 +897,13 @@ class Database:
         same privileges as the SELECT) but returns only the annotated plan;
         the result's ``rowcount`` reports how many rows the plan produced.
         """
+        from repro.analysis.planverify import verify_plan
+
         self._check_select_privileges(select)
         start = time.perf_counter()
         plan = self.planner.plan_select(select)
         planning_ms = (time.perf_counter() - start) * 1000.0
+        verified = verify_plan(plan)
         op_stats = instrument(plan)
         with self.tracer.span("db.explain_analyze") as span:
             start = time.perf_counter()
@@ -888,7 +916,7 @@ class Database:
         self.stats["selects"] += 1
         text = render_analyze(
             plan, op_stats, planning_ms, execution_ms,
-            plan_cache=self.plan_cache.snapshot(),
+            plan_cache=self.plan_cache.snapshot(), verified=verified,
         )
         return Result(rowcount=produced, plan=text)
 
@@ -934,6 +962,7 @@ class Database:
                 "batch_rows": EXEC_METRICS["batch_rows"],
                 "exprs_compiled": exprcompile.COMPILE_METRICS["compiled"],
                 "exprs_fallback": exprcompile.COMPILE_METRICS["fallback"],
+                **self._verify_metrics(),
             },
             "integrity": {
                 "read_only": self.read_only,
@@ -1676,7 +1705,7 @@ class Database:
         # catalog, then fsync the directory so the rename itself is durable.
         tmp_path = self._catalog_path() + ".tmp"
         payload = json.dumps(doc, indent=1).encode("utf-8")
-        fd = os.open(tmp_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        fd = self._io.open(tmp_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
         try:
             self._io.write_all(fd, payload)
             self._io.fsync(fd)

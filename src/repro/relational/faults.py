@@ -37,6 +37,12 @@ class InjectedCrash(BaseException):
 class IOShim:
     """Pass-through I/O layer; subclass to observe or perturb calls."""
 
+    def open(self, path: str, flags: int, mode: int = 0o644) -> int:
+        """``os.open`` for writable descriptors (pager, WAL, checkpoint
+        temp files).  Counted so a crash can land between file creation
+        and the first write into it."""
+        return os.open(path, flags, mode)
+
     def write(self, fd: int, data: bytes) -> int:
         """One ``os.write`` attempt; may write fewer bytes than given."""
         return os.write(fd, data)
@@ -131,6 +137,10 @@ class FaultInjector(IOShim):
             raise InjectedCrash(f"injected crash at I/O call {self.io_calls}: {op} {detail}")
 
     # -- IOShim overrides ----------------------------------------------------
+
+    def open(self, path: str, flags: int, mode: int = 0o644) -> int:
+        self._point("open", os.path.basename(path))
+        return os.open(path, flags, mode)
 
     def write(self, fd: int, data: bytes) -> int:
         self._point(

@@ -91,7 +91,7 @@ def write_checkpoint_journal(
     body = "\n".join([head] + entries) + "\n"
     seal = json.dumps({"t": "end", "crc": zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF})
     payload = (body + seal + "\n").encode("utf-8")
-    fd = os.open(journal_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    fd = io.open(journal_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
     try:
         io.write_all(fd, payload)
         io.fsync(fd)
@@ -152,7 +152,7 @@ def rollback_checkpoint_journal(
     for entry in journal["files"]:
         path = os.path.join(directory, entry["name"])
         try:
-            fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+            fd = io.open(path, os.O_RDWR | os.O_CREAT, 0o644)
         except OSError as exc:
             raise StorageError(f"cannot roll back heap {path!r}: {exc}") from exc
         try:

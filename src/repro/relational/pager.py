@@ -106,7 +106,7 @@ class FilePager(Pager):
         self._pool: "collections.OrderedDict[int, bytearray]" = collections.OrderedDict()
         self._dirty: set = set()
         flags = os.O_RDWR | os.O_CREAT
-        self._fd: Optional[int] = os.open(path, flags, 0o644)
+        self._fd: Optional[int] = self._io.open(path, flags, 0o644)
         size = os.fstat(self._fd).st_size
         if size % PAGE_SIZE != 0:
             raise StorageError(

@@ -121,7 +121,7 @@ class WriteAheadLog:
         self.path = path
         self._fsync = fsync
         self._io = io if io is not None else DEFAULT_IO
-        self._fd: Optional[int] = os.open(
+        self._fd: Optional[int] = self._io.open(
             path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644
         )
         self._pending: List[str] = []

@@ -2,9 +2,24 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.relational.database import Database
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _verify_all_plans():
+    """With ``WOW_VERIFY_PLANS=1`` (on in CI), the static plan verifier
+    runs on every plan the whole suite produces — any schema/arity/type
+    violation at an operator boundary fails the test that planned it."""
+    from repro.analysis import planverify
+
+    enabled = os.environ.get("WOW_VERIFY_PLANS", "") == "1"
+    previous = planverify.set_verify_plans(enabled or planverify.VERIFY_PLANS)
+    yield
+    planverify.set_verify_plans(previous)
 
 
 @pytest.fixture

@@ -672,6 +672,40 @@ class TestInjectedFailures:
         assert not issubclass(InjectedCrash, WowError)
         assert not issubclass(InjectedCrash, Exception)
 
+    def test_csv_export_io_is_fault_covered(self, tmp_path):
+        """Regression for the WOW001 routing fix: ``export_csv`` to a path
+        writes through the database's IOShim, so its I/O is counted — and
+        crashable.  Before the fix the export used a raw ``open()`` and the
+        crash below could never land inside it."""
+        from repro.relational.csvio import export_csv
+
+        path = str(tmp_path / "db")
+        shim = FaultInjector()
+        db = Database(path=path, fsync=False, io=shim)
+        db.execute("CREATE TABLE t (a INT PRIMARY KEY, b TEXT)")
+        db.bulk_insert("t", [{"a": i, "b": f"row{i}"} for i in range(10)])
+        before = shim.io_calls
+        assert export_csv(db, "t", str(tmp_path / "t.csv")) == 10
+        # Only passes with the shim routing in place: a raw open() would
+        # leave the counter untouched.
+        assert shim.io_calls > before
+
+        # Arm a crash on the export's very first I/O call (the open): the
+        # export dies before writing a byte, the engine state is untouched.
+        out2 = str(tmp_path / "t2.csv")
+        db._io = FaultInjector(crash_at=1)
+        with pytest.raises(InjectedCrash):
+            export_csv(db, "t", out2)
+        assert not os.path.exists(out2)
+        db._io = shim
+        _hard_close(db)
+        db2 = Database(path=path, fsync=False)
+        try:
+            assert db2.execute("SELECT COUNT(*) FROM t").scalar() == 10
+            assert db2.integrity_check().ok
+        finally:
+            _hard_close(db2)
+
 
 class TestDegradedSurfaces:
     def _degraded_db(self, tmp_path):

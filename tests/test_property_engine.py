@@ -115,6 +115,72 @@ class TestPlannerEquivalence:
         assert positive + negative + nulls == len(rows)
 
 
+#: wowlint WOW006 ledger: every Operator subclass with a *native*
+#: ``rows_batched`` maps to a SQL statement whose plan contains it.  The
+#: linter cross-references these keys against algebra.py; the meta-tests
+#: below check the other direction (each SQL really exercises its operator
+#: and its batched path matches the tuple path).
+BATCHED_OPERATOR_REGISTRY = {
+    "SeqScan": "SELECT id, grp, val, tag FROM t",
+    "IndexEqScan": "SELECT id FROM t WHERE val = 3",
+    "IndexRangeScan": "SELECT id FROM t WHERE val >= -5 AND val <= 5",
+    "RowSource": "SELECT 1, 'x'",
+    "Rename": "SELECT vid FROM tv",
+    "Filter": "SELECT id FROM t WHERE tag = 'a'",
+    "Project": "SELECT id FROM t",
+    "Sort": "SELECT id FROM t ORDER BY tag",
+    "Limit": "SELECT id FROM t LIMIT 5",
+    "Distinct": "SELECT DISTINCT tag FROM t",
+    "HashJoin": "SELECT t.id, g.label FROM t JOIN g ON t.grp = g.grp",
+    "UnionAll": "SELECT id FROM t UNION ALL SELECT grp FROM g",
+    "Aggregate": "SELECT grp, COUNT(*) AS n FROM t GROUP BY grp",
+}
+
+
+class TestBatchedOperatorRegistry:
+    """The registry is honest in both directions: complete and exercising."""
+
+    @staticmethod
+    def _plan_for(db, sql):
+        from repro.sql.ast_nodes import Union as SqlUnion
+        from repro.sql.parser import parse_statement
+
+        statement = parse_statement(sql)
+        if isinstance(statement, SqlUnion):
+            return db.planner.plan_union(statement)
+        return db.planner.plan_select(statement)
+
+    def test_registry_covers_every_native_batched_operator(self):
+        import inspect
+
+        import repro.relational.algebra as algebra_mod
+        from repro.analysis.rules import native_batched_operators
+
+        source = inspect.getsource(algebra_mod)
+        native = {name for name, _line in native_batched_operators(source)}
+        assert set(BATCHED_OPERATOR_REGISTRY) == native, (
+            "BATCHED_OPERATOR_REGISTRY out of sync with algebra.py: "
+            f"missing={sorted(native - set(BATCHED_OPERATOR_REGISTRY))} "
+            f"extra={sorted(set(BATCHED_OPERATOR_REGISTRY) - native)}"
+        )
+
+    def test_each_registered_sql_exercises_its_operator(self):
+        from repro.analysis.planverify import iter_operators, verify_plan
+
+        db = _make_db([(1, 3, "a"), (2, -1, "b"), (None, 5, "ab"), (0, None, "")])
+        db.execute("CREATE VIEW tv AS SELECT id AS vid FROM t WHERE val > 0")
+        for op_name, sql in BATCHED_OPERATOR_REGISTRY.items():
+            plan = self._plan_for(db, sql)
+            kinds = {type(op).__name__ for op in iter_operators(plan)}
+            assert op_name in kinds, (
+                f"{sql!r} no longer exercises {op_name}; its plan contains {sorted(kinds)}"
+            )
+            verify_plan(plan)
+            reference = list(plan.rows())
+            flattened = [row for batch in plan.rows_batched(batch_size=2) for row in batch]
+            assert flattened == reference, f"batched path diverged for {op_name}"
+
+
 batched_query_strategy = st.sampled_from(
     [
         # Plain scans and filters (NULL-heavy columns flow through batches).
