@@ -186,8 +186,9 @@ def test_micro_obs_noop_overhead(report):
 
     Baseline and instrumented runs do identical engine work on the same
     statement; the instrumented path additionally goes through
-    Database.execute's tracer span (a null context while disabled) and the
-    disabled registry's one-branch helpers.  Reported to
+    Database.execute's tracer span (a null context while disabled), the
+    disabled registry's one-branch helpers, and the statement log's
+    enabled check (capture off via ``statlog_capacity=0``).  Reported to
     benchmarks/results/obs_overhead.txt.
     """
     import time
@@ -195,7 +196,7 @@ def test_micro_obs_noop_overhead(report):
     from repro.obs import Registry
     from repro.sql.parser import parse_statement
 
-    db = Database(obs=Registry(enabled=False))
+    db = Database(obs=Registry(enabled=False), statlog_capacity=0)
     db.tracer.enabled = False
     db.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)")
     db.execute("BEGIN")

@@ -1,0 +1,120 @@
+"""Statement-log benchmark: what query-insight capture costs per statement.
+
+Three configurations run the same point-select loop:
+
+1. **capture off** — ``statlog_capacity=0`` (plus a disabled registry and
+   tracer): the baseline the <5% no-op overhead gate in
+   ``bench_micro_engine.py`` protects.
+2. **ring capture** — the default: every statement recorded into the
+   in-memory ring (fingerprint served from the plan cache on hits).
+3. **ring + JSONL sink** — capture plus an append-to-disk JSON line per
+   statement, the configuration CI uses to upload telemetry artifacts.
+
+Run standalone (``python benchmarks/bench_obs_statlog.py [--smoke]``);
+``--smoke`` uses small iteration counts and exits non-zero if ring capture
+costs more than the gate allows over the capture-off baseline.  Results
+land in ``benchmarks/results/obs_statlog.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.obs import Registry  # noqa: E402
+from repro.relational.database import Database  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: ring capture must stay under this premium over capture-off (generous:
+#: the capture path costs two pager sweeps + one record per statement)
+RING_OVERHEAD_GATE_PCT = 60.0
+
+SQL = "SELECT name FROM t WHERE id = 1234"
+
+
+def build_db(**kwargs) -> Database:
+    db = Database(obs=Registry(enabled=False), **kwargs)
+    db.tracer.enabled = False
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)")
+    db.execute("BEGIN")
+    for i in range(2000):
+        db.insert("t", {"id": i, "name": f"row{i}"})
+    db.execute("COMMIT")
+    return db
+
+
+def best_round(db: Database, iterations: int, rounds: int) -> float:
+    """Best-of-N mean microseconds per execute."""
+    db.execute(SQL)  # warm the plan cache and code paths
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            db.execute(SQL)
+        best = min(best, time.perf_counter() - start)
+    return best / iterations * 1e6
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small iteration counts; exit 1 if ring capture overhead "
+        f"exceeds {RING_OVERHEAD_GATE_PCT:.0f}%%",
+    )
+    args = parser.parse_args(argv)
+    iterations = 100 if args.smoke else 500
+    rounds = 5 if args.smoke else 9
+
+    off_db = build_db(statlog_capacity=0)
+    ring_db = build_db()
+    with tempfile.TemporaryDirectory() as tmp:
+        sink_db = build_db(statlog_path=os.path.join(tmp, "statements.jsonl"))
+        off_us = best_round(off_db, iterations, rounds)
+        ring_us = best_round(ring_db, iterations, rounds)
+        sink_us = best_round(sink_db, iterations, rounds)
+        sink_snapshot = sink_db.statement_log.snapshot()
+        sink_db.close()
+
+    ring_pct = (ring_us / off_us - 1.0) * 100.0
+    sink_pct = (sink_us / off_us - 1.0) * 100.0
+
+    lines = [
+        "Statement-log capture cost (point select)",
+        "",
+        f"capture off (statlog_capacity=0) : {off_us:8.1f} us/execute",
+        f"ring capture (default)           : {ring_us:8.1f} us/execute  ({ring_pct:+.1f}%)",
+        f"ring + JSONL sink                : {sink_us:8.1f} us/execute  ({sink_pct:+.1f}%)",
+        "",
+        f"sink bytes written: {sink_snapshot.get('sink_bytes', 0)}"
+        f" (rotations: {sink_snapshot.get('sink_rotations', 0)})",
+        "",
+        f"mode: {'smoke' if args.smoke else 'full'} "
+        f"(iterations={iterations}, rounds={rounds})",
+    ]
+    text = "\n".join(lines)
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "obs_statlog.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+    if ring_pct > RING_OVERHEAD_GATE_PCT:
+        print(
+            f"FAIL: ring capture overhead {ring_pct:.1f}% > "
+            f"{RING_OVERHEAD_GATE_PCT:.0f}%",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,11 @@
-"""The F11 debug window: live metrics and the slow-operation log.
+"""The F11 debug window (live metrics + slow log) and the F12 query
+inspector (a browser over the ``_statements`` telemetry table).
 
-A read-only window over ``Database.metrics_snapshot()`` and the slow log —
-the in-app face of the ``repro.obs`` subsystem.  Open/close it with F11
-from :class:`~repro.core.app.WowApp`; inside it:
+Both are read-only, in-app faces of the ``repro.obs`` subsystem.  F11
+formats ``Database.metrics_snapshot()`` and the slow log as text; F12 is
+an ordinary :class:`~repro.core.browser.BrowserWindow` over the
+``_statements`` system relation — the forms runtime browsing the engine's
+own telemetry.  Inside the metrics window:
 
     F5            re-snapshot the metrics
     PGUP / PGDN   scroll
@@ -13,6 +16,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.core.browser import BrowserWindow
 from repro.relational.database import Database
 from repro.windows.events import Key, KeyEvent
 from repro.windows.geometry import Rect
@@ -68,6 +72,7 @@ def _snapshot_lines(db: Database) -> List[str]:
         ("txn", "txn"),
         ("planner", "planner"),
         ("plan cache", "plan_cache"),
+        ("statement log", "statement_log"),
         ("integrity", "integrity"),
     ):
         counters = snap[key]
@@ -135,3 +140,17 @@ class MetricsWindow(Window):
             self.pane.scroll = self.pane._max_scroll()
             return True
         return super().handle_key(event)
+
+
+class QueryInspectorWindow(BrowserWindow):
+    """The F12 query inspector: a browser window over ``_statements``.
+
+    Every executed statement of the session, newest last (the grid orders
+    by the ``seq`` primary key), with fingerprint, plan-cache hit/miss,
+    est/act rows, duration, and pages read.  F5 (inherited) re-queries the
+    ring, so the inspector refreshes like any other browser.
+    """
+
+    def __init__(self, db: Database, rect: Rect) -> None:
+        super().__init__(db, "_statements", rect)
+        self.title = "Query Inspector"

@@ -16,7 +16,8 @@ owns a tracer and slow log wired to the same registry unless told
 otherwise.  EXPLAIN ANALYZE plumbing lives in :mod:`repro.obs.analyze`.
 """
 
-from .analyze import OpStats, instrument, render_analyze, stats_tree
+from .analyze import OpStats, instrument, operator_rows, render_analyze, stats_tree
+from .exporter import json_text, prometheus_text
 from .registry import (
     Counter,
     Gauge,
@@ -27,6 +28,17 @@ from .registry import (
     set_registry,
 )
 from .slowlog import SlowLog
+from .statlog import (
+    JsonlSink,
+    PlanOpStat,
+    StatementLog,
+    StatementRecord,
+    fingerprint_sql,
+    misestimate_factor,
+    plan_fingerprint,
+    read_jsonl,
+    set_default_sink,
+)
 from .tracer import Span, Tracer, current_span
 
 __all__ = [
@@ -45,4 +57,16 @@ __all__ = [
     "instrument",
     "render_analyze",
     "stats_tree",
+    "operator_rows",
+    "prometheus_text",
+    "json_text",
+    "StatementLog",
+    "StatementRecord",
+    "PlanOpStat",
+    "JsonlSink",
+    "fingerprint_sql",
+    "plan_fingerprint",
+    "misestimate_factor",
+    "read_jsonl",
+    "set_default_sink",
 ]

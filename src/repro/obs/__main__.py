@@ -1,0 +1,195 @@
+"""Query-insight analyzer CLI over a JSONL statement log.
+
+Usage::
+
+    python -m repro.obs --log statements.jsonl --top-slow 10
+    python -m repro.obs --log statements.jsonl --misestimates
+    python -m repro.obs --log statements.jsonl --summary --json
+
+* ``--top-slow N`` — the N slowest statements (duration, cache, rows,
+  pages, fingerprint, SQL).
+* ``--misestimates`` — operators ordered by worst cardinality misestimate
+  (``max(est/act, act/est)`` per operator occurrence), aggregated across
+  records that carry per-operator stats (sampled executions and EXPLAIN
+  ANALYZE).  This listing is the feedback signal the adaptive optimizer
+  (ROADMAP item 2) will consume.
+* ``--summary`` — one-line totals (statements, errors, cache hit rate).
+
+``--json`` switches every report to machine-readable JSON.  The log is a
+JSONL file written by a :class:`~repro.obs.statlog.JsonlSink`; torn lines
+(crash mid-append) are skipped and counted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.statlog import misestimate_factor, read_jsonl
+
+DEFAULT_LOG = "statements.jsonl"
+
+
+def top_slow(records: List[Dict[str, Any]], n: int) -> List[Dict[str, Any]]:
+    """The *n* slowest statements, slowest first."""
+    timed = [r for r in records if r.get("duration_ms") is not None]
+    timed.sort(key=lambda r: -r["duration_ms"])
+    return [
+        {
+            "duration_ms": round(r["duration_ms"], 3),
+            "kind": r.get("kind"),
+            "cache": r.get("cache"),
+            "rows": r.get("rows"),
+            "pages_read": r.get("pages_read"),
+            "fingerprint": r.get("fingerprint"),
+            "sql": r.get("sql"),
+        }
+        for r in timed[:n]
+    ]
+
+
+def misestimates(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Operators ordered by worst est-vs-act factor, aggregated per
+    (plan fingerprint, operator position)."""
+    agg: Dict[Any, Dict[str, Any]] = {}
+    for record in records:
+        ops = record.get("ops")
+        if not ops:
+            continue
+        plan = record.get("plan")
+        for op in ops:
+            factor = misestimate_factor(op.get("est"), op.get("act"))
+            if factor is None:
+                continue
+            key = (plan, op.get("i"))
+            entry = agg.get(key)
+            if entry is None:
+                entry = agg[key] = {
+                    "plan": plan,
+                    "op_index": op.get("i"),
+                    "op": op.get("op"),
+                    "execs": 0,
+                    "est_rows": op.get("est"),
+                    "act_rows": op.get("act"),
+                    "worst_factor": 0.0,
+                    "sql": record.get("sql"),
+                }
+            entry["execs"] += 1
+            entry["est_rows"] = op.get("est")
+            entry["act_rows"] = op.get("act")
+            if factor > entry["worst_factor"]:
+                entry["worst_factor"] = factor
+    out = sorted(agg.values(), key=lambda e: -e["worst_factor"])
+    for entry in out:
+        entry["worst_factor"] = round(entry["worst_factor"], 2)
+    return out
+
+
+def summary(records: List[Dict[str, Any]], skipped: int) -> Dict[str, Any]:
+    hits = sum(1 for r in records if r.get("cache") == "hit")
+    misses = sum(1 for r in records if r.get("cache") == "miss")
+    looked_up = hits + misses
+    return {
+        "statements": len(records),
+        "errors": sum(1 for r in records if r.get("error")),
+        "cache_hit_rate": round(hits / looked_up, 4) if looked_up else None,
+        "with_operator_stats": sum(1 for r in records if r.get("ops")),
+        "torn_lines_skipped": skipped,
+    }
+
+
+def _render_table(rows: List[Dict[str, Any]], columns: List[str]) -> str:
+    if not rows:
+        return "(no rows)"
+    cells = [[str(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns)),
+        "  ".join("-" * widths[i] for i in range(len(columns))),
+    ]
+    lines.extend(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in cells
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Analyze a JSONL statement log (see repro.obs.statlog).",
+    )
+    parser.add_argument(
+        "--log", default=DEFAULT_LOG,
+        help=f"JSONL statement log to read (default: {DEFAULT_LOG})",
+    )
+    parser.add_argument(
+        "--top-slow", type=int, metavar="N", default=None,
+        help="report the N slowest statements",
+    )
+    parser.add_argument(
+        "--misestimates", action="store_true",
+        help="report operators ordered by worst cardinality misestimate",
+    )
+    parser.add_argument(
+        "--summary", action="store_true", help="report one-line totals"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    args = parser.parse_args(argv)
+    if args.top_slow is None and not args.misestimates and not args.summary:
+        args.summary = True
+        if args.top_slow is None:
+            args.top_slow = 10
+
+    try:
+        records, skipped = read_jsonl(args.log)
+    except OSError as exc:
+        print(f"cannot read statement log {args.log!r}: {exc}", file=sys.stderr)
+        return 2
+
+    reports: Dict[str, Any] = {}
+    if args.summary:
+        reports["summary"] = summary(records, skipped)
+    if args.top_slow is not None:
+        reports["top_slow"] = top_slow(records, args.top_slow)
+    if args.misestimates:
+        reports["misestimates"] = misestimates(records)
+
+    if args.json:
+        print(json.dumps(reports, indent=1))
+        return 0
+
+    if "summary" in reports:
+        print("== summary ==")
+        for key, value in reports["summary"].items():
+            print(f"  {key:<22} {value}")
+    if "top_slow" in reports:
+        print(f"\n== top {args.top_slow} slow statements ==")
+        print(
+            _render_table(
+                reports["top_slow"],
+                ["duration_ms", "kind", "cache", "rows", "pages_read",
+                 "fingerprint", "sql"],
+            )
+        )
+    if "misestimates" in reports:
+        print("\n== cardinality misestimates (worst first) ==")
+        print(
+            _render_table(
+                reports["misestimates"],
+                ["worst_factor", "op", "est_rows", "act_rows", "execs",
+                 "plan", "sql"],
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

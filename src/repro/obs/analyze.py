@@ -25,23 +25,41 @@ from repro.relational.algebra import DEFAULT_BATCH_SIZE, Operator
 
 
 class OpStats:
-    """Runtime counters for one operator node."""
+    """Runtime counters for one operator node.
 
-    __slots__ = ("rows_out", "elapsed", "loops", "batches")
+    ``est_rows`` is the planner's cardinality estimate, copied off the
+    operator at instrumentation time so estimated-vs-actual comparisons
+    (EXPLAIN ANALYZE, the statement log's ``_plan_stats`` feedback) read
+    from one place.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("rows_out", "elapsed", "loops", "batches", "est_rows")
+
+    def __init__(self, est_rows: Optional[float] = None) -> None:
         self.rows_out = 0
         self.elapsed = 0.0  # seconds, inclusive of children
         self.loops = 0
         self.batches = 0
+        self.est_rows = est_rows
+
+    @property
+    def misestimate(self) -> Optional[float]:
+        """``max(est/act, act/est)`` with both sides floored at one row."""
+        from repro.obs.statlog import misestimate_factor
+
+        return misestimate_factor(self.est_rows, self.rows_out)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "rows": self.rows_out,
             "loops": self.loops,
             "batches": self.batches,
             "time_ms": self.elapsed * 1000.0,
         }
+        if self.est_rows is not None:
+            out["est_rows"] = self.est_rows
+            out["misestimate"] = self.misestimate
+        return out
 
 
 def instrument(root: Operator) -> Dict[int, OpStats]:
@@ -52,7 +70,9 @@ def instrument(root: Operator) -> Dict[int, OpStats]:
     stats: Dict[int, OpStats] = {}
 
     def wrap(op: Operator) -> None:
-        op_stats = stats[id(op)] = OpStats()
+        op_stats = stats[id(op)] = OpStats(
+            est_rows=None if op.est_rows is None else float(op.est_rows)
+        )
         original_rows = op.rows
         original_batched = op.rows_batched
         native_batched = type(op).rows_batched is not Operator.rows_batched
@@ -124,11 +144,20 @@ def render_analyze(
 
     def walk(op: Operator, depth: int) -> None:
         text = op.label()
-        if op.est_rows is not None:
-            text += f"  [~{op.est_rows:.0f} rows]"
         op_stats = stats.get(id(op))
+        if op.est_rows is not None and op_stats is None:
+            text += f"  [~{op.est_rows:.0f} rows]"
         if op_stats is not None:
-            text += f"  [rows={op_stats.rows_out} loops={op_stats.loops}"
+            if op_stats.est_rows is not None:
+                # The estimated-vs-actual line: the feedback signal the
+                # adaptive optimizer reads.  "x1.0 off" is a perfect guess.
+                text += (
+                    f"  [est=~{op_stats.est_rows:.0f} act={op_stats.rows_out}"
+                    f" (x{op_stats.misestimate:.1f} off)"
+                    f" loops={op_stats.loops}"
+                )
+            else:
+                text += f"  [rows={op_stats.rows_out} loops={op_stats.loops}"
             if op_stats.batches:
                 text += f" batches={op_stats.batches}"
             compiled = op.compiled_status()
@@ -165,6 +194,34 @@ def stats_tree(root: Operator, stats: Dict[int, OpStats]) -> Dict[str, Any]:
     if children:
         node["children"] = children
     return node
+
+
+def operator_rows(
+    root: Operator, stats: Dict[int, OpStats]
+) -> List[Dict[str, Any]]:
+    """Flat preorder per-operator est/act list, for the statement log.
+
+    ``i`` is the preorder position — stable for a given plan shape, so
+    records with the same plan fingerprint aggregate per position in
+    ``_plan_stats``.
+    """
+    out: List[Dict[str, Any]] = []
+
+    def walk(op: Operator) -> None:
+        op_stats = stats.get(id(op))
+        out.append(
+            {
+                "i": len(out),
+                "op": op.label(),
+                "est": None if op_stats is None else op_stats.est_rows,
+                "act": 0 if op_stats is None else op_stats.rows_out,
+            }
+        )
+        for child in op.children():
+            walk(child)
+
+    walk(root)
+    return out
 
 
 def op_label(op: Operator) -> str:

@@ -1,0 +1,63 @@
+"""Metrics exporters: Prometheus text format and JSON.
+
+The registry's :meth:`~repro.obs.registry.Registry.snapshot` is already
+JSON; this module renders the same snapshot in the Prometheus text
+exposition format (v0.0.4) so an external scraper — or a human with
+``curl`` once the ROADMAP item-1 server exists — can read the engine's
+counters without any new dependency.
+
+Names are sanitised to the Prometheus grammar (``[a-zA-Z_:][a-zA-Z0-9_:]*``)
+and prefixed ``wow_``; dotted metric paths become underscores
+(``pager.page_reads`` → ``wow_pager_page_reads``).  Histograms export as
+summaries: ``_count``, ``_sum``, and ``quantile``-labelled samples.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Optional
+
+_NAME_PREFIX = "wow_"
+_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    sanitized = _BAD_CHARS.sub("_", name)
+    if not sanitized or not (sanitized[0].isalpha() or sanitized[0] in "_:"):
+        sanitized = "_" + sanitized
+    return _NAME_PREFIX + sanitized
+
+
+def _prom_value(value: Optional[float]) -> str:
+    if value is None:
+        return "NaN"
+    return repr(float(value))
+
+
+def prometheus_text(snapshot: Dict[str, Any]) -> str:
+    """Render a :meth:`Registry.snapshot` dict as Prometheus text."""
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prom_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(value)}")
+    for name, summary in snapshot.get("histograms", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} summary")
+        for q, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            lines.append(
+                f'{prom}{{quantile="{q}"}} {_prom_value(summary.get(key))}'
+            )
+        lines.append(f"{prom}_sum {_prom_value(summary.get('total'))}")
+        lines.append(f"{prom}_count {_prom_value(summary.get('count'))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def json_text(snapshot: Dict[str, Any], indent: Optional[int] = None) -> str:
+    """The snapshot as JSON (same content, different consumer)."""
+    return json.dumps(snapshot, indent=indent)

@@ -231,6 +231,12 @@ class Registry:
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.snapshot(), indent=indent)
 
+    def to_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        from repro.obs.exporter import prometheus_text
+
+        return prometheus_text(self.snapshot())
+
     def reset(self) -> None:
         """Forget every instrument (tests and benchmark iterations)."""
         with self._lock:

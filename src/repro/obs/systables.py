@@ -1,0 +1,230 @@
+"""Telemetry system tables: the engine's own telemetry as relations.
+
+Four read-only system tables, synthesised on demand exactly like the
+catalog's ``_tables``/``_columns``/... (see
+:meth:`repro.relational.catalog.Catalog._system_table`):
+
+* ``_statements`` — the statement log's ring: one row per executed
+  statement with fingerprint, plan-cache hit/miss, plan fingerprint,
+  est/act rows, duration, pages read;
+* ``_slow_ops`` — the slow log, with the statement fingerprint extracted
+  from its span tags so it joins against ``_statements``;
+* ``_metrics`` — every counter/gauge/histogram of the engine snapshot and
+  the attached registry, flattened to rows;
+* ``_plan_stats`` — per-plan, per-operator estimated-vs-actual row counts
+  aggregated from sampled executions and EXPLAIN ANALYZE — the adaptive
+  optimizer's feedback relation.
+
+Because they are ordinary relations, ``SELECT * FROM _statements`` works
+in the SQL window, the F12 query inspector is just a browser window over
+``_statements``, and a form can be generated over any of them — the forms
+runtime dogfooding itself on the engine.
+
+:func:`register_telemetry_tables` binds the builders to one
+:class:`~repro.relational.database.Database`; a bare catalog (no database
+attached) serves the same schemas empty via :func:`empty_system_table`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Tuple
+
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import ColumnType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relational.database import Database
+    from repro.relational.table import Table
+
+TELEMETRY_TABLE_NAMES = ("_statements", "_slow_ops", "_metrics", "_plan_stats")
+
+
+def _schema_statements() -> TableSchema:
+    return TableSchema(
+        "_statements",
+        [
+            Column("seq", ColumnType.INT, nullable=False),
+            Column("ts", ColumnType.FLOAT, nullable=False),
+            Column("kind", ColumnType.TEXT),
+            Column("sql", ColumnType.TEXT),
+            Column("fingerprint", ColumnType.TEXT),
+            Column("params", ColumnType.TEXT),
+            Column("cache", ColumnType.TEXT),
+            Column("plan", ColumnType.TEXT),
+            Column("est_rows", ColumnType.FLOAT),
+            Column("act_rows", ColumnType.INT),
+            Column("pages_read", ColumnType.INT),
+            Column("duration_ms", ColumnType.FLOAT),
+            Column("error", ColumnType.TEXT),
+        ],
+        primary_key=["seq"],
+    )
+
+
+def _schema_slow_ops() -> TableSchema:
+    return TableSchema(
+        "_slow_ops",
+        [
+            Column("seq", ColumnType.INT, nullable=False),
+            Column("ts", ColumnType.FLOAT, nullable=False),
+            Column("name", ColumnType.TEXT, nullable=False),
+            Column("duration_ms", ColumnType.FLOAT, nullable=False),
+            Column("fingerprint", ColumnType.TEXT),
+            Column("tags", ColumnType.TEXT),
+        ],
+        primary_key=["seq"],
+    )
+
+
+def _schema_metrics() -> TableSchema:
+    return TableSchema(
+        "_metrics",
+        [
+            Column("source", ColumnType.TEXT, nullable=False),
+            Column("name", ColumnType.TEXT, nullable=False),
+            Column("kind", ColumnType.TEXT, nullable=False),
+            Column("value", ColumnType.FLOAT),
+            # "samples"/"peak" rather than "count"/"max": those are SQL
+            # keywords here and could not be selected by name
+            Column("samples", ColumnType.INT),
+            Column("p95", ColumnType.FLOAT),
+            Column("peak", ColumnType.FLOAT),
+        ],
+    )
+
+
+def _schema_plan_stats() -> TableSchema:
+    return TableSchema(
+        "_plan_stats",
+        [
+            Column("plan", ColumnType.TEXT, nullable=False),
+            Column("op_index", ColumnType.INT, nullable=False),
+            Column("op", ColumnType.TEXT, nullable=False),
+            Column("execs", ColumnType.INT, nullable=False),
+            Column("est_rows", ColumnType.FLOAT),
+            Column("mean_act_rows", ColumnType.FLOAT, nullable=False),
+            Column("worst_factor", ColumnType.FLOAT),
+        ],
+        primary_key=["plan", "op_index"],
+    )
+
+
+_SCHEMAS = {
+    "_statements": _schema_statements,
+    "_slow_ops": _schema_slow_ops,
+    "_metrics": _schema_metrics,
+    "_plan_stats": _schema_plan_stats,
+}
+
+
+def _fresh(schema: TableSchema, rows: Iterator[Tuple[Any, ...]]) -> "Table":
+    from repro.relational.heap import HeapFile
+    from repro.relational.pager import MemoryPager
+    from repro.relational.table import Table
+
+    table = Table(schema, HeapFile(MemoryPager()))
+    for row in rows:
+        table.insert(row)
+    return table
+
+
+def empty_system_table(name: str) -> "Table":
+    """A telemetry table with its declared schema and zero rows — what a
+    catalog without an attached database serves."""
+    return _fresh(_SCHEMAS[name](), iter(()))
+
+
+# -- builders ----------------------------------------------------------------
+
+
+def build_statements(db: "Database") -> "Table":
+    def rows() -> Iterator[Tuple[Any, ...]]:
+        for r in db.statement_log.records():
+            yield (
+                r.seq, r.ts, r.kind, r.sql, r.fingerprint, r.params,
+                r.cache, r.plan_fp, r.est_rows, r.rows, r.pages_read,
+                r.duration_ms, r.error,
+            )
+
+    return _fresh(_schema_statements(), rows())
+
+
+def build_slow_ops(db: "Database") -> "Table":
+    def rows() -> Iterator[Tuple[Any, ...]]:
+        for seq, entry in enumerate(db.slow_log.entries(), start=1):
+            tags = dict(entry.get("tags") or {})
+            fingerprint = tags.pop("fp", None)
+            yield (
+                seq,
+                entry["when"],
+                entry["name"],
+                entry["duration_ms"],
+                fingerprint,
+                json.dumps(tags, default=str) if tags else None,
+            )
+
+    return _fresh(_schema_slow_ops(), rows())
+
+
+def _numeric(value: Any) -> Any:
+    """Coerce snapshot values to floats; None for non-numeric entries."""
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None
+
+
+def build_metrics(db: "Database") -> "Table":
+    snap = db.metrics_snapshot()
+    registry = snap.pop("registry")
+
+    def rows() -> Iterator[Tuple[Any, ...]]:
+        for source, counters in snap.items():
+            if not isinstance(counters, dict):
+                continue
+            for name, value in sorted(counters.items()):
+                numeric = _numeric(value)
+                if numeric is None:
+                    continue
+                yield (source, name, "counter", numeric, None, None, None)
+        for name, value in sorted(registry["counters"].items()):
+            yield ("registry", name, "counter", float(value), None, None, None)
+        for name, value in sorted(registry["gauges"].items()):
+            yield ("registry", name, "gauge", float(value), None, None, None)
+        for name, summary in sorted(registry["histograms"].items()):
+            yield (
+                "registry", name, "histogram",
+                _numeric(summary["mean"]), summary["count"],
+                _numeric(summary["p95"]), _numeric(summary["max"]),
+            )
+
+    return _fresh(_schema_metrics(), rows())
+
+
+def build_plan_stats(db: "Database") -> "Table":
+    def rows() -> Iterator[Tuple[Any, ...]]:
+        for stat in db.statement_log.plan_stat_rows():
+            yield (
+                stat.plan_fp, stat.op_index, stat.label, stat.execs,
+                stat.est_rows, stat.mean_act, stat.worst_factor,
+            )
+
+    return _fresh(_schema_plan_stats(), rows())
+
+
+_BUILDERS: Dict[str, Any] = {
+    "_statements": build_statements,
+    "_slow_ops": build_slow_ops,
+    "_metrics": build_metrics,
+    "_plan_stats": build_plan_stats,
+}
+
+
+def register_telemetry_tables(db: "Database") -> None:
+    """Attach the four telemetry tables to *db*'s catalog."""
+    for name, builder in _BUILDERS.items():
+        db.catalog.register_system_source(
+            name, (lambda b: lambda: b(db))(builder)
+        )

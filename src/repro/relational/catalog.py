@@ -21,7 +21,18 @@ from repro.relational.table import Table
 from repro.relational.types import ColumnType
 from repro.views.definition import ViewDefinition
 
-SYSTEM_TABLE_NAMES = ("_tables", "_columns", "_views", "_indexes")
+SYSTEM_TABLE_NAMES = (
+    "_tables",
+    "_columns",
+    "_views",
+    "_indexes",
+    # telemetry relations (built by repro.obs.systables; a catalog with no
+    # registered source serves them empty)
+    "_statements",
+    "_slow_ops",
+    "_metrics",
+    "_plan_stats",
+)
 
 
 class Catalog:
@@ -39,6 +50,10 @@ class Catalog:
         #: view name -> (generation, UpdatableViewInfo) memo; see
         #: :func:`repro.views.update.analyze_updatability`.
         self.updatability_cache: Dict[str, tuple] = {}
+        #: reserved system-table name -> zero-arg builder, registered by an
+        #: owning subsystem (the database wires the telemetry relations here
+        #: via :func:`repro.obs.systables.register_telemetry_tables`).
+        self._system_sources: Dict[str, Callable[[], Table]] = {}
 
     def bump_generation(self) -> None:
         """Record a schema change: invalidate every generation-keyed memo."""
@@ -156,6 +171,19 @@ class Catalog:
 
     # -- system relations -------------------------------------------------
 
+    def register_system_source(self, name: str, builder: Callable[[], Table]) -> None:
+        """Bind *builder* as the synthesiser for reserved system table *name*.
+
+        Only names in :data:`SYSTEM_TABLE_NAMES` may be bound; the four
+        catalog relations have built-in builders and cannot be overridden.
+        """
+        name = name.lower()
+        if name not in SYSTEM_TABLE_NAMES:
+            raise CatalogError(f"{name!r} is not a reserved system table name")
+        if name in ("_tables", "_columns", "_views", "_indexes"):
+            raise CatalogError(f"catalog relation {name!r} cannot be overridden")
+        self._system_sources[name] = builder
+
     def _system_table(self, name: str) -> Table:
         builders = {
             "_tables": self._build_sys_tables,
@@ -163,7 +191,17 @@ class Catalog:
             "_views": self._build_sys_views,
             "_indexes": self._build_sys_indexes,
         }
-        return builders[name]()
+        builtin = builders.get(name)
+        if builtin is not None:
+            return builtin()
+        source = self._system_sources.get(name)
+        if source is not None:
+            return source()
+        # A telemetry relation on a catalog with no attached database:
+        # serve the declared schema with zero rows.
+        from repro.obs.systables import empty_system_table
+
+        return empty_system_table(name)
 
     def _fresh(self, schema: TableSchema, rows: Iterator) -> Table:
         table = Table(schema, HeapFile(MemoryPager()))

@@ -37,6 +37,13 @@ from repro.errors import (
     TransactionError,
 )
 from repro.obs import Registry, SlowLog, Tracer, get_registry, instrument, render_analyze
+from repro.obs.analyze import operator_rows
+from repro.obs.statlog import (
+    JsonlSink,
+    StatementLog,
+    fingerprint_sql,
+    plan_fingerprint,
+)
 from repro.relational import expr as E
 from repro.relational import exprcompile
 from repro.relational.algebra import EXEC_METRICS, Operator
@@ -116,6 +123,9 @@ class PreparedStatement:
         #: plan slot managed by Database._select_plan
         self._plan: Optional[Any] = None
         self._plan_generation: Optional[int] = None
+        #: statement fingerprint, filled by Database.prepare when the
+        #: statement log is capturing
+        self.fingerprint: Optional[str] = None
 
     @property
     def param_count(self) -> int:
@@ -147,7 +157,11 @@ class Database:
         planner_config: Optional[PlannerConfig] = None,
         obs: Optional[Registry] = None,
         slow_ms: Optional[float] = None,
+        slow_capacity: Optional[int] = None,
         plan_cache_size: int = 128,
+        statlog_capacity: int = 256,
+        statlog_path: Optional[str] = None,
+        statlog_sample_every: int = 0,
         io: Optional[IOShim] = None,
     ) -> None:
         self.path = path
@@ -168,7 +182,12 @@ class Database:
         #: private one is injected), per-database slow log, and a tracer
         #: whose span stack is shared with the UI layers' tracers
         self.obs = obs if obs is not None else get_registry()
-        self.slow_log = SlowLog(**({"threshold_ms": slow_ms} if slow_ms is not None else {}))
+        slow_kwargs: Dict[str, Any] = {}
+        if slow_ms is not None:
+            slow_kwargs["threshold_ms"] = slow_ms
+        if slow_capacity is not None:
+            slow_kwargs["capacity"] = slow_capacity
+        self.slow_log = SlowLog(**slow_kwargs)
         self.tracer = Tracer(self.obs, slow_log=self.slow_log)
         self._pagers: Dict[str, FilePager] = {}
         self.txn = TransactionManager()
@@ -194,6 +213,22 @@ class Database:
         #: behaviour — used by benchmarks for before/after comparisons)
         self.plan_cache = PlanCache(capacity=plan_cache_size)
         self._catalog_generation_seen = self.catalog.generation
+        #: statement log: every execute/stream captured into a bounded ring
+        #: (and optionally a rotating JSONL sink); ``statlog_capacity=0``
+        #: turns capture off entirely — the path then costs one branch
+        self.statement_log = StatementLog(
+            capacity=statlog_capacity,
+            sink=(
+                JsonlSink(statlog_path, io=self._io)
+                if statlog_path is not None
+                else None
+            ),
+            sample_every=statlog_sample_every,
+            io=self._io,
+        )
+        from repro.obs.systables import register_telemetry_tables
+
+        register_telemetry_tables(self)
         if self.wal is not None:
             self.txn.on_commit.append(self.wal.commit)
             self.txn.on_rollback.append(self.wal.discard_pending)
@@ -238,13 +273,37 @@ class Database:
         does not (plans read live tables, so data changes are always
         visible).
         """
-        entry = self._lookup_statement(sql)
-        statement = entry.statement
-        with self.tracer.span(
-            "db.execute", {"stmt": type(statement).__name__}
-        ) as span:
-            result = self._execute_statement(statement, sql, cache_entry=entry)
-            span.tag("rows", result.rowcount)
+        log = self.statement_log
+        capture = (
+            log.begin(
+                self._pages_read_total(),
+                self.plan_cache.stats["hits"],
+                self.plan_cache.stats["misses"],
+            )
+            if log.enabled
+            else None
+        )
+        try:
+            entry = self._lookup_statement(sql)
+            statement = entry.statement
+            tags: Dict[str, Any] = {"stmt": type(statement).__name__}
+            if entry.fingerprint is not None:
+                # The statement fingerprint rides on the span so slow-log
+                # entries join against _statements.
+                tags["fp"] = entry.fingerprint
+            if capture is not None:
+                log.describe(
+                    capture, sql, entry.fingerprint, type(statement).__name__
+                )
+            with self.tracer.span("db.execute", tags) as span:
+                result = self._execute_statement(statement, sql, cache_entry=entry)
+                span.tag("rows", result.rowcount)
+        except BaseException as exc:
+            if capture is not None:
+                self._finish_capture(capture, None, error=exc)
+            raise
+        if capture is not None:
+            self._finish_capture(capture, result.rowcount)
         return result
 
     def execute_script(self, sql: str) -> List[Result]:
@@ -264,7 +323,10 @@ class Database:
         DDL/ANALYZE/config change) the planner.
         """
         statement, params = parse_prepared(sql)
-        return PreparedStatement(self, sql, statement, params)
+        handle = PreparedStatement(self, sql, statement, params)
+        if self.statement_log.enabled:
+            handle.fingerprint = fingerprint_sql(sql)
+        return handle
 
     def stream(self, sql: str) -> Tuple[List[str], Iterator[Row]]:
         """Execute a SELECT lazily: (column names, row iterator).
@@ -273,14 +335,49 @@ class Database:
         up front, so huge scans cost O(1) memory.  Do not run DML on the
         tables being scanned while the iterator is live.
         """
-        entry = self._lookup_statement(sql)
-        statement = entry.statement
-        if not isinstance(statement, A.Select):
-            raise SqlError("stream() takes a single SELECT")
-        self._check_select_privileges(statement)
-        plan = self._select_plan(statement, cache_entry=entry)
+        log = self.statement_log
+        capture = (
+            log.begin(
+                self._pages_read_total(),
+                self.plan_cache.stats["hits"],
+                self.plan_cache.stats["misses"],
+            )
+            if log.enabled
+            else None
+        )
+        try:
+            entry = self._lookup_statement(sql)
+            statement = entry.statement
+            if not isinstance(statement, A.Select):
+                raise SqlError("stream() takes a single SELECT")
+            self._check_select_privileges(statement)
+            plan = self._select_plan(statement, cache_entry=entry)
+        except BaseException as exc:
+            if capture is not None:
+                self._finish_capture(capture, None, error=exc)
+            raise
         self.stats["selects"] += 1
-        return plan.layout.names(), self._iter_rows(plan)
+        if capture is None:
+            return plan.layout.names(), self._iter_rows(plan)
+        log.describe(capture, sql, entry.fingerprint, "Select")
+        log.note_plan(plan)
+        # The capture detaches here and finishes when the iterator drains —
+        # a long-lived stream must not swallow captures of statements that
+        # execute while it is open.
+        log.detach(capture)
+        return plan.layout.names(), self._stream_rows(plan, capture)
+
+    def _stream_rows(self, plan: Any, capture: Any) -> Iterator[Row]:
+        """Drain a streamed plan, finishing its statement capture."""
+        produced = 0
+        try:
+            for row in self._iter_rows(plan):
+                produced += 1
+                yield row
+        except BaseException as exc:
+            self._finish_capture(capture, produced, error=exc)
+            raise
+        self._finish_capture(capture, produced)
 
     # -- statement/plan cache plumbing --------------------------------------
 
@@ -309,7 +406,43 @@ class Database:
         if entry is None:
             statement = parse_statement(sql)
             entry = self.plan_cache.store(key, statement, None)
+        if entry.fingerprint is None and self.statement_log.enabled:
+            # One extra lex per cache miss; hits reuse the stored value.
+            entry.fingerprint = fingerprint_sql(sql)
         return entry
+
+    def _pages_read_total(self) -> int:
+        """Pages fetched across every table's pager (reads + hits + misses).
+
+        Snapshotted at capture begin/finish; the delta is the statement's
+        page traffic.
+        """
+        total = 0
+        for table in self.catalog.tables():
+            stats = getattr(getattr(table.heap, "_pager", None), "stats", None)
+            if stats:
+                total += (
+                    stats.get("reads", 0)
+                    + stats.get("hits", 0)
+                    + stats.get("misses", 0)
+                )
+        return total
+
+    def _finish_capture(
+        self,
+        capture: Any,
+        rows: Optional[int],
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """Complete a statement-log capture with the end-time snapshots."""
+        self.statement_log.finish(
+            capture,
+            rows,
+            self._pages_read_total(),
+            self.plan_cache.stats["hits"],
+            self.plan_cache.stats["misses"],
+            error=None if error is None else f"{type(error).__name__}: {error}",
+        )
 
     def _select_plan(
         self,
@@ -407,14 +540,40 @@ class Database:
     def _execute_prepared(self, prepared: PreparedStatement) -> Result:
         """Run a prepared statement (parameters already bound by the handle)."""
         statement = prepared.statement
-        with self.tracer.span(
-            "db.execute", {"stmt": type(statement).__name__, "prepared": True}
-        ) as span:
-            if isinstance(statement, A.Select):
-                result = self._run_select(statement, prepared=prepared)
-            else:
-                result = self._execute_statement(statement, prepared.sql)
-            span.tag("rows", result.rowcount)
+        log = self.statement_log
+        capture = (
+            log.begin(
+                self._pages_read_total(),
+                self.plan_cache.stats["hits"],
+                self.plan_cache.stats["misses"],
+            )
+            if log.enabled
+            else None
+        )
+        if capture is not None:
+            log.describe(
+                capture,
+                prepared.sql,
+                prepared.fingerprint,
+                type(statement).__name__,
+                params=[param.value for param in prepared._params],
+            )
+        tags: Dict[str, Any] = {"stmt": type(statement).__name__, "prepared": True}
+        if prepared.fingerprint is not None:
+            tags["fp"] = prepared.fingerprint
+        try:
+            with self.tracer.span("db.execute", tags) as span:
+                if isinstance(statement, A.Select):
+                    result = self._run_select(statement, prepared=prepared)
+                else:
+                    result = self._execute_statement(statement, prepared.sql)
+                span.tag("rows", result.rowcount)
+        except BaseException as exc:
+            if capture is not None:
+                self._finish_capture(capture, None, error=exc)
+            raise
+        if capture is not None:
+            self._finish_capture(capture, result.rowcount)
         return result
 
     # ------------------------------------------------------------------
@@ -536,6 +695,7 @@ class Database:
         only trustworthy evidence left.  An open transaction is rolled
         back first — closing is not committing.
         """
+        self.statement_log.close()
         if self.path is not None:
             if self.txn.active:
                 self.txn.rollback()
@@ -576,6 +736,8 @@ class Database:
                 self._check_select_privileges(arm)
             plan = self.planner.plan_union(statement)
             self._maybe_verify_plan(plan)
+            if self.statement_log.current is not None:
+                self.statement_log.note_plan(plan)
             rows = self._collect_rows(plan)
             self.stats["selects"] += 1
             return Result(columns=plan.layout.names(), rows=rows, rowcount=len(rows))
@@ -914,6 +1076,13 @@ class Database:
             execution_ms = (time.perf_counter() - start) * 1000.0
             span.tag("rows", produced)
         self.stats["selects"] += 1
+        if self.statement_log.enabled:
+            # ANALYZE runs always contribute per-operator est/act to the
+            # plan-stats aggregate (and to the current capture, if any).
+            self.statement_log.note_plan(plan)
+            self.statement_log.note_operators(
+                plan_fingerprint(plan), operator_rows(plan, op_stats)
+            )
         text = render_analyze(
             plan, op_stats, planning_ms, execution_ms,
             plan_cache=self.plan_cache.snapshot(), verified=verified,
@@ -979,6 +1148,7 @@ class Database:
                 "entries": len(self.slow_log),
                 "dropped": self.slow_log.dropped,
             },
+            "statement_log": self.statement_log.snapshot(),
             "registry": self.obs.snapshot(),
         }
 
@@ -1024,8 +1194,33 @@ class Database:
         prepared: Optional[PreparedStatement] = None,
     ) -> Result:
         self._check_select_privileges(select)
+        log = self.statement_log
+        if log.take_sample():
+            return self._run_select_sampled(select)
         plan = self._select_plan(select, cache_entry=cache_entry, prepared=prepared)
+        if log.current is not None:
+            log.note_plan(plan)
         rows = self._collect_rows(plan)
+        self.stats["selects"] += 1
+        return Result(columns=plan.layout.names(), rows=rows, rowcount=len(rows))
+
+    def _run_select_sampled(self, select: A.Select) -> Result:
+        """Every Nth SELECT under ``statlog_sample_every=N``: plan fresh,
+        instrument, and record true per-operator est/act cardinalities.
+
+        The plan cache is deliberately bypassed — instrumentation wrappers
+        mutate the tree's ``rows`` methods and must never leak into a
+        cached (or prepared) plan.
+        """
+        log = self.statement_log
+        plan = self.planner.plan_select(select)
+        self._maybe_verify_plan(plan)
+        op_stats = instrument(plan)
+        rows = self._collect_rows(plan)
+        log.note_plan(plan)
+        log.note_operators(
+            plan_fingerprint(plan), operator_rows(plan, op_stats), sampled=True
+        )
         self.stats["selects"] += 1
         return Result(columns=plan.layout.names(), rows=rows, rowcount=len(rows))
 

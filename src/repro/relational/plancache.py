@@ -46,6 +46,9 @@ class CacheEntry:
     statement: Any  # parsed A.Statement
     plan: Optional[Any]  # physical operator tree, or None if not cacheable
     generation: int
+    #: statement fingerprint (literals lifted to ``?``), computed once on
+    #: the miss path and reused by the statement log on every hit
+    fingerprint: Optional[str] = None
 
 
 @dataclass

@@ -45,12 +45,13 @@ class Key:
     F9 = "F9"
     F10 = "F10"
     F11 = "F11"
+    F12 = "F12"
 
     ALL = frozenset(
         [
             ENTER, ESC, TAB, BACKTAB, BACKSPACE, DELETE,
             UP, DOWN, LEFT, RIGHT, HOME, END, PGUP, PGDN,
-            F1, F2, F3, F4, F5, F6, F7, F8, F9, F10, F11,
+            F1, F2, F3, F4, F5, F6, F7, F8, F9, F10, F11, F12,
         ]
     )
 

@@ -22,6 +22,22 @@ def _verify_all_plans():
     planverify.set_verify_plans(previous)
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _telemetry_sink():
+    """With ``WOW_TELEMETRY_DIR`` set (CI does), every statement the suite
+    executes is appended to ``<dir>/statements.jsonl`` via the process-wide
+    default sink — uploaded as an artifact when the tier-1 job fails."""
+    from repro.obs.statlog import set_default_sink
+
+    directory = os.environ.get("WOW_TELEMETRY_DIR", "")
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+        set_default_sink(os.path.join(directory, "statements.jsonl"))
+    yield
+    if directory:
+        set_default_sink(None)
+
+
 @pytest.fixture
 def db() -> Database:
     """A fresh in-memory database."""
