@@ -168,10 +168,21 @@ def _check_join_layout(op: A.Operator, outer: A.Operator, inner: A.Operator) -> 
 
 
 def _verify_operator(op: A.Operator) -> None:
+    from repro.relational.stats import is_valid_estimate
+
     _check_layout(op)
     est = op.est_rows
-    if est is not None and est < 0:
-        _fail(op, f"negative cardinality estimate {est!r}")
+    if est is not None:
+        try:
+            negative = float(est) < 0
+        except (TypeError, ValueError):
+            negative = False
+        if negative:
+            _fail(op, f"negative cardinality estimate {est!r}")
+        elif not is_valid_estimate(est):
+            # Shares the planner's clamp_rows contract: every annotated
+            # estimate is a finite whole number of at least one row.
+            _fail(op, f"non-normalized cardinality estimate {est!r}")
 
     if isinstance(op, (A.SeqScan, A.IndexEqScan, A.IndexRangeScan)):
         _check_scan(op)

@@ -128,6 +128,7 @@ def render_analyze(
     execution_ms: float,
     plan_cache: Optional[Dict[str, int]] = None,
     verified: Optional[int] = None,
+    replans: Optional[int] = None,
 ) -> str:
     """The annotated plan text returned by EXPLAIN ANALYZE.
 
@@ -177,6 +178,8 @@ def render_analyze(
             "Plan Cache: hits={hits} misses={misses} "
             "invalidations={invalidations}".format(**plan_cache)
         )
+    if replans is not None:
+        lines.append(f"Adaptive: replans={replans}")
     lines.append(f"Execution Time: {execution_ms:.3f} ms")
     return "\n".join(lines)
 

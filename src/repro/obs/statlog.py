@@ -420,6 +420,23 @@ class StatementLog:
             key=lambda s: (-(s.worst_factor or 0.0), s.plan_fp, s.op_index),
         )
 
+    def worst_factor_for(self, plan_fp: str) -> Optional[float]:
+        """The worst est-vs-act factor observed anywhere in plan *plan_fp* —
+        the adaptive optimizer's re-plan trigger signal."""
+        worst: Optional[float] = None
+        for (fp, _index), stat in self.plan_stats.items():
+            if fp != plan_fp or stat.worst_factor is None:
+                continue
+            if worst is None or stat.worst_factor > worst:
+                worst = stat.worst_factor
+        return worst
+
+    def forget_plan(self, plan_fp: str) -> None:
+        """Drop the aggregates for *plan_fp* — called after a re-plan so the
+        stale plan's misestimates cannot re-trigger the feedback loop."""
+        for key in [k for k in self.plan_stats if k[0] == plan_fp]:
+            del self.plan_stats[key]
+
     def clear(self) -> None:
         self._ring.clear()
         self.plan_stats.clear()

@@ -1,6 +1,6 @@
 """Telemetry system tables: the engine's own telemetry as relations.
 
-Four read-only system tables, synthesised on demand exactly like the
+Five read-only system tables, synthesised on demand exactly like the
 catalog's ``_tables``/``_columns``/... (see
 :meth:`repro.relational.catalog.Catalog._system_table`):
 
@@ -13,7 +13,10 @@ catalog's ``_tables``/``_columns``/... (see
   the attached registry, flattened to rows;
 * ``_plan_stats`` — per-plan, per-operator estimated-vs-actual row counts
   aggregated from sampled executions and EXPLAIN ANALYZE — the adaptive
-  optimizer's feedback relation.
+  optimizer's feedback relation;
+* ``_table_stats`` — the optimizer statistics ANALYZE collected, one row
+  per (table, column): row count, heap pages, distinct-value estimate,
+  null count, min/max, and histogram bucket count.
 
 Because they are ordinary relations, ``SELECT * FROM _statements`` works
 in the SQL window, the F12 query inspector is just a browser window over
@@ -37,7 +40,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.relational.database import Database
     from repro.relational.table import Table
 
-TELEMETRY_TABLE_NAMES = ("_statements", "_slow_ops", "_metrics", "_plan_stats")
+TELEMETRY_TABLE_NAMES = (
+    "_statements",
+    "_slow_ops",
+    "_metrics",
+    "_plan_stats",
+    "_table_stats",
+)
 
 
 def _schema_statements() -> TableSchema:
@@ -110,11 +119,30 @@ def _schema_plan_stats() -> TableSchema:
     )
 
 
+def _schema_table_stats() -> TableSchema:
+    return TableSchema(
+        "_table_stats",
+        [
+            Column("table_name", ColumnType.TEXT, nullable=False),
+            Column("column_name", ColumnType.TEXT, nullable=False),
+            Column("row_count", ColumnType.INT, nullable=False),
+            Column("pages", ColumnType.INT, nullable=False),
+            Column("n_distinct", ColumnType.INT, nullable=False),
+            Column("null_count", ColumnType.INT, nullable=False),
+            Column("min_value", ColumnType.TEXT),
+            Column("max_value", ColumnType.TEXT),
+            Column("histogram_buckets", ColumnType.INT),
+        ],
+        primary_key=["table_name", "column_name"],
+    )
+
+
 _SCHEMAS = {
     "_statements": _schema_statements,
     "_slow_ops": _schema_slow_ops,
     "_metrics": _schema_metrics,
     "_plan_stats": _schema_plan_stats,
+    "_table_stats": _schema_table_stats,
 }
 
 
@@ -214,16 +242,37 @@ def build_plan_stats(db: "Database") -> "Table":
     return _fresh(_schema_plan_stats(), rows())
 
 
+def build_table_stats(db: "Database") -> "Table":
+    def render(value: Any) -> Any:
+        return None if value is None else str(value)
+
+    def rows() -> Iterator[Tuple[Any, ...]]:
+        for table_name in sorted(db.planner.stats):
+            stats = db.planner.stats[table_name]
+            for column_name in sorted(stats.columns):
+                column = stats.columns[column_name]
+                histogram = column.histogram
+                yield (
+                    table_name, column_name, stats.row_count, stats.pages,
+                    column.n_distinct, column.null_count,
+                    render(column.min_value), render(column.max_value),
+                    None if histogram is None else len(histogram.counts),
+                )
+
+    return _fresh(_schema_table_stats(), rows())
+
+
 _BUILDERS: Dict[str, Any] = {
     "_statements": build_statements,
     "_slow_ops": build_slow_ops,
     "_metrics": build_metrics,
     "_plan_stats": build_plan_stats,
+    "_table_stats": build_table_stats,
 }
 
 
 def register_telemetry_tables(db: "Database") -> None:
-    """Attach the four telemetry tables to *db*'s catalog."""
+    """Attach the five telemetry tables to *db*'s catalog."""
     for name, builder in _BUILDERS.items():
         db.catalog.register_system_source(
             name, (lambda b: lambda: b(db))(builder)

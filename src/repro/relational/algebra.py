@@ -61,6 +61,9 @@ class Operator:
     #: optional cardinality estimate, set by the planner when ANALYZE
     #: statistics are available; shown by EXPLAIN
     est_rows: Optional[float] = None
+    #: optional cost-model estimate (optimizer-v2 cost units), set on
+    #: operators that went through cost-based selection; shown by EXPLAIN
+    est_cost: Optional[float] = None
 
     def rows(self) -> Iterator[Row]:
         raise NotImplementedError
@@ -96,7 +99,9 @@ class Operator:
 
     def explain(self, depth: int = 0) -> str:
         text = self.label()
-        if self.est_rows is not None:
+        if self.est_rows is not None and self.est_cost is not None:
+            text += f"  [~{self.est_rows:.0f} rows, cost={self.est_cost:.2f}]"
+        elif self.est_rows is not None:
             text += f"  [~{self.est_rows:.0f} rows]"
         lines = ["  " * depth + text]
         for child in self.children():

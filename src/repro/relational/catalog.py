@@ -32,6 +32,7 @@ SYSTEM_TABLE_NAMES = (
     "_slow_ops",
     "_metrics",
     "_plan_stats",
+    "_table_stats",
 )
 
 

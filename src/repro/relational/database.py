@@ -23,7 +23,7 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import (
     BindError,
@@ -208,6 +208,19 @@ class Database:
             self._remove_orphan_heaps()
             self._recover()
         self.planner = Planner(self.catalog, self.planner_config)
+        # ANALYZE statistics persisted in the catalog document are parsed by
+        # _load_catalog (which runs before the planner exists) and applied
+        # here; plans from restored stats match the pre-restart ones.
+        loaded_stats = getattr(self, "_loaded_stats", None)
+        if loaded_stats:
+            self.planner.stats.update(loaded_stats)
+        self._loaded_stats = None
+        # Wire the DP enumerator's per-candidate hook to the static plan
+        # verifier (active under WOW_VERIFY_PLANS / verify_plans()).
+        self.planner.verify_candidate = self._maybe_verify_plan
+        #: plan fingerprints already re-planned by adaptive feedback — each
+        #: misestimated plan shape triggers one re-plan, not a loop
+        self._replanned_fps: Set[str] = set()
         #: statement/plan cache; ``plan_cache_size=0`` disables memoization
         #: entirely (every execute re-parses and re-plans, the pre-cache
         #: behaviour — used by benchmarks for before/after comparisons)
@@ -984,6 +997,10 @@ class Database:
         # Fresh statistics can change index and join choices; cached plans
         # made under the old statistics must not survive.
         self._invalidate_plans()
+        # Statistics persist in the catalog document: a reopened database
+        # plans with the same numbers it closed with.
+        if self.path is not None and not self.txn.active:
+            self._save_catalog()
         return Result(rowcount=len(tables))
 
     def _run_grant_revoke(self, statement) -> Result:
@@ -1083,11 +1100,47 @@ class Database:
             self.statement_log.note_operators(
                 plan_fingerprint(plan), operator_rows(plan, op_stats)
             )
+            self._consider_replan(plan_fingerprint(plan), select)
         text = render_analyze(
             plan, op_stats, planning_ms, execution_ms,
             plan_cache=self.plan_cache.snapshot(), verified=verified,
+            replans=self.planner.metrics["replans"],
         )
         return Result(rowcount=produced, plan=text)
+
+    def _consider_replan(self, plan_fp: str, select: A.Select) -> None:
+        """Adaptive feedback: re-plan a statement whose estimates were bad.
+
+        Called after an instrumented execution (a sampled run or EXPLAIN
+        ANALYZE) has folded true per-operator cardinalities into the
+        ``_plan_stats`` aggregate.  When the worst est-vs-act factor for
+        this plan shape reaches ``replan_factor``, the referenced tables
+        are re-ANALYZEd and every cached entry holding this plan has its
+        plan slot cleared — the statement re-plans under fresh statistics
+        on its next execution, while the rest of the cache stays hot.
+        """
+        config = self.planner_config
+        if not config.adaptive_replan or plan_fp in self._replanned_fps:
+            return
+        worst = self.statement_log.worst_factor_for(plan_fp)
+        if worst is None or worst < config.replan_factor:
+            return
+        if len(self._replanned_fps) >= 1024:  # bound the loop guard
+            self._replanned_fps.clear()
+        self._replanned_fps.add(plan_fp)
+        from repro.relational.stats import analyze_table
+
+        for name in dict.fromkeys(self._referenced_sources(select)):
+            if self.catalog.has_table(name):
+                self.planner.stats[name] = analyze_table(self.catalog.table(name))
+        # The stale aggregates must not re-trigger on the next sample.
+        self.statement_log.forget_plan(plan_fp)
+        self.plan_cache.drop_plans(
+            lambda plan: plan_fingerprint(plan) == plan_fp
+        )
+        self.planner.metrics["replans"] += 1
+        if self.path is not None and not self.txn.active:
+            self._save_catalog()
 
     # ------------------------------------------------------------------
     # Observability API
@@ -1221,6 +1274,7 @@ class Database:
         log.note_operators(
             plan_fingerprint(plan), operator_rows(plan, op_stats), sampled=True
         )
+        self._consider_replan(plan_fingerprint(plan), select)
         self.stats["selects"] += 1
         return Result(columns=plan.layout.names(), rows=rows, rowcount=len(rows))
 
@@ -1334,6 +1388,8 @@ class Database:
         self._require_ownership(name)
         self.catalog.drop_table(name)
         self.auth.forget_object(name)
+        # A later table of the same name must not inherit these statistics.
+        self.planner.stats.pop(name, None)
         pager = self._pagers.pop(name, None)
         if pager is not None:
             pager.close(flush=False)
@@ -1896,6 +1952,17 @@ class Database:
             # after a crash skips every group at or below this.
             "checkpoint_seq": self._checkpoint_seq,
         }
+        # Optimizer statistics (ANALYZE output) ride along in the catalog
+        # document; absent before the planner exists during early open.
+        planner = getattr(self, "planner", None)
+        if planner is not None and planner.stats:
+            from repro.relational.stats import stats_to_doc
+
+            doc["stats"] = {
+                name: stats_to_doc(stats)
+                for name, stats in sorted(planner.stats.items())
+                if self.catalog.has_table(name)
+            }
         # Atomic replace: write a tmp file, fsync it, rename over the old
         # catalog, then fsync the directory so the rename itself is durable.
         tmp_path = self._catalog_path() + ".tmp"
@@ -2002,6 +2069,22 @@ class Database:
                     "catalog", str(view_spec.get("name", "?")),
                     f"unloadable view: {exc}",
                 )
+        # Persisted optimizer statistics: parsed here, applied by __init__
+        # once the real planner exists (this method runs before it does).
+        # Torn entries are dropped silently — stats are advisory, and a
+        # missing entry merely costs one ANALYZE.
+        loaded: Dict[str, Any] = {}
+        stats_doc = doc.get("stats")
+        if isinstance(stats_doc, dict):
+            from repro.relational.stats import stats_from_doc
+
+            for name, entry in stats_doc.items():
+                if not isinstance(entry, dict):
+                    continue
+                stats = stats_from_doc(entry)
+                if stats is not None:
+                    loaded[str(name).lower()] = stats
+        self._loaded_stats = loaded
 
     def _recover(self) -> None:
         """Replay committed WAL records over the checkpointed data files.

@@ -63,6 +63,8 @@ class PlanCache:
             "misses": 0,
             "invalidations": 0,
             "evictions": 0,
+            #: plan slots cleared by adaptive-feedback re-planning
+            "feedback_drops": 0,
         }
     )
     _entries: "collections.OrderedDict[Hashable, CacheEntry]" = field(
@@ -123,6 +125,23 @@ class PlanCache:
         self.generation += 1
         self.stats["invalidations"] += 1
         self._entries.clear()
+
+    def drop_plans(self, predicate) -> int:
+        """Targeted eviction for adaptive re-planning: clear the plan slot
+        of every entry whose cached plan satisfies *predicate*.
+
+        Unlike :meth:`invalidate` this does not bump the generation — every
+        other cached statement stays hot; the affected statements keep their
+        parsed AST and are simply re-planned (under fresh statistics) on
+        their next execution.  Returns the number of entries touched.
+        """
+        dropped = 0
+        for entry in self._entries.values():
+            if entry.plan is not None and predicate(entry.plan):
+                entry.plan = None
+                dropped += 1
+        self.stats["feedback_drops"] += dropped
+        return dropped
 
     def snapshot(self) -> Dict[str, int]:
         """Counters for ``Database.metrics_snapshot()`` / the F11 window."""

@@ -29,9 +29,21 @@ from repro.relational.catalog import Catalog
 from repro.relational.schema import Column, TableSchema
 from repro.relational.table import Table
 from repro.relational.types import ColumnType
+from repro.relational.stats import (
+    DEFAULT_RANGE_SELECTIVITY,
+    TableStats,
+    clamp_rows,
+)
 from repro.sql import ast_nodes as A
 from repro.sql.parser import AggExpr, SubqueryExpr
 from repro.views.definition import ViewDefinition
+
+# Cost-model unit prices (System-R lineage: an arbitrary currency whose only
+# job is to rank alternatives consistently).
+SEQ_PAGE_COST = 1.0
+RANDOM_PAGE_COST = 2.0
+CPU_TUPLE_COST = 0.01
+HASH_BUILD_COST = 0.02
 
 
 @dataclass
@@ -46,6 +58,15 @@ class PlannerConfig:
     #: batch-at-a-time execution with compiled expressions; False forces
     #: the tuple-at-a-time path (the A/B baseline for bench_vectorized)
     vectorized: bool = True
+    #: 'dp' (cost-based dynamic-programming enumeration, used when every
+    #: joined table has ANALYZE stats) or 'greedy' (smallest-first heuristic)
+    join_enumeration: str = "dp"
+    #: DP enumerates 2^n subsets; beyond this many relations fall back to greedy
+    max_dp_relations: int = 8
+    #: close the loop from _plan_stats back into the plan cache: cached
+    #: statements whose estimates were off by >= replan_factor are re-planned
+    adaptive_replan: bool = True
+    replan_factor: float = 10.0
 
     def fingerprint(self) -> Tuple[Any, ...]:
         """Hashable digest of every switch; part of the plan-cache key, so
@@ -57,6 +78,10 @@ class PlannerConfig:
             self.enable_join_reorder,
             self.join_strategy,
             self.vectorized,
+            self.join_enumeration,
+            self.max_dp_relations,
+            self.adaptive_replan,
+            self.replan_factor,
         )
 
 
@@ -72,6 +97,18 @@ class _Binding:
     @property
     def schema(self) -> TableSchema:
         return self.source.schema
+
+
+@dataclass
+class _DPCell:
+    """Best-so-far plan for one subset of relations during DP enumeration:
+    the operator tree, its estimated output rows and total cost, and the
+    pool-conjunct indices already applied somewhere inside the tree."""
+
+    plan: Alg.Operator
+    rows: float
+    cost: float
+    applied: frozenset
 
 
 class Planner:
@@ -92,7 +129,16 @@ class Planner:
             "nl_joins": 0,
             "hash_joins": 0,
             "merge_joins": 0,
+            #: optimizer-v2 counters: full DP enumerations run, candidate
+            #: join trees costed, and adaptive feedback re-plans
+            "dp_joins": 0,
+            "join_candidates": 0,
+            "replans": 0,
         }
+        #: called with every candidate join tree the DP enumerator costs;
+        #: Database wires this to the static plan verifier when
+        #: WOW_VERIFY_PLANS is on, so no invalid shape can even be *costed*
+        self.verify_candidate = None
 
     # -- public API ---------------------------------------------------------
 
@@ -297,6 +343,7 @@ class Planner:
             ):
                 scan, mine = self._try_index_path(binding, mine)
 
+        access_cost = scan.est_cost  # set when an index path was costed
         predicate = E.conjoin(mine)
         if predicate is not None:
             scan = Alg.Filter(scan, E.bind(predicate, scan.layout))
@@ -304,6 +351,12 @@ class Planner:
             stats = self.stats.get(binding.source.name)
             if stats is not None:
                 scan.est_rows = stats.estimate_rows(all_mine)
+                if access_cost is None:
+                    access_cost = (
+                        stats.pages * SEQ_PAGE_COST
+                        + stats.row_count * CPU_TUPLE_COST
+                    )
+                scan.est_cost = access_cost
         return scan
 
     def _try_view_pushdown(
@@ -383,10 +436,20 @@ class Planner:
     def _try_index_path(
         self, binding: _Binding, conjuncts: List[E.Expr]
     ) -> Tuple[Alg.Operator, List[E.Expr]]:
-        """Replace a SeqScan with an index access path if one applies."""
+        """Pick the access path: SeqScan vs. index equality vs. index range.
+
+        Without ANALYZE stats this keeps the legacy first-match priority
+        (full-key equality, then single-column range, then seq scan).  With
+        stats every applicable path is costed — pages for the sequential
+        read vs. probe cost times estimated matching rows for the indexes —
+        and the cheapest wins.
+        """
         table = binding.source
         assert isinstance(table, Table)
-        # 1. Exact-match equality on a full index key.
+        stats = self.stats.get(table.name)
+
+        # (metric, operator, used conjuncts) per applicable access path.
+        candidates: List[Tuple[str, Alg.Operator, Set[E.Expr]]] = []
         eq_values: Dict[str, Any] = {}
         eq_conjuncts: Dict[str, E.Expr] = {}
         for conjunct in conjuncts:
@@ -399,34 +462,65 @@ class Planner:
             if all(col in eq_values for col in index.columns):
                 key = tuple(eq_values[col] for col in index.columns)
                 used = {eq_conjuncts[col] for col in index.columns}
-                remaining = [c for c in conjuncts if c not in used]
-                self.metrics["index_eq_scans"] += 1
-                return (
-                    Alg.IndexEqScan(table, index, key, binding.alias),
-                    remaining,
+                candidates.append(
+                    (
+                        "index_eq_scans",
+                        Alg.IndexEqScan(table, index, key, binding.alias),
+                        used,
+                    )
                 )
-        # 2. Range bounds over a single-column B+-tree index.
         for conjunct in conjuncts:
             hit = E.const_comparison(conjunct)
             if hit is None or hit[1] in ("=", "!="):
                 continue
-            column, op, value = hit
+            column, _op, _value = hit
             index = table.ordered_index_with_prefix(column.name)
             if index is None or len(index.columns) != 1:
                 continue
             low, high, incl_low, incl_high, used = self._collect_bounds(
                 column.name, conjuncts
             )
-            remaining = [c for c in conjuncts if c not in used]
-            self.metrics["index_range_scans"] += 1
-            return (
-                Alg.IndexRangeScan(
-                    table, index, low, high, incl_low, incl_high, binding.alias
-                ),
-                remaining,
+            candidates.append(
+                (
+                    "index_range_scans",
+                    Alg.IndexRangeScan(
+                        table, index, low, high, incl_low, incl_high, binding.alias
+                    ),
+                    used,
+                )
             )
-        self.metrics["seq_scans"] += 1
-        return Alg.SeqScan(table, binding.alias), conjuncts
+            break  # one range path per scan, as before
+
+        if stats is None or stats.row_count <= 0:
+            # Legacy priority: first equality path, else first range path.
+            for metric, op, used in candidates:
+                if metric == "index_eq_scans":
+                    self.metrics[metric] += 1
+                    return op, [c for c in conjuncts if c not in used]
+            for metric, op, used in candidates:
+                self.metrics[metric] += 1
+                return op, [c for c in conjuncts if c not in used]
+            self.metrics["seq_scans"] += 1
+            return Alg.SeqScan(table, binding.alias), conjuncts
+
+        rows = float(stats.row_count)
+        seq_cost = stats.pages * SEQ_PAGE_COST + rows * CPU_TUPLE_COST
+        best_metric = "seq_scans"
+        best_op: Alg.Operator = Alg.SeqScan(table, binding.alias)
+        best_used: Set[E.Expr] = set()
+        best_cost = seq_cost
+        for metric, op, used in candidates:
+            matching = rows
+            for conjunct in used:
+                matching *= stats.selectivity(conjunct)
+            cost = RANDOM_PAGE_COST + matching * (
+                CPU_TUPLE_COST + RANDOM_PAGE_COST * 0.1
+            )
+            if cost < best_cost:
+                best_metric, best_op, best_used, best_cost = metric, op, used, cost
+        self.metrics[best_metric] += 1
+        best_op.est_cost = best_cost
+        return best_op, [c for c in conjuncts if c not in best_used]
 
     @staticmethod
     def _collect_bounds(
@@ -466,6 +560,215 @@ class Planner:
 
     def _plan_joins(
         self, select: A.Select, bindings: List[_Binding], pool: List[E.Expr]
+    ) -> Alg.Operator:
+        """Dispatch: cost-based DP enumeration when it applies, else greedy.
+
+        DP requires ANALYZE statistics for *every* joined table (the cost
+        model has nothing to price otherwise), inner/cross joins only, and
+        a bounded relation count — everything else keeps the legacy greedy
+        smallest-first order, so un-analyzed databases plan exactly as
+        before.
+        """
+        if self._dp_applicable(bindings):
+            return self._plan_joins_dp(bindings, pool)
+        return self._plan_joins_greedy(bindings, pool)
+
+    def _dp_applicable(self, bindings: List[_Binding]) -> bool:
+        config = self.config
+        if not (
+            config.enable_join_reorder
+            and config.enable_pushdown
+            and config.join_enumeration == "dp"
+            and 2 <= len(bindings) <= config.max_dp_relations
+        ):
+            return False
+        if any(b.join_kind == "left" for b in bindings):
+            return False
+        for binding in bindings:
+            if not isinstance(binding.source, Table):
+                return False
+            if not isinstance(self.stats.get(binding.source.name), TableStats):
+                return False
+        return True
+
+    def _plan_joins_dp(
+        self, bindings: List[_Binding], pool: List[E.Expr]
+    ) -> Alg.Operator:
+        """Bottom-up (DPsize) join-order enumeration with per-subset pruning.
+
+        Every subset of relations keeps only its cheapest plan; candidate
+        join trees are priced from scan costs plus per-strategy join costs,
+        with cardinalities from |L ⨝ R| = |L|·|R| / max(ndv) per equi pair.
+        Each candidate is offered to :attr:`verify_candidate` (the static
+        plan verifier) before it can be retained.  Cross joins are legal
+        candidates — their NL pricing keeps them naturally last.
+        """
+        import itertools
+
+        self.metrics["dp_joins"] += 1
+        alias_stats: Dict[str, TableStats] = {
+            b.alias: self.stats[b.source.name] for b in bindings
+        }
+        cells: Dict[frozenset, _DPCell] = {}
+        for binding in bindings:
+            scan = self._scan_for(binding, pool)
+            rows = scan.est_rows if scan.est_rows is not None else 1.0
+            cost = scan.est_cost if scan.est_cost is not None else rows * CPU_TUPLE_COST
+            cells[frozenset([binding.alias])] = _DPCell(scan, rows, cost, frozenset())
+
+        # Index the surviving pool by referenced alias set; conjuncts are
+        # identified positionally so duplicates in the pool stay distinct.
+        conjunct_aliases: List[Set[str]] = []
+        for conjunct in pool:
+            refs = {ref.qualifier for ref in E.column_refs(conjunct)}
+            refs.discard(None)
+            conjunct_aliases.append(refs)
+
+        all_aliases = [b.alias for b in bindings]
+        for size in range(2, len(all_aliases) + 1):
+            for combo in itertools.combinations(all_aliases, size):
+                subset = frozenset(combo)
+                best: Optional[_DPCell] = None
+                members = sorted(subset)
+                # Ordered (L, R) splits: both build-side choices are costed.
+                for left_size in range(1, size):
+                    for left_combo in itertools.combinations(members, left_size):
+                        left = frozenset(left_combo)
+                        right = subset - left
+                        left_cell = cells.get(left)
+                        right_cell = cells.get(right)
+                        if left_cell is None or right_cell is None:
+                            continue
+                        applied = left_cell.applied | right_cell.applied
+                        applicable = [
+                            i
+                            for i, aliases in enumerate(conjunct_aliases)
+                            if i not in applied and aliases and aliases <= subset
+                        ]
+                        candidate = self._dp_candidate(
+                            left_cell, right_cell, left, right,
+                            [pool[i] for i in applicable], alias_stats,
+                        )
+                        if candidate is None:
+                            continue
+                        candidate.applied = applied | frozenset(applicable)
+                        if best is None or candidate.cost < best.cost:
+                            best = candidate
+                if best is None:  # unreachable: cross joins always legal
+                    raise PlanError("join enumeration found no plan")
+                cells[subset] = best
+
+        final = cells[frozenset(all_aliases)]
+        pool[:] = [c for i, c in enumerate(pool) if i not in final.applied]
+        self._count_final_joins(final.plan)
+        return final.plan
+
+    def _dp_candidate(
+        self,
+        left_cell: "_DPCell",
+        right_cell: "_DPCell",
+        left_aliases: frozenset,
+        right_aliases: frozenset,
+        conjuncts: List[E.Expr],
+        alias_stats: Dict[str, TableStats],
+    ) -> Optional["_DPCell"]:
+        """Cost one join of two DP cells under the configured strategy."""
+        left_plan, right_plan = left_cell.plan, right_cell.plan
+        combined_layout = left_plan.layout + right_plan.layout
+        equi: List[Tuple[E.ColumnRef, E.ColumnRef]] = []
+        residual: List[E.Expr] = []
+        for conjunct in conjuncts:
+            pair = E.equality_pair(conjunct)
+            if pair is not None:
+                a, b = pair
+                if a.qualifier in left_aliases and b.qualifier in right_aliases:
+                    equi.append((a, b))
+                    continue
+                if b.qualifier in left_aliases and a.qualifier in right_aliases:
+                    equi.append((b, a))
+                    continue
+            residual.append(conjunct)
+
+        # Cardinality: the classic containment-of-values formula per equi
+        # pair, textbook default per residual predicate.
+        out_rows = left_cell.rows * right_cell.rows
+        for outer_ref, inner_ref in equi:
+            ndv = 1
+            for ref in (outer_ref, inner_ref):
+                stats = alias_stats.get(ref.qualifier)
+                column = stats.columns.get(ref.name) if stats is not None else None
+                if column is not None:
+                    ndv = max(ndv, column.n_distinct)
+            out_rows /= ndv
+        out_rows *= DEFAULT_RANGE_SELECTIVITY ** len(residual)
+
+        strategy = self.config.join_strategy
+        if strategy == "nl" or not equi:
+            predicate = E.conjoin(conjuncts)
+            bound_predicate = (
+                E.bind(predicate, combined_layout) if predicate is not None else None
+            )
+            joined: Alg.Operator = Alg.NestedLoopJoin(
+                left_plan, right_plan, bound_predicate, False
+            )
+            join_cost = left_cell.rows * right_cell.rows * CPU_TUPLE_COST
+        else:
+            outer_positions = [
+                left_plan.layout.resolve(ref.qualifier, ref.name) for ref, _ in equi
+            ]
+            inner_positions = [
+                right_plan.layout.resolve(ref.qualifier, ref.name) for _, ref in equi
+            ]
+            residual_expr = E.conjoin(residual)
+            bound_residual = (
+                E.bind(residual_expr, combined_layout)
+                if residual_expr is not None
+                else None
+            )
+            if strategy == "merge":
+                joined = Alg.MergeJoin(
+                    left_plan, right_plan, outer_positions, inner_positions
+                )
+                if bound_residual is not None:
+                    joined = Alg.Filter(joined, bound_residual)
+                # Both inputs are sorted then merged; charge a few passes.
+                join_cost = (
+                    (left_cell.rows + right_cell.rows) * CPU_TUPLE_COST * 4
+                    + out_rows * CPU_TUPLE_COST
+                )
+            else:
+                joined = Alg.HashJoin(
+                    left_plan, right_plan, outer_positions, inner_positions,
+                    bound_residual, False,
+                )
+                join_cost = (
+                    right_cell.rows * (CPU_TUPLE_COST + HASH_BUILD_COST)
+                    + left_cell.rows * CPU_TUPLE_COST
+                    + out_rows * CPU_TUPLE_COST
+                )
+
+        joined.est_rows = clamp_rows(out_rows)
+        cost = left_cell.cost + right_cell.cost + join_cost
+        joined.est_cost = cost
+        self.metrics["join_candidates"] += 1
+        if self.verify_candidate is not None:
+            self.verify_candidate(joined)
+        return _DPCell(joined, clamp_rows(out_rows), cost, frozenset())
+
+    def _count_final_joins(self, plan: Alg.Operator) -> None:
+        """Metric bookkeeping for the joins in the chosen DP plan only
+        (candidates that lost the enumeration are not counted)."""
+        if isinstance(plan, Alg.HashJoin):
+            self.metrics["hash_joins"] += 1
+        elif isinstance(plan, Alg.MergeJoin):
+            self.metrics["merge_joins"] += 1
+        elif isinstance(plan, Alg.NestedLoopJoin):
+            self.metrics["nl_joins"] += 1
+        for child in plan.children():
+            self._count_final_joins(child)
+
+    def _plan_joins_greedy(
+        self, bindings: List[_Binding], pool: List[E.Expr]
     ) -> Alg.Operator:
         base = bindings[0]
         plan = self._scan_for(base, pool)

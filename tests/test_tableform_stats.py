@@ -162,7 +162,10 @@ class TestAnalyze:
             E.BinOp("=", E.ColumnRef("dept_id"), E.Literal(1)),
             E.BinOp(">", E.ColumnRef("salary"), E.Literal(100.0)),
         ]
-        assert stats.estimate_rows(conjuncts) == pytest.approx(4 * 0.5 * (1 / 3))
+        # Raw product is 4 * 0.5 * (1/3) = 0.67; the public estimate is
+        # normalized through clamp_rows (ceil, floored at one row).
+        assert stats.estimate_rows_raw(conjuncts) == pytest.approx(4 * 0.5 * (1 / 3))
+        assert stats.estimate_rows(conjuncts) == 1.0
 
     def test_stats_guide_join_order(self, company):
         # Smoke: planner still produces correct results with stats loaded.
