@@ -1,0 +1,198 @@
+"""Session-layer benchmark: per-statement overhead and contended throughput.
+
+Three measurements:
+
+1. **Per-statement overhead** — the same autocommit statement through a
+   :class:`~repro.session.manager.Session` (lockset derivation, 2PL lock
+   acquisition, context swap) vs straight ``db.execute``.  The smoke gate
+   requires the session path to stay within 3x of embedded execution: the
+   concurrency machinery must not dominate statement cost.
+2. **Uncontended concurrency** — N sessions each hammering a private
+   table from its own thread; aggregate statements/sec, no conflicts.
+3. **Contended increments** — N sessions incrementing the *same* counter
+   rows; reports deadlocks/retries/aborts from the lock manager and
+   verifies the zero-lost-update invariant (the smoke gate): the final
+   sum must equal exactly the number of acknowledged increments.
+
+Run standalone (``python benchmarks/bench_sessions.py [--smoke]``);
+results land in ``benchmarks/results/sessions.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.relational.database import Database  # noqa: E402
+from repro.session import SessionConfig, SessionManager  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+OVERHEAD_GATE = 3.0
+
+
+def time_per_call(fn, iterations: int) -> float:
+    """Mean microseconds per call."""
+    start = time.perf_counter()
+    for _ in range(iterations):
+        fn()
+    return (time.perf_counter() - start) / iterations * 1e6
+
+
+def bench_overhead(iterations: int):
+    """(embedded µs, session µs) for one cached point SELECT."""
+    db = Database()
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    db.execute("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+    manager = SessionManager(db)
+    session = manager.connect()
+    sql = "SELECT v FROM t WHERE id = 2"
+    db.execute(sql)  # warm plan cache and code paths
+    session.execute(sql)
+    embedded = time_per_call(lambda: db.execute(sql), iterations)
+    via_session = time_per_call(lambda: session.execute(sql), iterations)
+    manager.close()
+    return embedded, via_session
+
+
+def bench_uncontended(sessions: int, per_session: int):
+    """Aggregate statements/sec, each session on a private table."""
+    db = Database()
+    manager = SessionManager(db, SessionConfig(max_sessions=sessions))
+    for i in range(sessions):
+        db.execute(f"CREATE TABLE p{i} (id INT PRIMARY KEY, v INT)")
+
+    def worker(i):
+        session = manager.connect()
+        try:
+            for n in range(per_session):
+                session.execute(f"INSERT INTO p{i} VALUES ({n}, {n})")
+        finally:
+            session.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(sessions)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    manager.close()
+    return sessions * per_session / elapsed
+
+
+def bench_contended(sessions: int, per_session: int):
+    """(stmts/sec, committed, final sum, lock metrics) on shared rows."""
+    db = Database()
+    manager = SessionManager(
+        db,
+        SessionConfig(
+            max_sessions=sessions,
+            lock_timeout=1.0,
+            backoff_base=0.0005,
+            backoff_cap=0.01,
+            retry_seed=42,
+        ),
+    )
+    db.execute("CREATE TABLE c (id INT PRIMARY KEY, v INT)")
+    db.execute("INSERT INTO c VALUES (0, 0), (1, 0)")
+    committed = [0] * sessions
+
+    def worker(i):
+        session = manager.connect()
+        try:
+            for n in range(per_session):
+                try:
+                    session.execute(
+                        f"UPDATE c SET v = v + 1 WHERE id = {n % 2}"
+                    )
+                    committed[i] += 1
+                except Exception:  # retry budget exhausted: not committed
+                    pass
+        finally:
+            session.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(sessions)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    total = db.query("SELECT SUM(v) FROM c")[0][0]
+    snap = db.metrics_snapshot()["sessions"]
+    manager.close()
+    return (
+        sessions * per_session / elapsed,
+        sum(committed),
+        total,
+        {k: snap[k] for k in
+         ("lock_waits", "lock_deadlocks", "lock_timeouts", "retries")},
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small iteration counts + pass/fail gates")
+    args = parser.parse_args(argv)
+
+    iterations = 300 if args.smoke else 2000
+    sessions = 8
+    per_session = 40 if args.smoke else 200
+
+    embedded, via_session = bench_overhead(iterations)
+    ratio = via_session / embedded
+    uncontended = bench_uncontended(sessions, per_session)
+    contended, committed, total, locks = bench_contended(
+        sessions, per_session
+    )
+
+    lines = [
+        "session layer benchmark",
+        f"  per-statement: embedded {embedded:8.1f} us | "
+        f"session {via_session:8.1f} us | overhead {ratio:.2f}x "
+        f"(gate <= {OVERHEAD_GATE:.1f}x)",
+        f"  uncontended  : {sessions} sessions, private tables  "
+        f"{uncontended:10.0f} stmts/sec",
+        f"  contended    : {sessions} sessions, 2 shared rows   "
+        f"{contended:10.0f} stmts/sec",
+        f"                 committed {committed} | SUM(v) {total} "
+        f"({'exact' if committed == total else 'LOST UPDATES'})",
+        f"                 {locks}",
+    ]
+    report = "\n".join(lines)
+    print(report)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "sessions.txt"), "w",
+              encoding="utf-8") as fh:
+        fh.write(report + "\n")
+
+    if args.smoke:
+        failed = []
+        if ratio > OVERHEAD_GATE:
+            failed.append(
+                f"session overhead {ratio:.2f}x exceeds {OVERHEAD_GATE}x"
+            )
+        if committed != total:
+            failed.append(
+                f"lost updates: {committed} committed but SUM(v) = {total}"
+            )
+        if failed:
+            print("SMOKE FAIL: " + "; ".join(failed))
+            return 1
+        print("smoke gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

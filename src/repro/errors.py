@@ -11,6 +11,10 @@ from __future__ import annotations
 class WowError(Exception):
     """Base class for every error raised by this package."""
 
+    #: overridden to True by :class:`RetryableError` failures; uniform here
+    #: so clients and the wire protocol can always ask ``exc.retryable``
+    retryable = False
+
 
 # ---------------------------------------------------------------------------
 # Relational engine
@@ -58,6 +62,47 @@ class ReadOnlyError(DatabaseError):
 
 class TransactionError(DatabaseError):
     """Illegal transaction state transition (commit without begin, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Sessions & concurrency control
+# ---------------------------------------------------------------------------
+
+class RetryableError:
+    """Mixin marking an error safe to retry from the top of the transaction.
+
+    The client-side retry wrapper (:meth:`repro.session.manager.Session.
+    execute`) and the wire protocol both key off this: a retryable failure
+    left no partial effects behind (the victim transaction was fully rolled
+    back, or never admitted), so re-running the whole unit is sound.
+    """
+
+    retryable = True
+
+
+class SessionError(DatabaseError):
+    """Base class for session-layer failures (bad state, closed session)."""
+
+
+class SerializationError(RetryableError, SessionError):
+    """This transaction was aborted as a deadlock victim; retry it."""
+
+
+class LockTimeoutError(RetryableError, SessionError):
+    """A lock wait exceeded ``lock_timeout``; the transaction was aborted."""
+
+
+class BusyError(RetryableError, SessionError):
+    """Admission control refused a new session: the server is at capacity."""
+
+
+class StatementTimeoutError(SessionError):
+    """A statement exceeded its row budget and was cancelled.
+
+    Deliberately *not* retryable: re-running the same statement against the
+    same data would blow the same budget; the client must raise the budget
+    or narrow the statement.
+    """
 
 
 class SqlError(DatabaseError):

@@ -29,6 +29,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import time
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
@@ -193,8 +194,8 @@ class StatementRecord:
     """One executed statement, as captured by the log."""
 
     __slots__ = (
-        "seq", "ts", "kind", "sql", "fingerprint", "params", "cache",
-        "plan_fp", "est_rows", "rows", "pages_read", "duration_ms",
+        "seq", "ts", "session", "kind", "sql", "fingerprint", "params",
+        "cache", "plan_fp", "est_rows", "rows", "pages_read", "duration_ms",
         "error", "ops",
         # capture-time scratch (not exported)
         "_start", "_pages0", "_hits0", "_misses0",
@@ -203,6 +204,9 @@ class StatementRecord:
     def __init__(self) -> None:
         self.seq = 0
         self.ts = 0.0
+        #: session id the statement ran under (None in embedded use) —
+        #: the join key against the _sessions telemetry table
+        self.session: Optional[int] = None
         self.kind: Optional[str] = None
         self.sql: Optional[str] = None
         self.fingerprint: Optional[str] = None
@@ -225,6 +229,7 @@ class StatementRecord:
         return {
             "seq": self.seq,
             "ts": self.ts,
+            "session": self.session,
             "kind": self.kind,
             "sql": self.sql,
             "fingerprint": self.fingerprint,
@@ -297,7 +302,12 @@ class StatementLog:
         self.io = io if io is not None else DEFAULT_IO
         self._seq = 0
         self._since_sample = 0
-        #: capture in flight (the engine is single-session; streams detach)
+        #: guards the ring, counters, plan_stats, and sink writes — the
+        #: engine latch serialises *statements*, but sessions and direct
+        #: callers may publish records concurrently
+        self._lock = threading.Lock()
+        #: capture in flight (statements are serialised by the engine
+        #: latch, so one in-flight capture suffices; streams detach)
         self.current: Optional[StatementRecord] = None
         #: (plan_fp, op_index) -> PlanOpStat, fed by samples + EXPLAIN ANALYZE
         self.plan_stats: Dict[Tuple[str, int], PlanOpStat] = {}
@@ -309,10 +319,17 @@ class StatementLog:
 
     # -- capture protocol --------------------------------------------------
 
-    def begin(self, pages_read: int, cache_hits: int, cache_misses: int) -> StatementRecord:
+    def begin(
+        self,
+        pages_read: int,
+        cache_hits: int,
+        cache_misses: int,
+        session: Optional[int] = None,
+    ) -> StatementRecord:
         """Open a capture; counter arguments are begin-time snapshots."""
         record = StatementRecord()
         record.ts = time.time()
+        record.session = session
         record._start = time.perf_counter()
         record._pages0 = pages_read
         record._hits0 = cache_hits
@@ -335,6 +352,22 @@ class StatementLog:
         if params is not None:
             record.params = json.dumps(list(params), default=str)
 
+    def note_cache(self, outcome: str) -> None:
+        """Explicit per-call plan-cache attribution for the current capture.
+
+        The database calls this at each hit/miss decision site.  The old
+        scheme — diffing the shared cache's counters between begin and
+        finish — mis-attributes under concurrency: another session's
+        lookup between the two snapshots shows up in *this* statement's
+        delta.  A "hit" sticks once set (parity with the delta scheme,
+        where any hit won over a miss).
+        """
+        record = self.current
+        if record is None:
+            return
+        if record.cache != "hit":
+            record.cache = outcome
+
     def note_plan(self, plan: Any) -> None:
         """Record the physical plan the current capture executed."""
         record = self.current
@@ -352,14 +385,17 @@ class StatementLog:
         if record is not None:
             record.ops = ops
             record.plan_fp = plan_fp
-        if sampled:
-            self.counters["sampled"] += 1
-        for op in ops:
-            key = (plan_fp, op["i"])
-            stat = self.plan_stats.get(key)
-            if stat is None:
-                stat = self.plan_stats[key] = PlanOpStat(plan_fp, op["i"], op["op"])
-            stat.observe(op.get("est"), op.get("act", 0))
+        with self._lock:
+            if sampled:
+                self.counters["sampled"] += 1
+            for op in ops:
+                key = (plan_fp, op["i"])
+                stat = self.plan_stats.get(key)
+                if stat is None:
+                    stat = self.plan_stats[key] = PlanOpStat(
+                        plan_fp, op["i"], op["op"]
+                    )
+                stat.observe(op.get("est"), op.get("act", 0))
 
     def take_sample(self) -> bool:
         """True when the current statement should run instrumented."""
@@ -389,36 +425,43 @@ class StatementLog:
         record.duration_ms = (time.perf_counter() - record._start) * 1000.0
         record.rows = rows
         record.pages_read = max(0, pages_read - record._pages0)
-        if error is not None:
-            record.error = error
-            self.counters["errors"] += 1
-        if cache_hits > record._hits0:
-            record.cache = "hit"
-        elif cache_misses > record._misses0:
-            record.cache = "miss"
+        if record.cache is None:
+            # Fallback counter-delta attribution for callers that never
+            # reached a note_cache() site (only sound single-session —
+            # the database attributes explicitly per call).
+            if cache_hits > record._hits0:
+                record.cache = "hit"
+            elif cache_misses > record._misses0:
+                record.cache = "miss"
         self.detach(record)
-        self._seq += 1
-        record.seq = self._seq
-        if len(self._ring) == self._ring.maxlen:
-            self.counters["dropped"] += 1
-        self._ring.append(record)
-        self.counters["captured"] += 1
-        sink = self.sink if self.sink is not None else _DEFAULT_SINK
-        if sink is not None:
-            sink.write(record.to_dict())
+        with self._lock:
+            if error is not None:
+                record.error = error
+                self.counters["errors"] += 1
+            self._seq += 1
+            record.seq = self._seq
+            if len(self._ring) == self._ring.maxlen:
+                self.counters["dropped"] += 1
+            self._ring.append(record)
+            self.counters["captured"] += 1
+            sink = self.sink if self.sink is not None else _DEFAULT_SINK
+            if sink is not None:
+                sink.write(record.to_dict())
 
     # -- reading -----------------------------------------------------------
 
     def records(self) -> List[StatementRecord]:
         """Captured statements, oldest first."""
-        return list(self._ring)
+        with self._lock:
+            return list(self._ring)
 
     def plan_stat_rows(self) -> List[PlanOpStat]:
         """Aggregated per-plan operator stats, worst misestimates first."""
-        return sorted(
-            self.plan_stats.values(),
-            key=lambda s: (-(s.worst_factor or 0.0), s.plan_fp, s.op_index),
-        )
+        with self._lock:
+            return sorted(
+                self.plan_stats.values(),
+                key=lambda s: (-(s.worst_factor or 0.0), s.plan_fp, s.op_index),
+            )
 
     def worst_factor_for(self, plan_fp: str) -> Optional[float]:
         """The worst est-vs-act factor observed anywhere in plan *plan_fp* —
@@ -438,18 +481,20 @@ class StatementLog:
             del self.plan_stats[key]
 
     def clear(self) -> None:
-        self._ring.clear()
-        self.plan_stats.clear()
+        with self._lock:
+            self._ring.clear()
+            self.plan_stats.clear()
 
     def snapshot(self) -> Dict[str, Any]:
         """Counters for ``metrics_snapshot()`` / the F11 window."""
-        out: Dict[str, Any] = {
-            "enabled": 1 if self.enabled else 0,
-            "capacity": self.capacity,
-            "entries": len(self._ring),
-            "sample_every": self.sample_every,
-            **self.counters,
-        }
+        with self._lock:
+            out: Dict[str, Any] = {
+                "enabled": 1 if self.enabled else 0,
+                "capacity": self.capacity,
+                "entries": len(self._ring),
+                "sample_every": self.sample_every,
+                **self.counters,
+            }
         sink = self.sink if self.sink is not None else _DEFAULT_SINK
         if sink is not None:
             out["sink_rotations"] = sink.rotations

@@ -1,6 +1,6 @@
 """Telemetry system tables: the engine's own telemetry as relations.
 
-Five read-only system tables, synthesised on demand exactly like the
+Read-only system tables, synthesised on demand exactly like the
 catalog's ``_tables``/``_columns``/... (see
 :meth:`repro.relational.catalog.Catalog._system_table`):
 
@@ -16,7 +16,10 @@ catalog's ``_tables``/``_columns``/... (see
   optimizer's feedback relation;
 * ``_table_stats`` — the optimizer statistics ANALYZE collected, one row
   per (table, column): row count, heap pages, distinct-value estimate,
-  null count, min/max, and histogram bucket count.
+  null count, min/max, and histogram bucket count;
+* ``_sessions`` — one row per live session (user, open-transaction flag,
+  held locks, retry/abort counters); ``_statements.session`` joins
+  against ``_sessions.id``, so "what is session 3 running" is a query.
 
 Because they are ordinary relations, ``SELECT * FROM _statements`` works
 in the SQL window, the F12 query inspector is just a browser window over
@@ -46,6 +49,7 @@ TELEMETRY_TABLE_NAMES = (
     "_metrics",
     "_plan_stats",
     "_table_stats",
+    "_sessions",
 )
 
 
@@ -55,6 +59,9 @@ def _schema_statements() -> TableSchema:
         [
             Column("seq", ColumnType.INT, nullable=False),
             Column("ts", ColumnType.FLOAT, nullable=False),
+            # the session the statement ran under — joins against
+            # _sessions.id (NULL for embedded, session-less execution)
+            Column("session", ColumnType.INT),
             Column("kind", ColumnType.TEXT),
             Column("sql", ColumnType.TEXT),
             Column("fingerprint", ColumnType.TEXT),
@@ -137,12 +144,30 @@ def _schema_table_stats() -> TableSchema:
     )
 
 
+def _schema_sessions() -> TableSchema:
+    return TableSchema(
+        "_sessions",
+        [
+            Column("id", ColumnType.INT, nullable=False),
+            Column("user_name", ColumnType.TEXT, nullable=False),
+            Column("in_txn", ColumnType.INT, nullable=False),
+            Column("undo_entries", ColumnType.INT, nullable=False),
+            Column("locks", ColumnType.TEXT),
+            Column("statements", ColumnType.INT, nullable=False),
+            Column("retries", ColumnType.INT, nullable=False),
+            Column("aborts", ColumnType.INT, nullable=False),
+        ],
+        primary_key=["id"],
+    )
+
+
 _SCHEMAS = {
     "_statements": _schema_statements,
     "_slow_ops": _schema_slow_ops,
     "_metrics": _schema_metrics,
     "_plan_stats": _schema_plan_stats,
     "_table_stats": _schema_table_stats,
+    "_sessions": _schema_sessions,
 }
 
 
@@ -170,9 +195,9 @@ def build_statements(db: "Database") -> "Table":
     def rows() -> Iterator[Tuple[Any, ...]]:
         for r in db.statement_log.records():
             yield (
-                r.seq, r.ts, r.kind, r.sql, r.fingerprint, r.params,
-                r.cache, r.plan_fp, r.est_rows, r.rows, r.pages_read,
-                r.duration_ms, r.error,
+                r.seq, r.ts, r.session, r.kind, r.sql, r.fingerprint,
+                r.params, r.cache, r.plan_fp, r.est_rows, r.rows,
+                r.pages_read, r.duration_ms, r.error,
             )
 
     return _fresh(_schema_statements(), rows())
@@ -262,17 +287,33 @@ def build_table_stats(db: "Database") -> "Table":
     return _fresh(_schema_table_stats(), rows())
 
 
+def build_sessions(db: "Database") -> "Table":
+    def rows() -> Iterator[Tuple[Any, ...]]:
+        manager = db.session_manager
+        if manager is None:
+            return
+        for row in manager.session_rows():
+            yield (
+                row["id"], row["user"], row["in_txn"],
+                row["undo_entries"], row["locks"] or None,
+                row["statements"], row["retries"], row["aborts"],
+            )
+
+    return _fresh(_schema_sessions(), rows())
+
+
 _BUILDERS: Dict[str, Any] = {
     "_statements": build_statements,
     "_slow_ops": build_slow_ops,
     "_metrics": build_metrics,
     "_plan_stats": build_plan_stats,
     "_table_stats": build_table_stats,
+    "_sessions": build_sessions,
 }
 
 
 def register_telemetry_tables(db: "Database") -> None:
-    """Attach the five telemetry tables to *db*'s catalog."""
+    """Attach the telemetry tables to *db*'s catalog."""
     for name, builder in _BUILDERS.items():
         db.catalog.register_system_source(
             name, (lambda b: lambda: b(db))(builder)

@@ -33,6 +33,7 @@ SYSTEM_TABLE_NAMES = (
     "_metrics",
     "_plan_stats",
     "_table_stats",
+    "_sessions",
 )
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 import contextlib
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
@@ -33,6 +34,7 @@ from repro.errors import (
     ForeignKeyError,
     ReadOnlyError,
     SqlError,
+    StatementTimeoutError,
     StorageError,
     TransactionError,
 )
@@ -147,6 +149,33 @@ class PreparedStatement:
         return self.execute(args).rows
 
 
+class _RowBudget:
+    """Per-statement row budget — the statement-timeout mechanism.
+
+    A wall-clock timer cannot interrupt a Python thread that is deep in
+    engine code, so statement timeouts are enforced as *work* limits:
+    every executor batch charges the budget, and blowing it raises
+    :class:`StatementTimeoutError` mid-statement (statement-level
+    atomicity then rolls the partial effects back).  Deliberately not
+    retryable — the same statement over the same data blows the same
+    budget.
+    """
+
+    __slots__ = ("limit", "consumed")
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.consumed = 0
+
+    def charge(self, rows: int) -> None:
+        self.consumed += rows
+        if self.consumed > self.limit:
+            raise StatementTimeoutError(
+                f"statement cancelled: row budget exhausted "
+                f"({self.consumed} rows processed, limit {self.limit})"
+            )
+
+
 class Database:
     """A relational database instance (see module docstring)."""
 
@@ -190,7 +219,23 @@ class Database:
         self.slow_log = SlowLog(**slow_kwargs)
         self.tracer = Tracer(self.obs, slow_log=self.slow_log)
         self._pagers: Dict[str, FilePager] = {}
+        #: engine latch: one statement at a time touches the internal
+        #: structures (catalog, heaps, caches).  Held for the duration of
+        #: a statement, never across a lock wait — the session layer's
+        #: LockManager queues transactions *before* taking the latch, so
+        #: blocked sessions cannot wedge running ones.  Re-entrant because
+        #: statements nest (DDL checkpoints, telemetry rebuilds).
+        self._latch = threading.RLock()
+        #: statement row budget (None = unlimited); see _RowBudget
+        self.statement_max_rows: Optional[int] = None
+        self._row_budget: Optional[_RowBudget] = None
+        #: the session id the current statement runs under (the session
+        #: layer sets it around each statement; telemetry captures it)
+        self._current_session_id: Optional[int] = None
+        #: attached repro.session.SessionManager, None in embedded use
+        self.session_manager: Optional[Any] = None
         self.txn = TransactionManager()
+        self.txn.on_undo_failure.append(self._on_undo_failure)
         self.planner_config = planner_config or PlannerConfig()
         if path is None:
             self.catalog = Catalog()
@@ -245,6 +290,11 @@ class Database:
         if self.wal is not None:
             self.txn.on_commit.append(self.wal.commit)
             self.txn.on_rollback.append(self.wal.discard_pending)
+        #: txn managers this database created (the default one plus one
+        #: per live session) — metrics aggregation walks these; closed
+        #: sessions fold their counters into _retired_txn_stats
+        self._txn_managers: List[TransactionManager] = [self.txn]
+        self._retired_txn_stats: Dict[str, int] = {}
         #: statement counters for tests/benchmarks
         self.stats = {"selects": 0, "inserts": 0, "updates": 0, "deletes": 0}
         #: open savepoints: name -> (txn mark, wal mark)
@@ -286,12 +336,18 @@ class Database:
         does not (plans read live tables, so data changes are always
         visible).
         """
+        with self._latch:
+            return self._execute_locked(sql)
+
+    def _execute_locked(self, sql: str) -> Result:
+        self._begin_row_budget()
         log = self.statement_log
         capture = (
             log.begin(
                 self._pages_read_total(),
                 self.plan_cache.stats["hits"],
                 self.plan_cache.stats["misses"],
+                session=self._current_session_id,
             )
             if log.enabled
             else None
@@ -321,7 +377,9 @@ class Database:
 
     def execute_script(self, sql: str) -> List[Result]:
         """Execute a ';'-separated script; returns one Result per statement."""
-        return [self._execute_statement(s, sql) for s in parse_script(sql)]
+        with self._latch:
+            self._begin_row_budget()
+            return [self._execute_statement(s, sql) for s in parse_script(sql)]
 
     def query(self, sql: str) -> List[Row]:
         """Shorthand: execute a SELECT and return its rows."""
@@ -346,14 +404,23 @@ class Database:
 
         Rows are produced as the plan pulls them — nothing is materialised
         up front, so huge scans cost O(1) memory.  Do not run DML on the
-        tables being scanned while the iterator is live.
+        tables being scanned while the iterator is live.  Only the
+        planning phase runs under the engine latch; the returned iterator
+        pulls rows outside it, so streams are for embedded single-session
+        use (the session layer materialises instead).
         """
+        with self._latch:
+            return self._stream_locked(sql)
+
+    def _stream_locked(self, sql: str) -> Tuple[List[str], Iterator[Row]]:
+        self._begin_row_budget()
         log = self.statement_log
         capture = (
             log.begin(
                 self._pages_read_total(),
                 self.plan_cache.stats["hits"],
                 self.plan_cache.stats["misses"],
+                session=self._current_session_id,
             )
             if log.enabled
             else None
@@ -417,8 +484,11 @@ class Database:
         key = self.plan_cache.key(sql, self.planner_config.fingerprint())
         entry = self.plan_cache.lookup(key)
         if entry is None:
+            self.statement_log.note_cache("miss")
             statement = parse_statement(sql)
             entry = self.plan_cache.store(key, statement, None)
+        else:
+            self.statement_log.note_cache("hit")
         if entry.fingerprint is None and self.statement_log.enabled:
             # One extra lex per cache miss; hits reuse the stored value.
             entry.fingerprint = fingerprint_sql(sql)
@@ -468,8 +538,10 @@ class Database:
         if prepared is not None:
             if prepared._plan is not None and prepared._plan_generation == generation:
                 self.plan_cache.stats["hits"] += 1
+                self.statement_log.note_cache("hit")
                 return prepared._plan
             self.plan_cache.stats["misses"] += 1
+            self.statement_log.note_cache("miss")
         elif (
             cache_entry is not None
             and cache_entry.plan is not None
@@ -552,6 +624,11 @@ class Database:
 
     def _execute_prepared(self, prepared: PreparedStatement) -> Result:
         """Run a prepared statement (parameters already bound by the handle)."""
+        with self._latch:
+            return self._execute_prepared_locked(prepared)
+
+    def _execute_prepared_locked(self, prepared: PreparedStatement) -> Result:
+        self._begin_row_budget()
         statement = prepared.statement
         log = self.statement_log
         capture = (
@@ -559,6 +636,7 @@ class Database:
                 self._pages_read_total(),
                 self.plan_cache.stats["hits"],
                 self.plan_cache.stats["misses"],
+                session=self._current_session_id,
             )
             if log.enabled
             else None
@@ -595,11 +673,12 @@ class Database:
 
     def insert(self, target: str, values: Mapping[str, Any]) -> int:
         """Insert one row into a table **or updatable view**; returns 1."""
-        self._check_dml_privilege(target, "INSERT")
-        with self._atomic():
-            self._insert_target(target, dict(values))
-        self.stats["inserts"] += 1
-        return 1
+        with self._latch:
+            self._check_dml_privilege(target, "INSERT")
+            with self._atomic():
+                self._insert_target(target, dict(values))
+            self.stats["inserts"] += 1
+            return 1
 
     def bulk_insert(self, target: str, rows: Sequence[Mapping[str, Any]]) -> int:
         """Insert many rows as one atomic unit (one WAL commit).
@@ -607,12 +686,13 @@ class Database:
         Much faster than per-row :meth:`insert` for loads: the undo/redo
         machinery runs once per batch instead of once per row.
         """
-        self._check_dml_privilege(target, "INSERT")
-        with self._atomic():
-            for values in rows:
-                self._insert_target(target, dict(values))
-        self.stats["inserts"] += 1
-        return len(rows)
+        with self._latch:
+            self._check_dml_privilege(target, "INSERT")
+            with self._atomic():
+                for values in rows:
+                    self._insert_target(target, dict(values))
+            self.stats["inserts"] += 1
+            return len(rows)
 
     def update(
         self,
@@ -621,23 +701,25 @@ class Database:
         where: Optional[Union[str, E.Expr]] = None,
     ) -> int:
         """Update rows of a table or updatable view; returns the row count."""
-        self._check_dml_privilege(target, "UPDATE")
-        predicate = self._parse_predicate(where)
-        with self._atomic():
-            count = self._update_target(target, dict(changes), predicate)
-        self.stats["updates"] += 1
-        return count
+        with self._latch:
+            self._check_dml_privilege(target, "UPDATE")
+            predicate = self._parse_predicate(where)
+            with self._atomic():
+                count = self._update_target(target, dict(changes), predicate)
+            self.stats["updates"] += 1
+            return count
 
     def delete(
         self, target: str, where: Optional[Union[str, E.Expr]] = None
     ) -> int:
         """Delete rows of a table or updatable view; returns the row count."""
-        self._check_dml_privilege(target, "DELETE")
-        predicate = self._parse_predicate(where)
-        with self._atomic():
-            count = self._delete_target(target, predicate)
-        self.stats["deletes"] += 1
-        return count
+        with self._latch:
+            self._check_dml_privilege(target, "DELETE")
+            predicate = self._parse_predicate(where)
+            with self._atomic():
+                count = self._delete_target(target, predicate)
+            self.stats["deletes"] += 1
+            return count
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -669,10 +751,24 @@ class Database:
         """
         if self.path is None or self.read_only:
             return
+        with self._latch:
+            self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> None:
         if self.txn.active:
             # Flushing mid-transaction would write uncommitted rows into
             # the heaps, breaking the no-steal invariant recovery rests on.
             raise TransactionError("checkpoint inside an open transaction")
+        if self.session_manager is not None and self.session_manager.any_txn_dirty():
+            # Same invariant, other sessions: a concurrent session with
+            # logged-but-uncommitted changes must not reach the heap files.
+            # (Under 2PL a dirty session holds its table locks to commit,
+            # so DDL-triggered checkpoints never actually race this — the
+            # guard catches direct checkpoint() calls.)
+            raise TransactionError(
+                "checkpoint while a concurrent session transaction holds "
+                "uncommitted changes"
+            )
         seq = self.wal.last_seq if self.wal is not None else 0
         try:
             write_checkpoint_journal(
@@ -708,18 +804,19 @@ class Database:
         only trustworthy evidence left.  An open transaction is rolled
         back first — closing is not committing.
         """
-        self.statement_log.close()
-        if self.path is not None:
-            if self.txn.active:
-                self.txn.rollback()
-                self._savepoints.clear()
-            self.checkpoint()
-            for pager in self._pagers.values():
-                pager.close(flush=not self.read_only)
-            self._pagers.clear()
-            if self.wal is not None:
-                self.wal.close()
-                self.wal = None
+        with self._latch:
+            self.statement_log.close()
+            if self.path is not None:
+                if self.txn.active:
+                    self.txn.rollback()
+                    self._savepoints.clear()
+                self.checkpoint()
+                for pager in self._pagers.values():
+                    pager.close(flush=not self.read_only)
+                self._pagers.clear()
+                if self.wal is not None:
+                    self.wal.close()
+                    self.wal = None
 
     # ------------------------------------------------------------------
     # Statement dispatch
@@ -1170,12 +1267,21 @@ class Database:
                     btree_stats["max_depth"] = max(
                         btree_stats["max_depth"], tree.depth()
                     )
+        txn_stats: Dict[str, int] = dict(self._retired_txn_stats)
+        for manager in self._txn_managers:
+            for key, value in manager.stats.items():
+                txn_stats[key] = txn_stats.get(key, 0) + value
         return {
             "statements": dict(self.stats),
             "pager": pager_stats,
             "wal": dict(self.wal.stats) if self.wal is not None else {},
             "btree": btree_stats,
-            "txn": dict(self.txn.stats),
+            "txn": txn_stats,
+            "sessions": (
+                self.session_manager.metrics()
+                if self.session_manager is not None
+                else {"enabled": 0}
+            ),
             "planner": dict(self.planner.metrics),
             "plan_cache": self.plan_cache.snapshot(),
             "executor": {
@@ -1213,14 +1319,29 @@ class Database:
         """Operations at or above *threshold_ms* land in the slow log."""
         self.slow_log.threshold_ms = threshold_ms
 
+    def _begin_row_budget(self) -> None:
+        """Arm the per-statement row budget (top-level statements only —
+        nested plan executions inside one statement share its budget)."""
+        limit = self.statement_max_rows
+        self._row_budget = _RowBudget(limit) if limit else None
+
     def _collect_rows(self, plan: Operator) -> List[Row]:
         """Materialise a plan's output through the configured executor mode."""
+        budget = self._row_budget
         if not self.planner_config.vectorized:
-            return list(plan.rows())
+            if budget is None:
+                return list(plan.rows())
+            rows = []
+            for row in plan.rows():
+                budget.charge(1)
+                rows.append(row)
+            return rows
         rows: List[Row] = []
         extend = rows.extend
         batches = 0
         for batch in plan.rows_batched():
+            if budget is not None:
+                budget.charge(len(batch))
             extend(batch)
             batches += 1
         EXEC_METRICS["batches"] += batches
@@ -1229,11 +1350,22 @@ class Database:
 
     def _iter_rows(self, plan: Operator) -> Iterator[Row]:
         """Lazy row iterator through the configured executor mode."""
+        budget = self._row_budget
         if not self.planner_config.vectorized:
-            return plan.rows()
+            if budget is None:
+                return plan.rows()
+
+            def counted() -> Iterator[Row]:
+                for row in plan.rows():
+                    budget.charge(1)
+                    yield row
+
+            return counted()
 
         def flatten() -> Iterator[Row]:
             for batch in plan.rows_batched():
+                if budget is not None:
+                    budget.charge(len(batch))
                 EXEC_METRICS["batches"] += 1
                 EXEC_METRICS["batch_rows"] += len(batch)
                 yield from batch
@@ -1823,6 +1955,40 @@ class Database:
         return os.path.join(self.path, JOURNAL_NAME)
 
     # -- corruption handling / read-only degradation ------------------------
+
+    def new_txn_manager(self) -> TransactionManager:
+        """A fresh TransactionManager wired exactly like the default one.
+
+        The session layer creates one per session so concurrent
+        transactions keep separate undo logs; the WAL hooks and the
+        undo-failure degradation hook come pre-attached, and the
+        manager's counters feed ``metrics_snapshot()["txn"]``.
+        """
+        txn = TransactionManager()
+        if self.wal is not None:
+            txn.on_commit.append(self.wal.commit)
+            txn.on_rollback.append(self.wal.discard_pending)
+        txn.on_undo_failure.append(self._on_undo_failure)
+        self._txn_managers.append(txn)
+        return txn
+
+    def retire_txn_manager(self, txn: TransactionManager) -> None:
+        """Fold a closed session's txn counters into the lifetime totals."""
+        if txn is self.txn or txn not in self._txn_managers:
+            return
+        self._txn_managers.remove(txn)
+        for key, value in txn.stats.items():
+            self._retired_txn_stats[key] = (
+                self._retired_txn_stats.get(key, 0) + value
+            )
+
+    def _on_undo_failure(self, exc: BaseException) -> None:
+        """A partial undo left half-rolled-back rows nobody can repair
+        in place — record it and degrade to read-only (graceful
+        degradation beats silent corruption)."""
+        self._record_corruption(
+            "txn", "undo-log", f"rollback failed partway: {exc}"
+        )
 
     def _record_corruption(self, component: str, obj: str, message: str) -> None:
         """Note a corruption event and degrade the database to read-only."""

@@ -25,6 +25,7 @@ empty.
 from __future__ import annotations
 
 import collections
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Optional, Tuple
 
@@ -70,13 +71,19 @@ class PlanCache:
     _entries: "collections.OrderedDict[Hashable, CacheEntry]" = field(
         default_factory=collections.OrderedDict, repr=False
     )
+    #: guards _entries, stats, and generation — sessions share one cache,
+    #: and an LRU move_to_end racing an eviction corrupts the OrderedDict
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     @property
     def enabled(self) -> bool:
         return self.capacity > 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def key(self, sql: str, fingerprint: Tuple[Any, ...]) -> Hashable:
         return (normalize_sql(sql), fingerprint)
@@ -89,17 +96,18 @@ class PlanCache:
         """
         if not self.enabled:
             return None
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats["misses"] += 1
-            return None
-        if entry.generation != self.generation:
-            del self._entries[key]
-            self.stats["misses"] += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats["hits"] += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats["misses"] += 1
+                return None
+            if entry.generation != self.generation:
+                del self._entries[key]
+                self.stats["misses"] += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats["hits"] += 1
+            return entry
 
     def store(
         self, key: Hashable, statement: Any, plan: Optional[Any] = None
@@ -111,20 +119,22 @@ class PlanCache:
         the entry is still created — just never registered — so callers
         need no special case.
         """
-        entry = CacheEntry(statement, plan, self.generation)
-        if self.enabled:
-            self._entries[key] = entry
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.stats["evictions"] += 1
-        return entry
+        with self._lock:
+            entry = CacheEntry(statement, plan, self.generation)
+            if self.enabled:
+                self._entries[key] = entry
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.stats["evictions"] += 1
+            return entry
 
     def invalidate(self) -> None:
         """Bump the generation: every cached entry is now unservable."""
-        self.generation += 1
-        self.stats["invalidations"] += 1
-        self._entries.clear()
+        with self._lock:
+            self.generation += 1
+            self.stats["invalidations"] += 1
+            self._entries.clear()
 
     def drop_plans(self, predicate) -> int:
         """Targeted eviction for adaptive re-planning: clear the plan slot
@@ -135,17 +145,19 @@ class PlanCache:
         parsed AST and are simply re-planned (under fresh statistics) on
         their next execution.  Returns the number of entries touched.
         """
-        dropped = 0
-        for entry in self._entries.values():
-            if entry.plan is not None and predicate(entry.plan):
-                entry.plan = None
-                dropped += 1
-        self.stats["feedback_drops"] += dropped
-        return dropped
+        with self._lock:
+            dropped = 0
+            for entry in self._entries.values():
+                if entry.plan is not None and predicate(entry.plan):
+                    entry.plan = None
+                    dropped += 1
+            self.stats["feedback_drops"] += dropped
+            return dropped
 
     def snapshot(self) -> Dict[str, int]:
         """Counters for ``Database.metrics_snapshot()`` / the F11 window."""
-        out = dict(self.stats)
-        out["entries"] = len(self._entries)
-        out["generation"] = self.generation
-        return out
+        with self._lock:
+            out = dict(self.stats)
+            out["entries"] = len(self._entries)
+            out["generation"] = self.generation
+            return out

@@ -42,8 +42,14 @@ class TransactionManager:
         #: callbacks fired after COMMIT/ROLLBACK, e.g. WAL hooks
         self.on_commit: List[Callable[[], None]] = []
         self.on_rollback: List[Callable[[], None]] = []
+        #: callbacks fired when an undo walk fails partway — the database
+        #: registers one that degrades to read-only, because a half-rolled-
+        #: back transaction leaves the heaps in a state no retry can fix
+        self.on_undo_failure: List[Callable[[BaseException], None]] = []
         #: lifetime counters, exposed through Database.metrics_snapshot()
-        self.stats: Dict[str, int] = {"begins": 0, "commits": 0, "rollbacks": 0}
+        self.stats: Dict[str, int] = {
+            "begins": 0, "commits": 0, "rollbacks": 0, "undo_failures": 0
+        }
 
     # -- state ------------------------------------------------------------
 
@@ -71,22 +77,47 @@ class TransactionManager:
             hook()
 
     def rollback(self) -> None:
-        """Undo every change of the open transaction, newest first."""
+        """Undo every change of the open transaction, newest first.
+
+        If the undo walk itself fails partway (a heap write error while
+        re-inserting a deleted row, say), the transaction is left
+        half-rolled-back: some entries were undone, the rest cannot be.
+        That state is unrecoverable in place, so the failure is *recorded*
+        — ``undo_failures`` counts it and every ``on_undo_failure`` hook
+        fires (the database's hook degrades to read-only) — and a
+        :class:`TransactionError` chains the original cause.  The rollback
+        hooks still run so pending WAL records never leak into a later
+        commit.
+        """
         if not self.active:
             raise TransactionError("ROLLBACK without BEGIN")
         entries = self._entries
         self._entries = None  # log nothing while undoing
         self.stats["rollbacks"] += 1
-        self._undo(entries)
-        for hook in self.on_rollback:
-            hook()
+        try:
+            self._undo(entries)
+        # the cause is re-raised chained as TransactionError below
+        except Exception as exc:  # wowlint: allow WOW002
+            self._undo_failed(exc)
+            raise TransactionError(
+                f"rollback failed partway; remaining undo entries are "
+                f"unrecoverable: {exc}"
+            ) from exc
+        finally:
+            for hook in self.on_rollback:
+                hook()
 
     def mark(self) -> int:
         """Current undo-log position (for statement-level atomicity)."""
         return len(self._entries) if self._entries is not None else 0
 
     def rollback_to(self, mark: int) -> None:
-        """Undo entries logged after *mark*, keeping the transaction open."""
+        """Undo entries logged after *mark*, keeping the transaction open.
+
+        Like :meth:`rollback`, a failure inside the undo walk leaves rows
+        no later undo can reach; it is recorded and degrades the database
+        rather than silently dropping the remaining entries.
+        """
         if self._entries is None:
             raise TransactionError("rollback_to outside a transaction")
         tail = self._entries[mark:]
@@ -94,8 +125,21 @@ class TransactionManager:
         keep, self._entries = self._entries, None  # log nothing while undoing
         try:
             self._undo(tail)
+        # the cause is re-raised chained as TransactionError below
+        except Exception as exc:  # wowlint: allow WOW002
+            self._undo_failed(exc)
+            raise TransactionError(
+                f"statement rollback failed partway; remaining undo entries "
+                f"are unrecoverable: {exc}"
+            ) from exc
         finally:
             self._entries = keep
+
+    def _undo_failed(self, exc: BaseException) -> None:
+        """Record a partial undo: count it and fire the degradation hooks."""
+        self.stats["undo_failures"] += 1
+        for hook in self.on_undo_failure:
+            hook(exc)
 
     def _undo(self, entries: List[UndoEntry]) -> None:
         translation: Dict[Tuple[int, RowId], RowId] = {}

@@ -124,7 +124,14 @@ class WriteAheadLog:
         self._fd: Optional[int] = self._io.open(
             path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644
         )
-        self._pending: List[str] = []
+        #: pending (uncommitted) records, partitioned by **scope** so the
+        #: open transactions of concurrent sessions never share a group:
+        #: the session layer switches scopes with :meth:`use_scope` before
+        #: each statement, and ``commit()`` flushes only the current
+        #: scope's records.  The embedded single-session database lives its
+        #: whole life in the default scope ``0``.
+        self._pending_scopes: Dict[Any, List[str]] = {0: []}
+        self._scope: Any = 0
         #: the sequence number the next committed group will carry
         self.next_seq = 1
         #: statistics for benchmarks/tests
@@ -142,6 +149,31 @@ class WriteAheadLog:
     def last_seq(self) -> int:
         """The sequence number of the newest committed group (0 if none)."""
         return self.next_seq - 1
+
+    # -- scopes -------------------------------------------------------------
+
+    @property
+    def _pending(self) -> List[str]:
+        """The current scope's uncommitted records."""
+        return self._pending_scopes[self._scope]
+
+    def use_scope(self, token: Any) -> None:
+        """Switch pending-record accumulation to *token*'s private list.
+
+        Records logged, committed, marked, and discarded from now on all
+        target this scope only — another session's open transaction keeps
+        its pending records untouched in its own scope.
+        """
+        self._pending_scopes.setdefault(token, [])
+        self._scope = token
+
+    def drop_scope(self, token: Any) -> None:
+        """Forget a closed session's scope (its pending records discard)."""
+        if token == 0:
+            return  # the default scope is permanent
+        self._pending_scopes.pop(token, None)
+        if self._scope == token:
+            self._scope = 0
 
     # -- logging ------------------------------------------------------------
 

@@ -1,0 +1,31 @@
+"""Sessions & concurrency control: many windows, one database.
+
+The paper's premise is many windows open on the same database at once.
+This package makes that safe: a :class:`SessionManager` gives every
+connection its own transaction state over one shared
+:class:`~repro.relational.database.Database`, a table-granularity
+:class:`LockManager` serialises conflicting transactions (with deadlock
+detection and lock timeouts), and a :class:`DatabaseServer` speaks a
+length-prefixed JSON protocol so the SQL CLI and the forms runtime become
+two clients of the same session API.
+
+See ``docs/INTERNALS.md`` ("Sessions & concurrency control") for the
+locking protocol and the wire format.
+"""
+
+from repro.session.client import RemoteSession
+from repro.session.locks import CATALOG_RESOURCE, EXCLUSIVE, SHARED, LockManager
+from repro.session.manager import Session, SessionConfig, SessionManager
+from repro.session.server import DatabaseServer
+
+__all__ = [
+    "CATALOG_RESOURCE",
+    "DatabaseServer",
+    "EXCLUSIVE",
+    "LockManager",
+    "RemoteSession",
+    "SHARED",
+    "Session",
+    "SessionConfig",
+    "SessionManager",
+]

@@ -1,0 +1,76 @@
+"""Serve a database over the wire.
+
+    PYTHONPATH=src python -m repro.session --path demo_db --port 7712
+
+Then, from any other process::
+
+    from repro.session import RemoteSession
+    s = RemoteSession("127.0.0.1", 7712)
+    s.query("SELECT * FROM parts")
+
+See docs/TUTORIAL.md §11 for the full quick-start.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Optional, Sequence
+
+from repro.relational.database import Database
+from repro.session.manager import SessionConfig
+from repro.session.server import DatabaseServer
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.session",
+        description="Serve a WoW database over length-prefixed JSON frames.",
+    )
+    parser.add_argument(
+        "--path", default=None,
+        help="database directory (omit for a fresh in-memory database)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=7712,
+        help="TCP port (0 picks an ephemeral one)",
+    )
+    parser.add_argument(
+        "--max-sessions", type=int, default=8,
+        help="admission-control cap (excess connects get a busy error)",
+    )
+    parser.add_argument(
+        "--lock-timeout", type=float, default=5.0,
+        help="seconds a lock wait may block before aborting",
+    )
+    parser.add_argument(
+        "--statement-max-rows", type=int, default=None,
+        help="per-statement row budget (statement timeout); unlimited if unset",
+    )
+    args = parser.parse_args(argv)
+
+    db = Database(args.path)
+    config = SessionConfig(
+        max_sessions=args.max_sessions,
+        lock_timeout=args.lock_timeout,
+        statement_max_rows=args.statement_max_rows,
+    )
+    server = DatabaseServer(db, host=args.host, port=args.port, config=config)
+    server.start()
+    host, port = server.address
+    print(f"serving {args.path or '<memory>'} on {host}:{port} "
+          f"(max {args.max_sessions} sessions)")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.stop()
+        db.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

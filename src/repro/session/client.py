@@ -1,0 +1,134 @@
+"""The client half of the wire protocol: a remote ``Session`` look-alike.
+
+:class:`RemoteSession` exposes the same ``execute(sql) -> Result`` /
+``query(sql)`` surface as an embedded session, so the SQL CLI
+(:class:`repro.baselines.sql_cli.SqlCli`) and the forms runtime can run
+against a server without knowing: ``SqlCli(RemoteSession(...))`` works
+as-is.
+
+Error frames are rebuilt into the *same exception classes* the engine
+raises (looked up by name in :mod:`repro.errors`), retryable flag and
+all; a busy server (admission control) is retried at connect time with
+jittered backoff, mirroring :meth:`Session.execute`'s policy.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from typing import Any, Dict, List, Optional
+
+import repro.errors as errors_module
+from repro.errors import SessionError, WowError
+from repro.relational.database import Result
+from repro.session.server import recv_frame, send_frame
+
+
+def rebuild_error(reply: Dict[str, Any]) -> WowError:
+    """An exception instance equivalent to the server's error frame."""
+    cls = getattr(errors_module, str(reply.get("error_type", "")), None)
+    if not (isinstance(cls, type) and issubclass(cls, WowError)):
+        cls = SessionError
+    return cls(str(reply.get("error", "server error")))
+
+
+class RemoteSession:
+    """One connection to a :class:`~repro.session.server.DatabaseServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        user: str = "dba",
+        connect_retries: int = 5,
+        backoff_base: float = 0.01,
+        backoff_cap: float = 0.25,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.user = user
+        self.connect_retries = connect_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.session_id: Optional[int] = None
+        self._rng = random.Random(seed)
+        self._sleep = time.sleep  # injectable for deterministic tests
+        self._sock: Optional[socket.socket] = None
+        self._connect()
+
+    def _connect(self) -> None:
+        attempt = 0
+        while True:
+            sock = socket.create_connection((self.host, self.port))
+            try:
+                send_frame(sock, {"op": "hello", "user": self.user})
+                reply = recv_frame(sock)
+            except (OSError, ValueError):
+                sock.close()
+                raise
+            if reply is not None and reply.get("ok"):
+                self._sock = sock
+                self.session_id = reply.get("session")
+                return
+            sock.close()
+            if reply is None:
+                raise SessionError("server closed the connection at hello")
+            if not reply.get("retryable") or attempt >= self.connect_retries:
+                raise rebuild_error(reply)
+            attempt += 1
+            span = min(
+                self.backoff_cap, self.backoff_base * (2 ** (attempt - 1))
+            )
+            self._sleep(span * (0.5 + 0.5 * self._rng.random()))
+
+    def _roundtrip(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        if self._sock is None:
+            raise SessionError("remote session is closed")
+        send_frame(self._sock, request)
+        reply = recv_frame(self._sock)
+        if reply is None:
+            raise SessionError("server closed the connection")
+        return reply
+
+    def execute(self, sql: str) -> Result:
+        """Run one statement on the server; errors re-raise as at home."""
+        reply = self._roundtrip({"op": "execute", "sql": sql})
+        if not reply.get("ok"):
+            raise rebuild_error(reply)
+        return Result(
+            columns=list(reply.get("columns") or []),
+            rows=[tuple(row) for row in reply.get("rows") or []],
+            rowcount=int(reply.get("rowcount") or 0),
+            plan=reply.get("plan"),
+        )
+
+    def query(self, sql: str) -> List[Any]:
+        return self.execute(sql).rows
+
+    def metrics(self) -> Dict[str, Any]:
+        """The server's ``metrics_snapshot()["sessions"]`` section."""
+        reply = self._roundtrip({"op": "metrics"})
+        if not reply.get("ok"):
+            raise rebuild_error(reply)
+        return reply.get("metrics", {})
+
+    def ping(self) -> bool:
+        return bool(self._roundtrip({"op": "ping"}).get("ok"))
+
+    def close(self) -> None:
+        if self._sock is None:
+            return
+        try:
+            send_frame(self._sock, {"op": "close"})
+        except OSError:
+            pass
+        self._sock.close()
+        self._sock = None
+
+    def __enter__(self) -> "RemoteSession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

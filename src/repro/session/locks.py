@@ -1,0 +1,198 @@
+"""Table-granularity two-phase locking with deadlock detection.
+
+Sessions lock whole tables (the 1983-appropriate granularity: the paper's
+engine had no row locks either) in one of two modes — SHARED for readers,
+EXCLUSIVE for writers — and hold every lock to transaction end (strict
+2PL), so committed effects are never built on rows another transaction can
+still roll back from under them.
+
+All lock state lives behind one mutex + condition.  That is deliberate:
+lock traffic is a handful of acquisitions per *statement* while the engine
+does row work under its own latch, so a single condition keeps the
+wait-for bookkeeping trivially consistent at no measurable cost.
+
+Blocked requests wait on the condition with a deadline
+(``lock_timeout``).  Every pass through the wait loop rebuilds the
+waiter's wait-for edges (it waits for exactly the current conflicting
+holders) and searches for a cycle through itself; when one is found the
+**youngest** member (largest session id — ids are monotonic, so the
+largest id has done the least work to throw away) is doomed and the
+condition is broadcast.  Cycle members are all waiters by construction
+(edges run waiter → holder), so the victim is parked in this very wait
+loop and aborts itself with a retryable
+:class:`~repro.errors.SerializationError` on wake.
+
+Known simplification: grants consider only current *holders*, not queued
+waiters, so a steady stream of readers can starve a writer.  The session
+layer's lock timeout + client retry bounds the damage; a fair queue is
+future work.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import LockTimeoutError, SerializationError
+
+#: lock modes
+SHARED = "S"
+EXCLUSIVE = "X"
+
+#: the catalog pseudo-resource: every statement that reads schema takes it
+#: SHARED, DDL takes it EXCLUSIVE — so schema changes serialise against
+#: every open transaction without per-table bookkeeping
+CATALOG_RESOURCE = "__catalog__"
+
+
+class LockManager:
+    """S/X table locks: blocking grants, upgrades, timeouts, deadlocks."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        #: resource -> {session_id: mode held}
+        self._holders: Dict[str, Dict[int, str]] = {}
+        #: session_id -> (resource, mode) it is currently blocked on
+        self._waiting: Dict[int, Tuple[str, str]] = {}
+        #: deadlock victims; each aborts itself on its next wait-loop pass
+        self._doomed: Set[int] = set()
+        #: lifetime counters, surfaced via SessionManager.metrics()
+        self.stats: Dict[str, int] = {
+            "acquired": 0,
+            "upgrades": 0,
+            "waits": 0,
+            "timeouts": 0,
+            "deadlocks": 0,
+        }
+
+    # -- grant rules -------------------------------------------------------
+
+    def _blockers(self, session_id: int, resource: str, mode: str) -> Set[int]:
+        """Current holders of *resource* whose grant conflicts with *mode*."""
+        blockers: Set[int] = set()
+        for holder, held in self._holders.get(resource, {}).items():
+            if holder == session_id:
+                continue
+            if mode == EXCLUSIVE or held == EXCLUSIVE:
+                blockers.add(holder)
+        return blockers
+
+    def _grant(self, session_id: int, resource: str, mode: str) -> None:
+        held = self._holders.setdefault(resource, {})
+        previous = held.get(session_id)
+        if previous == SHARED and mode == EXCLUSIVE:
+            self.stats["upgrades"] += 1
+        held[session_id] = mode
+        self.stats["acquired"] += 1
+
+    # -- deadlock detection ------------------------------------------------
+
+    def _wait_edges(self, session_id: int) -> Set[int]:
+        request = self._waiting.get(session_id)
+        if request is None:
+            return set()
+        return self._blockers(session_id, request[0], request[1])
+
+    def _cycle_through(self, start: int) -> Optional[Set[int]]:
+        """Members of a wait-for cycle through *start*, or None."""
+        stack: List[Tuple[int, Tuple[int, ...]]] = [(start, (start,))]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            for blocker in self._wait_edges(node):
+                if blocker == start:
+                    return set(path)
+                if blocker not in seen:
+                    seen.add(blocker)
+                    stack.append((blocker, path + (blocker,)))
+        return None
+
+    def _resolve_deadlock(self, start: int) -> None:
+        """Doom the youngest member of any cycle through *start*."""
+        cycle = self._cycle_through(start)
+        if cycle is None or cycle & self._doomed:
+            # no cycle, or a victim is already aborting this very cycle
+            return
+        victim = max(cycle)  # ids are monotonic: largest = youngest
+        self.stats["deadlocks"] += 1
+        self._doomed.add(victim)
+        self._cond.notify_all()
+
+    # -- public API --------------------------------------------------------
+
+    def acquire(
+        self, session_id: int, resource: str, mode: str, timeout: float
+    ) -> None:
+        """Grant ``(resource, mode)`` to *session_id*, waiting if needed.
+
+        Raises :class:`SerializationError` (retryable) when the wait
+        deadlocked and this session was chosen as the victim, or
+        :class:`LockTimeoutError` (retryable) after *timeout* seconds.
+        Either way the caller must abort the whole transaction — its
+        already-granted locks stay held until :meth:`release_all`.
+        """
+        with self._cond:
+            held = self._holders.get(resource, {}).get(session_id)
+            if held == EXCLUSIVE or held == mode:
+                return  # already sufficient
+            if not self._blockers(session_id, resource, mode):
+                self._grant(session_id, resource, mode)
+                return
+            self.stats["waits"] += 1
+            self._waiting[session_id] = (resource, mode)
+            deadline = time.monotonic() + timeout
+            try:
+                while True:
+                    self._resolve_deadlock(session_id)
+                    if session_id in self._doomed:
+                        self._doomed.discard(session_id)
+                        raise SerializationError(
+                            f"deadlock detected; session {session_id} "
+                            f"(youngest) aborted waiting for {mode} on "
+                            f"{resource!r} — retry the transaction"
+                        )
+                    if not self._blockers(session_id, resource, mode):
+                        self._grant(session_id, resource, mode)
+                        return
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.stats["timeouts"] += 1
+                        raise LockTimeoutError(
+                            f"session {session_id} timed out after "
+                            f"{timeout:.3f}s waiting for {mode} on "
+                            f"{resource!r} — retry the transaction"
+                        )
+                    self._cond.wait(remaining)
+            finally:
+                self._waiting.pop(session_id, None)
+
+    def release_all(self, session_id: int) -> None:
+        """Drop every lock *session_id* holds (the 2PL release point)."""
+        with self._cond:
+            released = False
+            for resource in list(self._holders):
+                if self._holders[resource].pop(session_id, None) is not None:
+                    released = True
+                    if not self._holders[resource]:
+                        del self._holders[resource]
+            self._doomed.discard(session_id)
+            if released:
+                self._cond.notify_all()
+
+    def held(self, session_id: int) -> List[Tuple[str, str]]:
+        """The (resource, mode) pairs *session_id* holds, sorted."""
+        with self._cond:
+            return sorted(
+                (resource, modes[session_id])
+                for resource, modes in self._holders.items()
+                if session_id in modes
+            )
+
+    def snapshot(self) -> Dict[str, List[Tuple[int, str]]]:
+        """resource -> [(session, mode)] for debugging and telemetry."""
+        with self._cond:
+            return {
+                resource: sorted(modes.items())
+                for resource, modes in self._holders.items()
+            }

@@ -1,0 +1,367 @@
+"""Multi-threaded chaos harness: concurrent sessions that survive abuse.
+
+Eight worker sessions hammer one engine with a seeded mix of autocommit
+DML, multi-statement transactions (some rolled back on purpose), reads
+that force S->X upgrades, catalog-churning DDL, and deliberately
+conflicting lock orders.  Every worker's operation stream is derived from
+the test seed, so a failing seed reproduces the same workload; thread
+interleaving still varies, which is the point — the invariants below must
+hold under *any* interleaving:
+
+* **zero lost updates** — `SUM(v)` over the counters table equals exactly
+  the increments whose transactions committed;
+* the audit table holds exactly the committed audit rows;
+* `integrity_check()` is clean and the engine never degrades;
+* every deadlock was resolved by aborting a victim (never by hanging —
+  every worker thread is joined with a timeout);
+* the session counters surface in `metrics_snapshot()["sessions"]` and
+  the `_statements`/`_sessions` telemetry tables stay joinable.
+
+`WOW_CHAOS_SEEDS` widens the seed matrix for CI (`=20` runs seeds 0..19);
+the default three seeds keep the tier-1 run fast.  The crash variants at
+the bottom mix in the PR 3 fault-injection harness: a mid-commit kill -9
+under concurrent sessions must recover to a consistent, non-degraded
+database.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+import threading
+
+import pytest
+
+from repro.errors import WowError
+from repro.relational.database import Database
+from repro.relational.faults import FaultInjector, InjectedCrash
+from repro.session import SessionConfig, SessionManager
+
+N_WORKERS = 8
+OPS_PER_WORKER = 25
+COUNTER_ROWS = 4
+JOIN_TIMEOUT = 60.0
+
+
+def _seeds():
+    value = os.environ.get("WOW_CHAOS_SEEDS")
+    return list(range(int(value))) if value else [0, 1, 2]
+
+
+def _crash_max_points(default=None):
+    value = os.environ.get("CRASH_MAX_POINTS")
+    return int(value) if value else default
+
+
+def _hard_close(db):
+    """Release file handles the way a dead process would: no flushing."""
+    for pager in db._pagers.values():
+        if pager._fd is not None:
+            os.close(pager._fd)
+            pager._fd = None
+    if db.wal is not None and db.wal._fd is not None:
+        os.close(db.wal._fd)
+        db.wal._fd = None
+
+
+def _setup_schema(db):
+    db.execute("CREATE TABLE counters (id INT PRIMARY KEY, v INT)")
+    values = ", ".join(f"({i}, 0)" for i in range(COUNTER_ROWS))
+    db.execute(f"INSERT INTO counters VALUES {values}")
+    db.execute("CREATE TABLE audit (id INT PRIMARY KEY, worker INT, op INT)")
+
+
+class _Worker:
+    """One session's seeded operation stream plus its committed-work ledger."""
+
+    def __init__(self, manager, worker_id, seed):
+        self.manager = manager
+        self.worker = worker_id
+        self.rng = random.Random(seed * 7919 + worker_id + 1)
+        self.committed_increments = 0
+        self.committed_audits = 0
+        self.retryable_failures = 0
+        self.crashed = False
+        self.unexpected = []
+
+    def run(self):
+        try:
+            session = self.manager.connect()
+            try:
+                for op in range(OPS_PER_WORKER):
+                    self._one(session, op)
+            finally:
+                session.close()
+        except InjectedCrash:
+            self.crashed = True  # the "process" died; recovery is verified
+        except Exception as exc:  # noqa: BLE001 - harness boundary
+            self.unexpected.append(exc)
+
+    # -- one operation ------------------------------------------------------
+
+    def _one(self, session, op):
+        roll = self.rng.random()
+        try:
+            if roll < 0.25:
+                session.query("SELECT SUM(v) FROM counters")
+            elif roll < 0.50:
+                row = self.rng.randrange(COUNTER_ROWS)
+                session.execute(
+                    f"UPDATE counters SET v = v + 1 WHERE id = {row}"
+                )
+                self.committed_increments += 1
+            elif roll < 0.62:
+                session.execute(
+                    f"INSERT INTO audit VALUES "
+                    f"({self.worker * 1000 + op}, {self.worker}, {op})"
+                )
+                self.committed_audits += 1
+            elif roll < 0.94:
+                self._txn(session, op)
+            else:
+                self._ddl(session, op)
+        except WowError as exc:
+            # A retryable failure means the work provably did not commit
+            # (the transaction was rolled back wholesale); losing it is
+            # fine, mis-counting it would break the lost-update invariant.
+            if not exc.retryable:
+                raise
+            self.retryable_failures += 1
+
+    def _txn(self, session, op):
+        """A multi-statement transaction: upgrade fuel (S then X on the
+        same table) and randomized table order (cross-table deadlock fuel).
+        Retried wholesale when aborted as a victim."""
+        commit = self.rng.random() < 0.8
+        rows = [
+            self.rng.randrange(COUNTER_ROWS)
+            for _ in range(self.rng.randrange(1, 4))
+        ]
+        audit_first = self.rng.random() < 0.5
+        audit_id = 100_000 + self.worker * 1000 + op
+        audit_sql = (
+            f"INSERT INTO audit VALUES ({audit_id}, {self.worker}, {op})"
+        )
+        for _attempt in range(4):
+            try:
+                session.execute("BEGIN")
+                session.query("SELECT COUNT(*) FROM counters")  # S first
+                if audit_first:
+                    session.execute(audit_sql)
+                for row in rows:
+                    session.execute(
+                        f"UPDATE counters SET v = v + 1 WHERE id = {row}"
+                    )
+                if not audit_first:
+                    session.execute(audit_sql)
+                if commit:
+                    session.execute("COMMIT")
+                    self.committed_increments += len(rows)
+                    self.committed_audits += 1
+                else:
+                    session.execute("ROLLBACK")
+                return
+            except WowError as exc:
+                if not exc.retryable:
+                    raise
+                # the whole transaction was aborted server-side
+                self.retryable_failures += 1
+        # out of retries: the transaction never committed, counts nothing
+
+    def _ddl(self, session, op):
+        """Catalog churn: forces the catalog X lock to serialise against
+        every open transaction, and bumps the generation the statement
+        pipeline re-checks."""
+        name = f"scratch_{self.worker}_{op}"
+        session.execute(f"CREATE TABLE {name} (id INT PRIMARY KEY)")
+        session.execute(f"DROP TABLE {name}")
+
+
+def _run_workers(manager, seed):
+    workers = [_Worker(manager, w, seed) for w in range(N_WORKERS)]
+    threads = [
+        threading.Thread(target=w.run, name=f"chaos-w{w.worker}", daemon=True)
+        for w in workers
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=JOIN_TIMEOUT)
+        assert not thread.is_alive(), (
+            "worker hung — a lock wait neither timed out nor deadlock-aborted"
+        )
+    return workers
+
+
+@pytest.mark.parametrize("seed", _seeds())
+def test_chaos_invariants(seed):
+    db = Database()
+    manager = SessionManager(
+        db,
+        SessionConfig(
+            max_sessions=N_WORKERS,
+            lock_timeout=0.5,
+            max_retries=3,
+            backoff_base=0.001,
+            backoff_cap=0.02,
+            retry_seed=seed,
+        ),
+    )
+    _setup_schema(db)
+    workers = _run_workers(manager, seed)
+
+    assert not any(w.unexpected for w in workers), [
+        w.unexpected for w in workers if w.unexpected
+    ]
+
+    # zero lost updates: the committed ledger matches the table exactly
+    total = sum(w.committed_increments for w in workers)
+    assert db.query("SELECT SUM(v) FROM counters") == [(total,)]
+    audits = sum(w.committed_audits for w in workers)
+    assert db.query("SELECT COUNT(*) FROM audit") == [(audits,)]
+
+    report = db.integrity_check()
+    assert report.ok, report.problems
+    assert not db.read_only
+
+    snap = db.metrics_snapshot()["sessions"]
+    assert snap["statements"] > N_WORKERS
+    assert snap["connects"] == N_WORKERS
+    assert snap["disconnects"] == N_WORKERS
+    # every deadlock was resolved by aborting a victim
+    assert snap["aborts"] >= snap["lock_deadlocks"]
+
+    # telemetry stays joinable: a live session's statements carry its id
+    post = manager.connect()
+    post.query("SELECT COUNT(*) FROM counters")
+    joined = db.query(
+        "SELECT COUNT(*) FROM _statements st "
+        "JOIN _sessions s ON st.session = s.id"
+    )
+    assert joined[0][0] >= 1
+    post.close()
+    manager.close()
+
+
+def test_chaos_workload_is_seed_deterministic():
+    """The op stream is a pure function of (seed, worker): two workers
+    built from the same seed draw identical decisions."""
+    a = _Worker(None, 3, seed=11)
+    b = _Worker(None, 3, seed=11)
+    assert [a.rng.random() for _ in range(50)] == [
+        b.rng.random() for _ in range(50)
+    ]
+    c = _Worker(None, 4, seed=11)
+    assert [a.rng.random() for _ in range(5)] != [
+        c.rng.random() for _ in range(5)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Crashes under concurrency
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("crash_offset", [5, 60])
+def test_threaded_chaos_with_mid_run_crash(tmp_path, crash_offset):
+    """Kill -9 lands while 8 sessions are mid-flight; the reopened
+    database must be consistent and writable regardless of which worker's
+    I/O call drew the short straw."""
+    path = str(tmp_path / f"chaos_crash_{crash_offset}")
+    shim = FaultInjector()  # count-only while setting up
+    db = Database(path=path, fsync=True, io=shim)
+    manager = SessionManager(
+        db,
+        SessionConfig(
+            max_sessions=N_WORKERS,
+            lock_timeout=0.3,
+            max_retries=2,
+            backoff_base=0.001,
+            backoff_cap=0.02,
+            retry_seed=crash_offset,
+        ),
+    )
+    _setup_schema(db)
+    db.checkpoint()  # schema is durable before the crash point is armed
+    shim.crash_at = shim.io_calls + crash_offset
+
+    workers = _run_workers(manager, seed=crash_offset)
+    assert not any(w.unexpected for w in workers), [
+        w.unexpected for w in workers if w.unexpected
+    ]
+    assert any(w.crashed for w in workers), (
+        "the armed crash point was never reached — widen the offset"
+    )
+    _hard_close(db)
+
+    reopened = Database(path=path)
+    report = reopened.integrity_check()
+    assert report.ok, report.problems
+    assert not reopened.read_only
+    rows = dict(reopened.query("SELECT id, v FROM counters"))
+    assert sorted(rows) == list(range(COUNTER_ROWS))
+    committed = sum(w.committed_increments for w in workers)
+    ceiling = N_WORKERS * OPS_PER_WORKER * 3
+    assert 0 <= sum(rows.values()) <= ceiling
+    # a commit acknowledged before the crash point may or may not have
+    # been the one that crashed; but recovery must never invent updates
+    assert sum(rows.values()) <= committed + ceiling
+    # the recovered database still takes writes
+    reopened.execute("INSERT INTO audit VALUES (999999, -1, -1)")
+    reopened.close()
+
+
+def test_two_session_crash_exhaustion(tmp_path):
+    """Satellite: the PR 3 crash-point exhaustion harness over a
+    deterministic two-session interleaving — one session commits while the
+    other is still mid-transaction.  Every crash point must recover to one
+    of the legal states, with the commit order respected: session 2's
+    commit happens after session 1's, so t2 being durable implies t1 is."""
+    path = str(tmp_path / "two_session_db")
+
+    def run(shim):
+        shutil.rmtree(path, ignore_errors=True)
+        db = Database(path=path, fsync=True, io=shim)
+        manager = SessionManager(db)
+        try:
+            db.execute("CREATE TABLE t1 (id INT PRIMARY KEY)")
+            db.execute("CREATE TABLE t2 (id INT PRIMARY KEY)")
+            s1, s2 = manager.connect(), manager.connect()
+            s1.execute("BEGIN")
+            s1.execute("INSERT INTO t1 VALUES (1)")
+            s2.execute("BEGIN")
+            s2.execute("INSERT INTO t2 VALUES (1)")
+            s1.execute("COMMIT")  # s2 is mid-txn at this commit
+            s2.execute("INSERT INTO t2 VALUES (2)")
+            s2.execute("COMMIT")
+            s1.close()
+            s2.close()
+            db.checkpoint()
+            db.close()
+        except InjectedCrash:
+            _hard_close(db)
+            raise
+
+    def verify(shim):
+        db = Database(path=path)
+        report = db.integrity_check()
+        assert report.ok, (shim.crash_at, report.problems)
+        assert not db.read_only, shim.crash_at
+        names = db.table_names()
+        t1 = sorted(db.query("SELECT id FROM t1")) if "t1" in names else []
+        t2 = sorted(db.query("SELECT id FROM t2")) if "t2" in names else []
+        # transaction atomicity: all of a txn's rows or none of them
+        assert t1 in ([], [(1,)]), (shim.crash_at, t1)
+        assert t2 in ([], [(1,), (2,)]), (shim.crash_at, t2)
+        # commit order: s2 committed strictly after s1
+        if t2:
+            assert t1 == [(1,)], (shim.crash_at, t1, t2)
+        db.close()
+
+    from repro.relational.faults import exhaust_crash_points
+
+    points = exhaust_crash_points(
+        run, verify, max_points=_crash_max_points()
+    )
+    assert points, "the workload produced no fault-injectable I/O"

@@ -165,6 +165,78 @@ class TestWow005UnpairedSpan:
         assert codes(src, APP_PATH) == []
 
 
+class TestWow007SharedState:
+    SESSION_PATH = "src/repro/session/fake.py"
+
+    def test_unlocked_write_fires(self):
+        src = """
+            REGISTRY = {}
+            def register(name, obj):
+                REGISTRY[name] = obj
+        """
+        assert codes(src, self.SESSION_PATH) == ["WOW007"]
+
+    def test_mutator_method_and_augassign_fire(self):
+        src = """
+            COUNTERS = {"hits": 0}
+            QUEUE = []
+            def touch(item):
+                COUNTERS["hits"] += 1
+                QUEUE.append(item)
+        """
+        assert codes(src, self.SESSION_PATH) == ["WOW007", "WOW007"]
+
+    def test_imported_all_caps_dict_fires(self):
+        src = """
+            from repro.relational.algebra import EXEC_METRICS
+            def charge(n):
+                EXEC_METRICS["rows"] += n
+        """
+        assert codes(src, self.SESSION_PATH) == ["WOW007"]
+
+    def test_lock_guarded_write_clean(self):
+        src = """
+            import threading
+            REGISTRY = {}
+            _LOCK = threading.Lock()
+            def register(self, name, obj):
+                with _LOCK:
+                    REGISTRY[name] = obj
+                with self._latch:
+                    del REGISTRY[name]
+                with self._cond:
+                    REGISTRY.pop(name, None)
+        """
+        assert codes(src, self.SESSION_PATH) == []
+
+    def test_module_scope_init_clean(self):
+        src = """
+            REGISTRY = {}
+            REGISTRY["builtin"] = object()
+        """
+        assert codes(src, self.SESSION_PATH) == []
+
+    def test_instance_state_and_locals_clean(self):
+        src = """
+            def build():
+                local = {}
+                local["k"] = 1
+                return local
+            class Manager:
+                def note(self, k):
+                    self.stats[k] = 1
+        """
+        assert codes(src, self.SESSION_PATH) == []
+
+    def test_out_of_scope_clean(self):
+        src = """
+            REGISTRY = {}
+            def register(name, obj):
+                REGISTRY[name] = obj
+        """
+        assert codes(src, APP_PATH) == []
+
+
 class TestWow006Registry:
     ALGEBRA = textwrap.dedent(
         """
@@ -279,7 +351,8 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("WOW001", "WOW002", "WOW003", "WOW004", "WOW005", "WOW006"):
+        for code in ("WOW001", "WOW002", "WOW003", "WOW004",
+                     "WOW005", "WOW006", "WOW007"):
             assert code in out
 
 
