@@ -20,6 +20,10 @@ catalog's ``_tables``/``_columns``/... (see
 * ``_sessions`` — one row per live session (user, open-transaction flag,
   held locks, retry/abort counters); ``_statements.session`` joins
   against ``_sessions.id``, so "what is session 3 running" is a query.
+* ``_storage`` — one row per user table: heap pages, buffer-pool
+  occupancy (resident/pinned/dirty against the pool target), hit/miss/
+  eviction/prefetch counters, free-space-map coverage, and the columnar
+  segment cache's contents — "why is this scan slow" as a SELECT.
 
 Because they are ordinary relations, ``SELECT * FROM _statements`` works
 in the SQL window, the F12 query inspector is just a browser window over
@@ -50,6 +54,7 @@ TELEMETRY_TABLE_NAMES = (
     "_plan_stats",
     "_table_stats",
     "_sessions",
+    "_storage",
 )
 
 
@@ -161,6 +166,32 @@ def _schema_sessions() -> TableSchema:
     )
 
 
+def _schema_storage() -> TableSchema:
+    return TableSchema(
+        "_storage",
+        [
+            Column("table_name", ColumnType.TEXT, nullable=False),
+            Column("heap_pages", ColumnType.INT, nullable=False),
+            Column("pool_target", ColumnType.INT),
+            Column("resident", ColumnType.INT),
+            Column("pinned", ColumnType.INT),
+            Column("dirty", ColumnType.INT),
+            Column("hits", ColumnType.INT, nullable=False),
+            Column("misses", ColumnType.INT, nullable=False),
+            Column("evictions", ColumnType.INT, nullable=False),
+            Column("prefetched", ColumnType.INT, nullable=False),
+            Column("fsm_pages", ColumnType.INT, nullable=False),
+            Column("fsm_free_bytes", ColumnType.INT, nullable=False),
+            Column("seg_cached", ColumnType.INT, nullable=False),
+            Column("seg_cached_rows", ColumnType.INT, nullable=False),
+            Column("seg_hits", ColumnType.INT, nullable=False),
+            Column("seg_misses", ColumnType.INT, nullable=False),
+            Column("data_version", ColumnType.INT, nullable=False),
+        ],
+        primary_key=["table_name"],
+    )
+
+
 _SCHEMAS = {
     "_statements": _schema_statements,
     "_slow_ops": _schema_slow_ops,
@@ -168,6 +199,7 @@ _SCHEMAS = {
     "_plan_stats": _schema_plan_stats,
     "_table_stats": _schema_table_stats,
     "_sessions": _schema_sessions,
+    "_storage": _schema_storage,
 }
 
 
@@ -302,6 +334,43 @@ def build_sessions(db: "Database") -> "Table":
     return _fresh(_schema_sessions(), rows())
 
 
+def build_storage(db: "Database") -> "Table":
+    def rows() -> Iterator[Tuple[Any, ...]]:
+        for table in db.catalog.tables():
+            heap = table.heap
+            pager = heap._pager
+            stats = pager.stats
+            # FilePager pool introspection; a MemoryPager has no pool, so
+            # those columns are NULL for in-memory tables.
+            pool_target = getattr(pager, "pool_size", None)
+            resident = getattr(pager, "resident_pages", None)
+            pinned = getattr(pager, "pinned_pages", None)
+            dirty = getattr(pager, "dirty_page_count", None)
+            fsm = heap.free_space_stats()
+            seg = table.segments.snapshot()
+            yield (
+                table.name,
+                heap.page_count(),
+                pool_target,
+                resident() if resident is not None else None,
+                pinned() if pinned is not None else None,
+                dirty() if dirty is not None else None,
+                stats.get("hits", 0),
+                stats.get("misses", 0),
+                stats.get("evictions", 0),
+                stats.get("prefetched", 0),
+                fsm["fsm_pages"],
+                fsm["fsm_free_bytes"],
+                seg["seg_cached"],
+                seg["seg_cached_rows"],
+                seg["seg_hits"],
+                seg["seg_misses"],
+                heap.data_version,
+            )
+
+    return _fresh(_schema_storage(), rows())
+
+
 _BUILDERS: Dict[str, Any] = {
     "_statements": build_statements,
     "_slow_ops": build_slow_ops,
@@ -309,6 +378,7 @@ _BUILDERS: Dict[str, Any] = {
     "_plan_stats": build_plan_stats,
     "_table_stats": build_table_stats,
     "_sessions": build_sessions,
+    "_storage": build_storage,
 }
 
 

@@ -58,6 +58,13 @@ class Operator:
     """Base class for plan nodes."""
 
     layout: RowLayout
+    #: how this operator touches base-table pages — ``"sequential"``
+    #: (window read-ahead), ``"range"`` (run-grouped batch reads),
+    #: ``"point"`` (single-page probes), or ``"none"`` for non-leaf
+    #: operators.  Access-path leaves must declare their own value
+    #: (lint rule WOW008); the storage layer uses it to pick a prefetch
+    #: strategy without inspecting operator types.
+    prefetch_hint: str = "none"
     #: optional cardinality estimate, set by the planner when ANALYZE
     #: statistics are available; shown by EXPLAIN
     est_rows: Optional[float] = None
@@ -117,16 +124,22 @@ class Operator:
 class SeqScan(Operator):
     """Full scan of a base table under an alias."""
 
+    prefetch_hint = "sequential"
+
     def __init__(self, table: Table, alias: Optional[str] = None) -> None:
         self.table = table
         self.alias = (alias or table.name).lower()
         self.layout = RowLayout.for_table(self.alias, table.schema)
+        #: set by the planner when the segment cache should serve this
+        #: scan; deliberately absent from ``label()`` so plan text (and
+        #: the tests pinned to it) is independent of cache configuration
+        self.use_segments = False
 
     def rows(self) -> Iterator[Row]:
         return self.table.rows()
 
     def rows_batched(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[List[Row]]:
-        return self.table.rows_batched(batch_size)
+        return self.table.rows_batched(batch_size, use_segments=self.use_segments)
 
     def label(self) -> str:
         return f"SeqScan({self.table.name} AS {self.alias})"
@@ -134,6 +147,8 @@ class SeqScan(Operator):
 
 class IndexEqScan(Operator):
     """Point lookup: rows whose index key equals *key*."""
+
+    prefetch_hint = "point"
 
     def __init__(self, table: Table, index: Index, key: Tuple[Any, ...], alias: Optional[str] = None) -> None:
         self.table = table
@@ -157,6 +172,8 @@ class IndexEqScan(Operator):
 
 class IndexRangeScan(Operator):
     """Ordered scan of a B+-tree index between two single-column bounds."""
+
+    prefetch_hint = "range"
 
     def __init__(
         self,
@@ -193,10 +210,12 @@ class IndexRangeScan(Operator):
         ):
             rids.append(rid)
             if len(rids) >= batch_size:
-                yield read_many(rids)
+                # Range batches tend to land on page runs; warm them with
+                # batched reads instead of one point read per rid.
+                yield read_many(rids, prefetch=True)
                 rids = []
         if rids:
-            yield read_many(rids)
+            yield read_many(rids, prefetch=True)
 
     def label(self) -> str:
         low = "-inf" if self.low is None else repr(self.low)

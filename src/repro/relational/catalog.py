@@ -34,6 +34,7 @@ SYSTEM_TABLE_NAMES = (
     "_plan_stats",
     "_table_stats",
     "_sessions",
+    "_storage",
 )
 
 

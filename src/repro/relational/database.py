@@ -49,7 +49,7 @@ from repro.obs.statlog import (
 from repro.relational import expr as E
 from repro.relational import exprcompile
 from repro.relational.algebra import EXEC_METRICS, Operator
-from repro.relational.catalog import Catalog
+from repro.relational.catalog import SYSTEM_TABLE_NAMES, Catalog
 from repro.relational.faults import DEFAULT_IO, IOShim
 from repro.relational.heap import HeapFile, RowId
 from repro.relational.integrity import (
@@ -61,8 +61,9 @@ from repro.relational.integrity import (
     rollback_checkpoint_journal,
     write_checkpoint_journal,
 )
-from repro.relational.pager import FilePager, MemoryPager
+from repro.relational.pager import DEFAULT_PREFETCH_PAGES, FilePager, MemoryPager
 from repro.relational.plancache import CacheEntry, PlanCache
+from repro.relational.segments import DEFAULT_SEGMENT_ROWS
 from repro.relational.planner import Planner, PlannerConfig
 from repro.relational.schema import Column, ForeignKey, TableSchema
 from repro.relational.table import Table
@@ -192,11 +193,22 @@ class Database:
         statlog_path: Optional[str] = None,
         statlog_sample_every: int = 0,
         io: Optional[IOShim] = None,
+        pool_size: int = 256,
+        prefetch_pages: int = DEFAULT_PREFETCH_PAGES,
+        segment_cache_rows: int = DEFAULT_SEGMENT_ROWS,
     ) -> None:
         self.path = path
         #: I/O shim every durability-relevant call goes through; tests
         #: inject a FaultInjector here (see repro.relational.faults)
         self._io = io if io is not None else DEFAULT_IO
+        #: buffer-pool page target per heap file (the pool grows past it
+        #: only while dirty/pinned pages forbid eviction)
+        self.pool_size = pool_size
+        #: read-ahead window for sequential scans (0 disables prefetch
+        #: and the pinned-scan path with it)
+        self.prefetch_pages = prefetch_pages
+        #: per-table cap on columnar-segment-cache rows (0 disables)
+        self.segment_cache_rows = segment_cache_rows
         #: True once corruption was detected: every write path refuses
         #: with ReadOnlyError, checkpoints become no-ops, and close()
         #: leaves the (possibly damaged, still diagnosable) files alone
@@ -287,6 +299,7 @@ class Database:
         from repro.obs.systables import register_telemetry_tables
 
         register_telemetry_tables(self)
+        self._apply_storage_limits()
         if self.wal is not None:
             self.txn.on_commit.append(self.wal.commit)
             self.txn.on_rollback.append(self.wal.discard_pending)
@@ -477,6 +490,18 @@ class Database:
         """Bump the plan-cache generation (and absorb the catalog's)."""
         self.plan_cache.invalidate()
         self._catalog_generation_seen = self.catalog.generation
+        # DDL may have created tables; size their segment stores too.
+        self._apply_storage_limits()
+
+    def _apply_storage_limits(self) -> None:
+        """Push the database's cache knobs onto every table's stores."""
+        for table in self.catalog.tables():
+            store = getattr(table, "segments", None)
+            if store is None:
+                continue
+            store.max_rows = self.segment_cache_rows
+            if self.segment_cache_rows <= 0:
+                store.clear()
 
     def _lookup_statement(self, sql: str) -> CacheEntry:
         """The cache entry for *sql*, parsing and registering on a miss."""
@@ -724,6 +749,26 @@ class Database:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+
+    def vacuum(self, table_name: Optional[str] = None) -> Dict[str, Dict[str, int]]:
+        """Compact fragmented heap pages in place; returns per-table stats.
+
+        In-page compaction preserves every RowId (records keep their
+        (page, slot) address), so indexes stay valid and no locks beyond
+        the engine latch are needed.  The reclaimed space is immediately
+        visible to the free-space map, so subsequent inserts fill the
+        compacted pages instead of growing the file.  Durability rides the
+        normal checkpoint path — vacuum only dirties pool pages.
+        """
+        with self._latch:
+            self._require_writable()
+            if table_name is not None:
+                if table_name.lower() in SYSTEM_TABLE_NAMES:
+                    raise CatalogError(f"cannot vacuum system table {table_name!r}")
+                tables = [self.catalog.table(table_name)]
+            else:
+                tables = self.catalog.tables()
+            return {table.name: table.heap.vacuum() for table in tables}
 
     def checkpoint(self) -> None:
         """Flush all data to disk and truncate the WAL (no-op in memory).
@@ -1252,6 +1297,7 @@ class Database:
         histograms when this database shares the process default registry).
         """
         pager_stats: Dict[str, int] = {}
+        segment_stats: Dict[str, int] = {}
         btree_stats = {"trees": 0, "node_visits": 0, "max_depth": 0}
         for table in self.catalog.tables():
             pager = getattr(table.heap, "_pager", None)
@@ -1259,6 +1305,12 @@ class Database:
             if stats:
                 for key, value in stats.items():
                     pager_stats[key] = pager_stats.get(key, 0) + value
+            for key, value in table.heap.free_space_stats().items():
+                pager_stats[key] = pager_stats.get(key, 0) + value
+            store = getattr(table, "segments", None)
+            if store is not None:
+                for key, value in store.snapshot().items():
+                    segment_stats[key] = segment_stats.get(key, 0) + value
             for index in table.indexes.values():
                 tree = getattr(index, "_tree", None)
                 if tree is not None:
@@ -1274,6 +1326,7 @@ class Database:
         return {
             "statements": dict(self.stats),
             "pager": pager_stats,
+            "segments": segment_stats,
             "wal": dict(self.wal.stats) if self.wal is not None else {},
             "btree": btree_stats,
             "txn": txn_stats,
@@ -1944,7 +1997,12 @@ class Database:
     # ------------------------------------------------------------------
 
     def _disk_heap(self, name: str) -> HeapFile:
-        pager = FilePager(os.path.join(self.path, f"{name}.heap"), io=self._io)
+        pager = FilePager(
+            os.path.join(self.path, f"{name}.heap"),
+            pool_size=self.pool_size,
+            io=self._io,
+            prefetch_pages=self.prefetch_pages,
+        )
         self._pagers[name] = pager
         return HeapFile(pager)
 

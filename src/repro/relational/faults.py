@@ -56,6 +56,20 @@ class IOShim:
                 raise OSError(f"write returned {written}")
             view = view[written:]
 
+    def pread(self, fd: int, length: int, offset: int) -> bytes:
+        """Positioned read (pager page fetches, WAL recovery scans).
+
+        Reads are not durability-*mutating*, but a dying disk fails them
+        too; routing them through the shim lets the exhaustion harness
+        crash between a read and the decision made from it, and lets
+        tests inject short/failing reads.
+        """
+        return os.pread(fd, length, offset)
+
+    def fstat(self, fd: int) -> os.stat_result:
+        """``os.fstat`` for engine file descriptors (size probes)."""
+        return os.fstat(fd)
+
     def fsync(self, fd: int) -> None:
         os.fsync(fd)
 
@@ -100,6 +114,10 @@ class FaultInjector(IOShim):
     fail_fsync:
         Every ``fsync``/``fsync_dir`` raises ``OSError`` (disk reporting a
         flush failure) instead of syncing.
+    fail_reads:
+        Every ``pread`` raises ``OSError`` (unreadable sector) — the read
+        fault point the buffer pool must surface as a StorageError, never
+        as silently zeroed data.
     real_fsync:
         When False (the default), counted fsyncs skip the actual
         ``os.fsync`` — same-process reopen sees ``os.write`` data anyway,
@@ -113,12 +131,14 @@ class FaultInjector(IOShim):
         torn: bool = False,
         short_writes: Optional[int] = None,
         fail_fsync: bool = False,
+        fail_reads: bool = False,
         real_fsync: bool = False,
     ) -> None:
         self.crash_at = crash_at
         self.torn = torn
         self.short_writes = short_writes
         self.fail_fsync = fail_fsync
+        self.fail_reads = fail_reads
         self.real_fsync = real_fsync
         #: running I/O call count (1-based at the first call)
         self.io_calls = 0
@@ -151,6 +171,16 @@ class FaultInjector(IOShim):
         if self.short_writes is not None and len(data) > self.short_writes:
             return os.write(fd, data[: self.short_writes])
         return os.write(fd, data)
+
+    def pread(self, fd: int, length: int, offset: int) -> bytes:
+        self._point("pread", f"fd={fd} len={length} off={offset}")
+        if self.fail_reads:
+            raise OSError(f"injected read failure on fd {fd}")
+        return os.pread(fd, length, offset)
+
+    def fstat(self, fd: int) -> os.stat_result:
+        self._point("fstat", f"fd={fd}")
+        return os.fstat(fd)
 
     def fsync(self, fd: int) -> None:
         self._point("fsync", f"fd={fd}")

@@ -6,6 +6,16 @@ a :class:`~repro.relational.pager.Pager`.  Records are addressed by a stable
 updates that grow beyond the page's free space move the record and return a
 new RowId (the table layer fixes up indexes).
 
+Space freed by deletes is reused: a lazily built :class:`FreeSpaceMap`
+tracks every page's reclaimable bytes in power-of-two buckets, so inserts
+find a page with room in O(1) instead of growing the file, and
+:meth:`HeapFile.vacuum` compacts fragmented pages in place (RowIds are
+(page, slot), so in-page compaction never invalidates an address).
+
+Sequential scans go through the pager's ``read_pages`` prefetch batch API
+and pin the pages they are iterating, so a concurrent admission can never
+evict a page out from under the scan.
+
 Page layout::
 
     bytes 0..2   slot_count  (uint16 BE)
@@ -20,7 +30,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import StorageError
 from repro.relational.pager import PAGE_SIZE, Pager
@@ -33,6 +43,9 @@ _SLOT_SIZE = _SLOT.size
 
 #: Largest record a page can hold (header + one slot overhead).
 MAX_RECORD_SIZE = PAGE_SIZE - _HEADER_SIZE - _SLOT_SIZE
+
+#: pages with fewer reclaimable bytes than this are not worth tracking
+_FSM_MIN_FREE = 16
 
 
 @dataclass(frozen=True, order=True)
@@ -111,6 +124,54 @@ class _PageView:
         self.set_header(self.slot_count, write_pos)
 
 
+class FreeSpaceMap:
+    """Bucketized page -> reclaimable-bytes index.
+
+    Bucket *k* holds pages whose recorded free bytes lie in
+    ``[2**k, 2**(k+1))``, so ``find(needed)`` starts at the first bucket
+    whose floor guarantees the fit and returns any member — O(buckets)
+    worst case, no per-page scan.  Conservative by design: a page whose
+    free bytes fall between ``needed`` and the bucket floor may be
+    skipped, which only costs space, never correctness.
+    """
+
+    _BUCKETS = PAGE_SIZE.bit_length()  # free bytes < PAGE_SIZE always
+
+    def __init__(self) -> None:
+        self._free: Dict[int, int] = {}
+        self._buckets: List[Set[int]] = [set() for _ in range(self._BUCKETS)]
+
+    @staticmethod
+    def _bucket(free: int) -> int:
+        return free.bit_length() - 1
+
+    def record(self, page_no: int, free: int) -> None:
+        """Set page *page_no*'s reclaimable bytes (drops tiny remnants)."""
+        old = self._free.pop(page_no, None)
+        if old is not None:
+            self._buckets[self._bucket(old)].discard(page_no)
+        if free < _FSM_MIN_FREE:
+            return
+        self._free[page_no] = free
+        self._buckets[self._bucket(free)].add(page_no)
+
+    def find(self, needed: int) -> Optional[int]:
+        """A page guaranteed to hold *needed* reclaimable bytes, or None."""
+        if needed <= 0:
+            needed = 1
+        for k in range((needed - 1).bit_length() if needed > 1 else 0, self._BUCKETS):
+            bucket = self._buckets[k]
+            if bucket:
+                return next(iter(bucket))
+        return None
+
+    def pages_tracked(self) -> int:
+        return len(self._free)
+
+    def free_bytes_total(self) -> int:
+        return sum(self._free.values())
+
+
 class HeapFile:
     """A bag of byte records over a pager, addressed by RowId."""
 
@@ -119,6 +180,10 @@ class HeapFile:
         # Page numbers that recently had free room, checked before extending.
         self._free_hint: Optional[int] = None
         self._count: Optional[int] = None  # lazy live-record count cache
+        self._fsm: Optional[FreeSpaceMap] = None  # built on first insert miss
+        #: bumped on every mutation; cache layers (columnar segments) key
+        #: their entries on it so a stale snapshot can never be served
+        self.data_version = 0
 
     # -- basic operations ------------------------------------------------
 
@@ -127,6 +192,7 @@ class HeapFile:
         rid = self._insert_no_count(record)
         if self._count is not None:
             self._count += 1
+        self.data_version += 1
         return rid
 
     def _insert_no_count(self, record: bytes) -> RowId:
@@ -141,6 +207,8 @@ class HeapFile:
                 f"record of {len(record)} bytes exceeds max {MAX_RECORD_SIZE}"
             )
         rid = self._try_insert_into_hint(record)
+        if rid is None:
+            rid = self._try_insert_from_fsm(record)
         if rid is None:
             rid = self._insert_scan(record)
         return rid
@@ -163,8 +231,10 @@ class HeapFile:
         view.set_slot(rid.slot, _DEAD, 0)
         self._pager.mark_dirty(rid.page)
         self._free_hint = rid.page
+        self._fsm_record(rid.page, view)
         if self._count is not None:
             self._count -= 1
+        self.data_version += 1
 
     def update(self, rid: RowId, record: bytes) -> RowId:
         """Replace the record at *rid*; returns the (possibly new) RowId."""
@@ -183,6 +253,8 @@ class HeapFile:
             view.data[offset : offset + len(record)] = record
             view.set_slot(rid.slot, offset, len(record))
             self._pager.mark_dirty(rid.page)
+            self._fsm_record(rid.page, view)
+            self.data_version += 1
             return rid
         # Try to grow within the same page via its contiguous region.
         needed = len(record)
@@ -194,6 +266,8 @@ class HeapFile:
             view.set_slot(rid.slot, new_end, needed)
             view.set_header(view.slot_count, new_end)
             self._pager.mark_dirty(rid.page)
+            self._fsm_record(rid.page, view)
+            self.data_version += 1
             return rid
         # Relocate to another page.  A move never changes the live count,
         # so free the old slot and place the record through the uncounted
@@ -201,7 +275,10 @@ class HeapFile:
         view.set_slot(rid.slot, _DEAD, 0)
         self._pager.mark_dirty(rid.page)
         self._free_hint = rid.page
-        return self._insert_no_count(record)
+        self._fsm_record(rid.page, view)
+        new_rid = self._insert_no_count(record)
+        self.data_version += 1
+        return new_rid
 
     # -- iteration ---------------------------------------------------------
 
@@ -211,29 +288,84 @@ class HeapFile:
             for slot_no, offset, length in live:
                 yield RowId(page_no, slot_no), bytes(data[offset : offset + length])
 
-    def scan_pages(self) -> Iterator[Tuple[int, bytearray, List[Tuple[int, int, int]]]]:
+    def scan_pages(
+        self, start: int = 0, stop: Optional[int] = None
+    ) -> Iterator[Tuple[int, bytearray, List[Tuple[int, int, int]]]]:
         """Yield (page_no, page data, live slot entries) per non-empty page.
 
         Each live entry is (slot_no, offset, length).  The whole slot
         directory is decoded in one ``struct.iter_unpack`` pass instead of
         one ``unpack_from`` per slot; batch consumers (``Table.
         scan_batched``) decode records straight out of the page buffer.
+
+        On a pager with a prefetch window, pages are fetched a window at a
+        time through ``read_pages`` (one positioned read per contiguous
+        miss run) and stay *pinned* while the caller holds their buffers —
+        an insert landing mid-scan can grow the pool past target but can
+        never evict a page this generator has yielded from the current
+        window.
         """
+        total = self._pager.page_count()
+        stop = total if stop is None else min(stop, total)
+        start = max(start, 0)
+        window = getattr(self._pager, "prefetch_pages", 0)
+        if window and stop > start:
+            yield from self._scan_pages_prefetch(start, stop, window)
+            return
         read_page = self._pager.read_page
-        iter_unpack = _SLOT.iter_unpack
-        for page_no in range(self._pager.page_count()):
-            data = read_page(page_no)
-            slot_count = _HEADER.unpack_from(data, 0)[0]
-            if not slot_count:
-                continue
-            directory = memoryview(data)[_HEADER_SIZE : _HEADER_SIZE + slot_count * _SLOT_SIZE]
-            live = [
-                (slot_no, offset, length)
-                for slot_no, (offset, length) in enumerate(iter_unpack(directory))
-                if offset != _DEAD
-            ]
+        for page_no in range(start, stop):
+            live = self._live_slots(data := read_page(page_no))
             if live:
                 yield page_no, data, live
+
+    def _scan_pages_prefetch(
+        self, start: int, stop: int, window: int
+    ) -> Iterator[Tuple[int, bytearray, List[Tuple[int, int, int]]]]:
+        pager = self._pager
+        for lo in range(start, stop, window):
+            n = min(window, stop - lo)
+            pages = pager.read_pages(lo, n, pin=True)
+            try:
+                for i, data in enumerate(pages):
+                    live = self._live_slots(data)
+                    if live:
+                        yield lo + i, data, live
+            finally:
+                for i in range(n):
+                    pager.unpin(lo + i)
+
+    @staticmethod
+    def _live_slots(data: bytearray) -> List[Tuple[int, int, int]]:
+        slot_count = _HEADER.unpack_from(data, 0)[0]
+        if not slot_count:
+            return []
+        directory = memoryview(data)[_HEADER_SIZE : _HEADER_SIZE + slot_count * _SLOT_SIZE]
+        return [
+            (slot_no, offset, length)
+            for slot_no, (offset, length) in enumerate(_SLOT.iter_unpack(directory))
+            if offset != _DEAD
+        ]
+
+    def prefetch(self, pages: Sequence[int]) -> None:
+        """Warm the pool for an upcoming point-read batch (index scans).
+
+        Groups the sorted distinct page numbers into contiguous runs and
+        issues one ``read_pages`` per run; a no-op on pagers without a
+        prefetch window.
+        """
+        if not getattr(self._pager, "prefetch_pages", 0):
+            return
+        total = self._pager.page_count()
+        wanted = sorted({p for p in pages if 0 <= p < total})
+        if not wanted:
+            return
+        run_start = prev = wanted[0]
+        for page_no in wanted[1:]:
+            if page_no != prev + 1:
+                self._pager.read_pages(run_start, prev - run_start + 1)
+                run_start = page_no
+            prev = page_no
+        self._pager.read_pages(run_start, prev - run_start + 1)
 
     def count(self) -> int:
         """Number of live records (cached after first full scan)."""
@@ -249,10 +381,59 @@ class HeapFile:
         """Flush underlying pager."""
         self._pager.flush()
 
+    # -- maintenance ---------------------------------------------------------
+
+    def vacuum(self) -> Dict[str, int]:
+        """Compact every fragmented page in place; returns work stats.
+
+        In-page compaction slides live records together without touching
+        slot numbers, so RowIds — and therefore every index entry —
+        remain valid.  Rebuilds the free-space map from the compacted
+        truth as a side effect.
+        """
+        fsm = self._fsm = FreeSpaceMap()
+        pages = self._pager.page_count()
+        compacted = 0
+        reclaimed = 0
+        for page_no in range(pages):
+            view = self._view(page_no)
+            holes = view.fragmented_free() - view.contiguous_free()
+            if holes > 0:
+                view.compact()
+                self._pager.mark_dirty(page_no)
+                compacted += 1
+                reclaimed += holes
+            fsm.record(page_no, view.fragmented_free())
+        self.data_version += 1
+        return {"pages": pages, "compacted": compacted, "reclaimed_bytes": reclaimed}
+
+    def free_space_stats(self) -> Dict[str, int]:
+        """Free-space-map telemetry (zeros until the map is first built)."""
+        if self._fsm is None:
+            return {"fsm_pages": 0, "fsm_free_bytes": 0}
+        return {
+            "fsm_pages": self._fsm.pages_tracked(),
+            "fsm_free_bytes": self._fsm.free_bytes_total(),
+        }
+
     # -- internals -----------------------------------------------------------
 
     def _view(self, page_no: int) -> _PageView:
         return _PageView(self._pager.read_page(page_no))
+
+    def _fsm_record(self, page_no: int, view: _PageView) -> None:
+        if self._fsm is not None:
+            self._fsm.record(page_no, view.fragmented_free())
+
+    def _ensure_fsm(self) -> FreeSpaceMap:
+        if self._fsm is None:
+            # One-time full sweep; afterwards every mutation maintains the
+            # map incrementally, so inserts stop re-scanning the file.
+            fsm = FreeSpaceMap()
+            for page_no in range(self._pager.page_count()):
+                fsm.record(page_no, self._view(page_no).fragmented_free())
+            self._fsm = fsm
+        return self._fsm
 
     def _try_insert_into_hint(self, record: bytes) -> Optional[RowId]:
         if self._free_hint is None or self._free_hint >= self._pager.page_count():
@@ -261,6 +442,22 @@ class HeapFile:
         if rid is None:
             self._free_hint = None
         return rid
+
+    def _try_insert_from_fsm(self, record: bytes) -> Optional[RowId]:
+        fsm = self._ensure_fsm()
+        # +_SLOT_SIZE keeps the guarantee even when the page has no dead
+        # slot to reuse; the map may briefly disagree with a page only if
+        # a caller mutated pages behind the heap's back, so cap the retry.
+        for _ in range(4):
+            page_no = fsm.find(len(record) + _SLOT_SIZE)
+            if page_no is None or page_no >= self._pager.page_count():
+                return None
+            rid = self._insert_into_page(page_no, record)
+            if rid is not None:
+                self._free_hint = page_no
+                return rid
+            fsm.record(page_no, self._view(page_no).fragmented_free())
+        return None
 
     def _insert_scan(self, record: bytes) -> RowId:
         # Try the last page, then extend.  (Scanning every page on every
@@ -299,4 +496,5 @@ class HeapFile:
         view.set_slot(slot_no, new_end, needed)
         view.set_header(view.slot_count, new_end)
         self._pager.mark_dirty(page_no)
+        self._fsm_record(page_no, view)
         return RowId(page_no, slot_no)

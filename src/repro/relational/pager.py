@@ -1,22 +1,47 @@
-"""Fixed-size pages and a buffer-pool pager.
+"""Fixed-size pages and the v2 buffer-pool pager.
 
 The on-disk backend stores each heap in its own file of 4 KiB pages.  The
-:class:`Pager` mediates all page I/O through an LRU buffer pool with a dirty
-set, so the heap layer never touches the file directly.  An in-memory pager
-shares the same interface, which keeps the heap code identical across
-backends and lets tests inject failures at the page boundary.
+:class:`FilePager` mediates all page I/O through a buffer pool with
+
+* **LRU-K (K=2) eviction** in the 2Q/SLRU style: pages referenced once
+  while resident sit in a *probation* queue and are evicted FIFO before
+  any page in the *protected* queue (referenced twice or more, kept in
+  LRU order).  A sequential scan therefore flows through probation
+  without flushing the hot set — the classic LRU-K scan-resistance
+  property, with O(1) work per access and per eviction;
+* **pin counts**: a pinned page is never evicted, whatever its queue
+  status.  Scans pin the page they are iterating (see
+  :meth:`~repro.relational.heap.HeapFile.scan_pages`);
+* **no-steal**: dirty pages are never evicted either, so the data file
+  never reflects un-checkpointed state and WAL replay from the last
+  checkpoint stays exact.  When every pooled page is dirty or pinned the
+  pool grows past its target until the next ``flush()`` (or unpin)
+  shrinks it back;
+* **read-ahead prefetch**: :meth:`FilePager.read_pages` fetches a run of
+  pages with one positioned read per contiguous miss run instead of one
+  syscall per page — the batch API sequential heap scans and index-range
+  scans sit on.
+
+An in-memory pager shares the same interface (with hit/miss/eviction
+counter parity), which keeps the heap code identical across backends and
+lets tests inject failures at the page boundary.  All file I/O goes
+through the :class:`~repro.relational.faults.IOShim`, reads included, so
+the fault-injection harness can crash, fail, or count every call.
 """
 
 from __future__ import annotations
 
 import collections
 import os
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import StorageError
 from repro.relational.faults import DEFAULT_IO, IOShim
 
 PAGE_SIZE = 4096
+
+#: default number of pages fetched per positioned read by ``read_pages``
+DEFAULT_PREFETCH_PAGES = 32
 
 
 class Pager:
@@ -33,6 +58,25 @@ class Pager:
         """Return the (mutable, pooled) contents of page *page_no*."""
         raise NotImplementedError
 
+    def read_pages(self, start: int, count: int, pin: bool = False) -> List[bytearray]:
+        """Pages ``start .. start+count-1`` in order (prefetch batch API).
+
+        The default implementation degrades to per-page reads; pool-backed
+        pagers override it with one positioned read per miss run.  With
+        ``pin=True`` every returned page is pinned (the caller unpins).
+        """
+        pages = [self.read_page(start + i) for i in range(count)]
+        if pin:
+            for i in range(count):
+                self.pin(start + i)
+        return pages
+
+    def pin(self, page_no: int) -> None:
+        """Forbid eviction of *page_no* until the matching :meth:`unpin`."""
+
+    def unpin(self, page_no: int) -> None:
+        """Release one pin on *page_no*."""
+
     def mark_dirty(self, page_no: int) -> None:
         """Record that the pooled copy of *page_no* was modified."""
         raise NotImplementedError
@@ -47,13 +91,27 @@ class Pager:
 
 
 class MemoryPager(Pager):
-    """A pager backed by a plain list of bytearrays (no persistence)."""
+    """A pager backed by a plain list of bytearrays (no persistence).
+
+    Every page is always "resident", so reads are hits and nothing is
+    ever evicted — but the counters carry the same keys as
+    :class:`FilePager` so ``metrics_snapshot()`` and the benchmarks
+    report comparable storage stats across backends.
+    """
 
     def __init__(self) -> None:
         self._pages: list = []
         self._dirty: set = set()
         #: statistics counters, exposed for metrics_snapshot/benchmarks
-        self.stats: Dict[str, int] = {"reads": 0, "writes": 0}
+        #: (hit/miss/eviction parity with FilePager; misses and evictions
+        #: stay zero because memory pages are never dropped)
+        self.stats: Dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "writes": 0,
+            "prefetched": 0,
+        }
 
     def page_count(self) -> int:
         return len(self._pages)
@@ -63,7 +121,7 @@ class MemoryPager(Pager):
         return len(self._pages) - 1
 
     def read_page(self, page_no: int) -> bytearray:
-        self.stats["reads"] += 1
+        self.stats["hits"] += 1
         try:
             return self._pages[page_no]
         except IndexError as exc:
@@ -83,31 +141,53 @@ class MemoryPager(Pager):
 
 
 class FilePager(Pager):
-    """A pager over a single file with an LRU buffer pool.
+    """A pager over a single file with an LRU-K buffer pool (see the
+    module docstring for the eviction, pinning, and prefetch design).
 
     Parameters
     ----------
     path:
         File to open (created if missing).
     pool_size:
-        Maximum number of pages resident in the pool; evictions write back
-        dirty pages.  Must be >= 1.
+        Target number of pages resident in the pool.  Must be >= 1.  The
+        pool exceeds the target only while dirty or pinned pages make
+        every candidate unevictable (no-steal).
     io:
-        The I/O shim durability-relevant calls go through (fault injection;
-        see :mod:`repro.relational.faults`).  Defaults to plain ``os``.
+        The I/O shim every file call goes through (fault injection; see
+        :mod:`repro.relational.faults`).  Defaults to plain ``os``.
+    prefetch_pages:
+        How many pages :meth:`read_pages` callers should request per
+        batch (advisory; heap scans read it).  0 disables read-ahead.
     """
 
-    def __init__(self, path: str, pool_size: int = 256, io: Optional[IOShim] = None) -> None:
+    def __init__(
+        self,
+        path: str,
+        pool_size: int = 256,
+        io: Optional[IOShim] = None,
+        prefetch_pages: int = DEFAULT_PREFETCH_PAGES,
+    ) -> None:
         if pool_size < 1:
             raise StorageError("pool_size must be >= 1")
         self.path = path
         self._io = io if io is not None else DEFAULT_IO
         self._pool_size = pool_size
-        self._pool: "collections.OrderedDict[int, bytearray]" = collections.OrderedDict()
-        self._dirty: set = set()
+        #: advisory read-ahead window for scan consumers (0 = disabled)
+        self.prefetch_pages = max(0, prefetch_pages)
+        self._pool: Dict[int, bytearray] = {}
+        self._dirty: Set[int] = set()
+        #: page -> pin count (only pages with a nonzero count appear)
+        self._pins: Dict[int, int] = {}
+        #: pages referenced at least twice while resident (LRU-K status)
+        self._hot: Set[int] = set()
+        #: eviction queues: only clean, unpinned pages are members.
+        #: probation holds single-reference pages (FIFO, evicted first);
+        #: protected holds re-referenced pages in LRU order.
+        self._probation: "collections.OrderedDict[int, None]" = collections.OrderedDict()
+        self._protected: "collections.OrderedDict[int, None]" = collections.OrderedDict()
         flags = os.O_RDWR | os.O_CREAT
         self._fd: Optional[int] = self._io.open(path, flags, 0o644)
-        size = os.fstat(self._fd).st_size
+        size = self._io.fstat(self._fd).st_size
         if size % PAGE_SIZE != 0:
             raise StorageError(
                 f"{path!r} is torn: size {size} is not a multiple of {PAGE_SIZE}"
@@ -120,6 +200,9 @@ class FilePager(Pager):
             "evictions": 0,
             "writes": 0,
             "fsyncs": 0,
+            "prefetched": 0,
+            "prefetch_io": 0,
+            "pool_overflows": 0,
         }
 
     # -- Pager interface -----------------------------------------------------
@@ -134,19 +217,20 @@ class FilePager(Pager):
         page = bytearray(PAGE_SIZE)
         self._admit(page_no, page)
         self._dirty.add(page_no)
+        self._unqueue(page_no)  # dirty from birth: not evictable
         return page_no
 
     def read_page(self, page_no: int) -> bytearray:
         self._require_open()
         if not 0 <= page_no < self._page_count:
             raise StorageError(f"no such page {page_no} in {self.path!r}")
-        if page_no in self._pool:
+        page = self._pool.get(page_no)
+        if page is not None:
             self.stats["hits"] += 1
-            self._pool.move_to_end(page_no)
-            return self._pool[page_no]
+            self._touch(page_no)
+            return page
         self.stats["misses"] += 1
-        os.lseek(self._fd, page_no * PAGE_SIZE, os.SEEK_SET)
-        data = os.read(self._fd, PAGE_SIZE)
+        data = self._pread(PAGE_SIZE, page_no * PAGE_SIZE)
         if len(data) != PAGE_SIZE:
             # The page was allocated but never flushed; it is all zeros.
             data = data.ljust(PAGE_SIZE, b"\0")
@@ -154,12 +238,82 @@ class FilePager(Pager):
         self._admit(page_no, page)
         return page
 
+    def read_pages(self, start: int, count: int, pin: bool = False) -> List[bytearray]:
+        """Pages ``start .. start+count-1``, one positioned read per
+        contiguous miss run (the sequential-scan prefetch path)."""
+        self._require_open()
+        if count <= 0:
+            return []
+        if start < 0 or start + count > self._page_count:
+            raise StorageError(
+                f"page range [{start}, {start + count}) out of bounds "
+                f"in {self.path!r}"
+            )
+        pool = self._pool
+        pages: List[Optional[bytearray]] = []
+        run_start: Optional[int] = None
+        runs: List[Tuple[int, int]] = []  # (first page, length) miss runs
+        for page_no in range(start, start + count):
+            page = pool.get(page_no)
+            if page is not None:
+                self.stats["hits"] += 1
+                self._touch(page_no)
+                if pin:
+                    # Pin as we go: a later admission in this same batch
+                    # must never evict a page the caller was promised.
+                    self.pin(page_no)
+                if run_start is not None:
+                    runs.append((run_start, page_no - run_start))
+                    run_start = None
+            elif run_start is None:
+                run_start = page_no
+            pages.append(page)
+        if run_start is not None:
+            runs.append((run_start, start + count - run_start))
+        for first, length in runs:
+            data = self._pread(length * PAGE_SIZE, first * PAGE_SIZE)
+            if len(data) != length * PAGE_SIZE:
+                data = data.ljust(length * PAGE_SIZE, b"\0")
+            self.stats["misses"] += length
+            self.stats["prefetched"] += length
+            self.stats["prefetch_io"] += 1
+            view = memoryview(data)
+            for i in range(length):
+                page = bytearray(view[i * PAGE_SIZE : (i + 1) * PAGE_SIZE])
+                self._admit(first + i, page)
+                if pin:
+                    self.pin(first + i)
+                pages[first + i - start] = page
+        return pages  # type: ignore[return-value]
+
+    def pin(self, page_no: int) -> None:
+        if page_no not in self._pool:
+            raise StorageError(
+                f"page {page_no} not resident; read it before pinning"
+            )
+        self._pins[page_no] = self._pins.get(page_no, 0) + 1
+        self._unqueue(page_no)
+
+    def unpin(self, page_no: int) -> None:
+        count = self._pins.get(page_no)
+        if count is None:
+            raise StorageError(f"page {page_no} is not pinned")
+        if count > 1:
+            self._pins[page_no] = count - 1
+            return
+        del self._pins[page_no]
+        if page_no in self._pool and page_no not in self._dirty:
+            self._enqueue(page_no)
+        # A pinned scan chunk may have ballooned the pool; shrink back.
+        self._shrink_to_target()
+
     def mark_dirty(self, page_no: int) -> None:
         if page_no not in self._pool:
             raise StorageError(
                 f"page {page_no} not resident; read it before mutating"
             )
         self._dirty.add(page_no)
+        self._unqueue(page_no)
 
     def flush(self) -> None:
         if self._fd is None:
@@ -167,18 +321,19 @@ class FilePager(Pager):
         if not self._dirty:
             # Clean pool: nothing to write back, so the fsync (and its
             # counter) would only charge callers for a durability no-op.
-            # The pool can only overflow its target while dirty pages pin
-            # it (no-steal), so there is nothing to shrink here either.
             return
-        for page_no in sorted(self._dirty):
+        flushed = sorted(self._dirty)
+        for page_no in flushed:
             self._write_back(page_no)
         self._dirty.clear()
         self._io.fsync(self._fd)
         self.stats["fsyncs"] += 1
-        # Shrink an overflowed pool back to its target (oldest-first).
-        while len(self._pool) > self._pool_size:
-            self._pool.popitem(last=False)
-            self.stats["evictions"] += 1
+        # Freshly clean pages become evictable again (unless pinned) ...
+        for page_no in flushed:
+            if page_no in self._pool and page_no not in self._pins:
+                self._enqueue(page_no)
+        # ... and an overflowed pool shrinks back to its target.
+        self._shrink_to_target()
 
     def close(self, flush: bool = True) -> None:
         """Release the file handle; *flush=False* abandons dirty pages
@@ -191,6 +346,29 @@ class FilePager(Pager):
         self._fd = None
         self._pool.clear()
         self._dirty.clear()
+        self._pins.clear()
+        self._hot.clear()
+        self._probation.clear()
+        self._protected.clear()
+
+    # -- pool introspection (the _storage telemetry table reads these) -------
+
+    def resident_pages(self) -> int:
+        """Pages currently held in the pool."""
+        return len(self._pool)
+
+    def pinned_pages(self) -> int:
+        """Pages with a nonzero pin count."""
+        return len(self._pins)
+
+    def dirty_page_count(self) -> int:
+        """Pages awaiting write-back."""
+        return len(self._dirty)
+
+    @property
+    def pool_size(self) -> int:
+        """The configured pool target."""
+        return self._pool_size
 
     # -- internals -----------------------------------------------------------
 
@@ -198,20 +376,81 @@ class FilePager(Pager):
         if self._fd is None:
             raise StorageError(f"pager for {self.path!r} is closed")
 
+    def _pread(self, length: int, offset: int) -> bytes:
+        """Positioned read surfacing device errors as StorageError — an
+        unreadable sector must become a diagnosable engine fault, never
+        silently zeroed data."""
+        try:
+            return self._io.pread(self._fd, length, offset)
+        except OSError as exc:
+            raise StorageError(
+                f"read of {length} bytes at offset {offset} in "
+                f"{self.path!r} failed: {exc}"
+            ) from exc
+
+    def _touch(self, page_no: int) -> None:
+        """Record a repeat reference: promote probation -> protected."""
+        if page_no in self._hot:
+            if page_no in self._protected:
+                self._protected.move_to_end(page_no)
+            return
+        self._hot.add(page_no)
+        if self._probation.pop(page_no, None) is not None:
+            self._protected[page_no] = None
+
+    def _enqueue(self, page_no: int) -> None:
+        """Make a clean, unpinned, resident page evictable."""
+        if page_no in self._hot:
+            self._protected[page_no] = None
+            self._protected.move_to_end(page_no)
+        else:
+            self._probation[page_no] = None
+            self._probation.move_to_end(page_no)
+
+    def _unqueue(self, page_no: int) -> None:
+        """Remove a page from the eviction queues (dirtied or pinned)."""
+        if self._probation.pop(page_no, None) is None:
+            self._protected.pop(page_no, None)
+
     def _admit(self, page_no: int, page: bytearray) -> None:
-        # No-steal policy: only clean pages may be evicted, so the data file
-        # never reflects uncommitted (un-checkpointed) state and WAL replay
-        # from the last checkpoint is exact.  If every pooled page is dirty
-        # the pool grows past its target size until the next flush().
-        if len(self._pool) >= self._pool_size:
-            for victim_no in self._pool:
-                if victim_no not in self._dirty:
-                    del self._pool[victim_no]
-                    self.stats["evictions"] += 1
-                    break
-            else:
-                self.stats["pool_overflows"] = self.stats.get("pool_overflows", 0) + 1
+        # No-steal policy: only clean, unpinned pages may be evicted, so
+        # the data file never reflects uncommitted (un-checkpointed) state
+        # and WAL replay from the last checkpoint is exact.  If every
+        # pooled page is dirty or pinned the pool grows past its target
+        # size until the next flush()/unpin().
+        if len(self._pool) >= self._pool_size and not self._evict_one():
+            self.stats["pool_overflows"] += 1
         self._pool[page_no] = page
+        self._hot.discard(page_no)  # fresh admission starts on probation
+        self._enqueue(page_no)
+
+    def _evict_one(self) -> bool:
+        """Drop one victim: probation FIFO first, then protected LRU.
+
+        O(1): both queues hold only clean, unpinned pages by construction,
+        so the head of either queue is always a legal victim.
+        """
+        if self._probation:
+            victim, _ = self._probation.popitem(last=False)
+        elif self._protected:
+            victim, _ = self._protected.popitem(last=False)
+        else:
+            return False
+        if victim in self._dirty or victim in self._pins:
+            # By construction unreachable; a broken queue discipline must
+            # fail loudly, never silently steal a dirty or pinned page.
+            raise StorageError(
+                f"eviction invariant violated: page {victim} is "
+                f"{'dirty' if victim in self._dirty else 'pinned'}"
+            )
+        del self._pool[victim]
+        self._hot.discard(victim)
+        self.stats["evictions"] += 1
+        return True
+
+    def _shrink_to_target(self) -> None:
+        while len(self._pool) > self._pool_size and self._evict_one():
+            pass
 
     def _write_back(self, page_no: int, page: Optional[bytearray] = None) -> None:
         if page is None:
@@ -231,7 +470,7 @@ class FilePager(Pager):
     def disk_page_count(self) -> int:
         """How many whole pages the *file* currently holds (not the pool)."""
         self._require_open()
-        return os.fstat(self._fd).st_size // PAGE_SIZE
+        return self._io.fstat(self._fd).st_size // PAGE_SIZE
 
     def read_page_from_disk(self, page_no: int) -> bytes:
         """The on-disk bytes of *page_no*, bypassing the buffer pool.
@@ -241,6 +480,5 @@ class FilePager(Pager):
         :meth:`read_page` does.
         """
         self._require_open()
-        os.lseek(self._fd, page_no * PAGE_SIZE, os.SEEK_SET)
-        data = os.read(self._fd, PAGE_SIZE)
+        data = self._pread(PAGE_SIZE, page_no * PAGE_SIZE)
         return data.ljust(PAGE_SIZE, b"\0")

@@ -58,6 +58,9 @@ class PlannerConfig:
     #: batch-at-a-time execution with compiled expressions; False forces
     #: the tuple-at-a-time path (the A/B baseline for bench_vectorized)
     vectorized: bool = True
+    #: serve vectorized SeqScans from the columnar segment cache when the
+    #: table's heap version matches (the A/B baseline for bench_bufferpool)
+    segment_cache: bool = True
     #: 'dp' (cost-based dynamic-programming enumeration, used when every
     #: joined table has ANALYZE stats) or 'greedy' (smallest-first heuristic)
     join_enumeration: str = "dp"
@@ -78,6 +81,7 @@ class PlannerConfig:
             self.enable_join_reorder,
             self.join_strategy,
             self.vectorized,
+            self.segment_cache,
             self.join_enumeration,
             self.max_dp_relations,
             self.adaptive_replan,
@@ -316,6 +320,17 @@ class Planner:
             layout = layout + E.RowLayout.for_table(binding.alias, binding.schema)
         return layout
 
+    def _seq_scan(self, table: Table, alias: str) -> Alg.SeqScan:
+        """A SeqScan carrying this config's segment-cache decision.
+
+        The flag rides on the operator instance, not the label, so EXPLAIN
+        text stays stable; the fingerprint entry for ``segment_cache``
+        keeps cached plans from crossing configurations.
+        """
+        scan = Alg.SeqScan(table, alias)
+        scan.use_segments = self.config.vectorized and self.config.segment_cache
+        return scan
+
     def _scan_for(self, binding: _Binding, pool: List[E.Expr]) -> Alg.Operator:
         """Build the access path for one binding, consuming pushable conjuncts."""
         mine: List[E.Expr] = []
@@ -335,7 +350,7 @@ class Planner:
             column_names = [c.name for c in binding.source.schema.columns]
             scan: Alg.Operator = Alg.Rename(inner, binding.alias, column_names)
         else:
-            scan = Alg.SeqScan(binding.source, binding.alias)
+            scan = self._seq_scan(binding.source, binding.alias)
             if (
                 mine
                 and self.config.enable_index_selection
@@ -501,12 +516,12 @@ class Planner:
                 self.metrics[metric] += 1
                 return op, [c for c in conjuncts if c not in used]
             self.metrics["seq_scans"] += 1
-            return Alg.SeqScan(table, binding.alias), conjuncts
+            return self._seq_scan(table, binding.alias), conjuncts
 
         rows = float(stats.row_count)
         seq_cost = stats.pages * SEQ_PAGE_COST + rows * CPU_TUPLE_COST
         best_metric = "seq_scans"
-        best_op: Alg.Operator = Alg.SeqScan(table, binding.alias)
+        best_op: Alg.Operator = self._seq_scan(table, binding.alias)
         best_used: Set[E.Expr] = set()
         best_cost = seq_cost
         for metric, op, used in candidates:

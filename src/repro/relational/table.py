@@ -19,6 +19,7 @@ from repro.relational.heap import HeapFile, RowId
 from repro.relational.indexes import BTreeIndex, Index, make_index
 from repro.relational.rowcodec import decode_row, encode_row, span_decoder
 from repro.relational.schema import TableSchema
+from repro.relational.segments import SEGMENT_PAGES, SegmentStore
 
 Row = Tuple[Any, ...]
 
@@ -29,6 +30,9 @@ class Table:
     def __init__(self, schema: TableSchema, heap: HeapFile) -> None:
         self.schema = schema
         self.heap = heap
+        #: columnar page-run cache for hot vectorized scans; the database
+        #: layer sizes it (or disables it with max_rows=0)
+        self.segments = SegmentStore()
         self.indexes: Dict[str, Index] = {}
         if schema.primary_key:
             self.add_index(
@@ -184,8 +188,20 @@ class Table:
         if batch:
             yield batch
 
-    def rows_batched(self, batch_size: int = 1024) -> Iterator[List[Row]]:
-        """All live rows in batches (no RowIds) — the executor's scan path."""
+    def rows_batched(
+        self, batch_size: int = 1024, use_segments: bool = False
+    ) -> Iterator[List[Row]]:
+        """All live rows in batches (no RowIds) — the executor's scan path.
+
+        With *use_segments*, rows are served page-run-at-a-time from the
+        table's :class:`~repro.relational.segments.SegmentStore`: a run
+        whose cached version matches ``heap.data_version`` skips the page
+        reads and record decoding entirely; a miss decodes the run once
+        (through the pinned, prefetching heap scan) and caches it.
+        """
+        if use_segments and self.segments.max_rows > 0:
+            yield from self._rows_batched_segments(batch_size)
+            return
         decode = span_decoder(self.schema)
         batch: List[Row] = []
         append = batch.append
@@ -200,8 +216,43 @@ class Table:
         if batch:
             yield batch
 
-    def read_many(self, rids: Sequence[RowId]) -> List[Row]:
-        """Decode the rows at *rids* (index-scan batch path)."""
+    def _rows_batched_segments(self, batch_size: int) -> Iterator[List[Row]]:
+        decode = span_decoder(self.schema)
+        store = self.segments
+        heap = self.heap
+        total = heap.page_count()
+        batch: List[Row] = []
+        for page_lo in range(0, total, SEGMENT_PAGES):
+            version = heap.data_version
+            columns = store.get(page_lo, version)
+            if columns is None:
+                run_rows: List[Row] = []
+                stop = min(page_lo + SEGMENT_PAGES, total)
+                for _page_no, data, live in heap.scan_pages(page_lo, stop):
+                    buf = bytes(data)
+                    for _slot_no, offset, length in live:
+                        run_rows.append(decode(buf, offset, offset + length))
+                columns = store.put(page_lo, version, run_rows)
+                rows: Iterator[Row] = iter(run_rows)
+            else:
+                rows = zip(*columns)  # type: ignore[assignment]
+            for row in rows:
+                batch.append(row)
+                if len(batch) >= batch_size:
+                    yield batch
+                    batch = []
+        if batch:
+            yield batch
+
+    def read_many(self, rids: Sequence[RowId], prefetch: bool = False) -> List[Row]:
+        """Decode the rows at *rids* (index-scan batch path).
+
+        With *prefetch*, the distinct pages behind the batch are warmed
+        through the pager's batched read API first, collapsing the
+        per-rid point reads into a few positioned I/Os on a cold pool.
+        """
+        if prefetch and len(rids) > 1:
+            self.heap.prefetch([rid.page for rid in rids])
         schema = self.schema
         read = self.heap.read
         return [decode_row(schema, read(rid)) for rid in rids]

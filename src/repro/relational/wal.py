@@ -268,13 +268,14 @@ class WriteAheadLog:
         included — the offset replay truncates back to when everything
         after a commit marker is discarded.
         """
-        os.lseek(self._fd, 0, os.SEEK_SET)
         tail = b""
         offset = 0
+        read_pos = 0
         while True:
-            chunk = os.read(self._fd, 1 << 20)
+            chunk = self._io.pread(self._fd, 1 << 20, read_pos)
             if not chunk:
                 break
+            read_pos += len(chunk)
             tail += chunk
             lines = tail.split(b"\n")
             tail = lines.pop()

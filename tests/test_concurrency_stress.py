@@ -312,6 +312,56 @@ def test_threaded_chaos_with_mid_run_crash(tmp_path, crash_offset):
     reopened.close()
 
 
+def test_threaded_chaos_tiny_pool(tmp_path):
+    """Eight sessions hammer a database whose buffer pool holds two pages.
+
+    Every statement overflows the pool, so this run leans entirely on the
+    no-steal discipline: a dirty or pinned page picked as an eviction
+    victim raises StorageError inside the pager (surfacing in a worker's
+    ``unexpected`` list), and a page silently stolen to disk would break
+    the recovery comparison after reopen.
+    """
+    path = str(tmp_path / "chaos_tiny_pool")
+    db = Database(path=path, fsync=True, pool_size=2, prefetch_pages=4)
+    manager = SessionManager(
+        db,
+        SessionConfig(
+            max_sessions=N_WORKERS,
+            lock_timeout=0.3,
+            max_retries=2,
+            backoff_base=0.001,
+            backoff_cap=0.02,
+            retry_seed=7,
+        ),
+    )
+    _setup_schema(db)
+    # A heap wider than the pool: scanning it pins a prefetch window of 4
+    # pages into a 2-page pool, so the pool *must* overflow (rather than
+    # steal) to honour the promise read_pages made to the scan.
+    db.execute("CREATE TABLE filler (id INT PRIMARY KEY, pad TEXT)")
+    values = ", ".join(f"({i}, '{'x' * 200}')" for i in range(200))
+    db.execute(f"INSERT INTO filler VALUES {values}")
+    db.checkpoint()
+    assert db.catalog.table("filler").heap.page_count() > 4
+    assert db.query("SELECT COUNT(*) FROM filler") == [(200,)]
+    workers = _run_workers(manager, seed=7)
+    assert not any(w.unexpected for w in workers), [
+        w.unexpected for w in workers if w.unexpected
+    ]
+    pool_stats = db.metrics_snapshot()["pager"]
+    assert pool_stats.get("pool_overflows", 0) > 0, (
+        "a two-page pool never overflowed — the pressure test exerted none"
+    )
+    expected = dict(db.query("SELECT id, v FROM counters"))
+    db.close()
+
+    reopened = Database(path=path)
+    report = reopened.integrity_check()
+    assert report.ok, report.problems
+    assert dict(reopened.query("SELECT id, v FROM counters")) == expected
+    reopened.close()
+
+
 def test_two_session_crash_exhaustion(tmp_path):
     """Satellite: the PR 3 crash-point exhaustion harness over a
     deterministic two-session interleaving — one session commits while the

@@ -75,8 +75,11 @@ class _Workload:
     step so the verifier knows which snapshots are legal outcomes.
     """
 
-    def __init__(self, path):
+    def __init__(self, path, db_kwargs=None):
         self.path = path
+        #: extra Database() arguments (e.g. a tiny pool_size to force the
+        #: no-steal policy to carry dirty pages past the pool target)
+        self.db_kwargs = db_kwargs or {}
         #: per-step expected states, recorded once by the enumeration pass
         #: (the step sequence is deterministic, so they hold for every run)
         self.baseline = []
@@ -114,7 +117,7 @@ class _Workload:
         if recording:
             self.baseline = []
         self.completed = 0
-        db = Database(path=self.path, fsync=True, io=shim)
+        db = Database(path=self.path, fsync=True, io=shim, **self.db_kwargs)
         try:
             for func, arg in self.steps(db):
                 func(arg) if arg is not None else func()
@@ -133,7 +136,7 @@ class _Workload:
             raise
 
     def verify(self, shim):
-        db = Database(path=self.path, fsync=False)
+        db = Database(path=self.path, fsync=False, **self.db_kwargs)
         try:
             assert not db.read_only, (
                 f"pure crash degraded the database; events="
@@ -175,6 +178,24 @@ class TestCrashExhaustion:
         assert points, "no crash points exercised"
         if _max_points() is None:
             assert len(points) == counter.io_calls  # full coverage
+
+    def test_mixed_workload_under_pool_pressure(self, tmp_path):
+        """The full exhaustion sweep with a pool of two pages.
+
+        Nearly every page access overflows the pool, so the no-steal
+        policy is exercised at each crash point: a dirty page stolen to
+        disk would surface as a recovery mismatch here, and a broken
+        eviction-queue discipline raises StorageError inside the pager
+        before the crash even lands.
+        """
+        workload = _Workload(
+            str(tmp_path / "db"),
+            db_kwargs={"pool_size": 2, "prefetch_pages": 4},
+        )
+        points = exhaust_crash_points(
+            workload.run, workload.verify, max_points=_max_points(25)
+        )
+        assert points
 
     def test_mixed_workload_torn_writes(self, tmp_path):
         """Crashes that tear the in-flight write half-way still recover."""

@@ -269,6 +269,85 @@ class TestWow006Registry:
         assert [v.code for v in found] == ["WOW006"]
 
 
+class TestWow008PrefetchHint:
+    ALGEBRA_PATH = "src/repro/relational/algebra.py"
+
+    def test_scan_without_hint_fires(self):
+        src = """
+            class Operator:
+                prefetch_hint = "none"
+            class SeqScan(Operator):
+                def rows_batched(self, n=1):
+                    pass
+        """
+        assert codes(src, self.ALGEBRA_PATH) == ["WOW008"]
+
+    def test_unknown_hint_fires(self):
+        src = """
+            class BitmapScan:
+                prefetch_hint = "bitmap"
+        """
+        assert codes(src, self.ALGEBRA_PATH) == ["WOW008"]
+
+    def test_non_constant_hint_fires(self):
+        src = """
+            class DynScan:
+                prefetch_hint = HINT
+        """
+        assert codes(src, self.ALGEBRA_PATH) == ["WOW008"]
+
+    def test_declared_hints_clean(self):
+        src = """
+            class SeqScan:
+                prefetch_hint = "sequential"
+            class IndexEqScan:
+                prefetch_hint = "point"
+            class IndexRangeScan:
+                prefetch_hint = "range"
+            class NestedLoopJoin:
+                pass
+        """
+        assert codes(src, self.ALGEBRA_PATH) == []
+
+    def test_only_algebra_module_in_scope(self):
+        src = "class LoneScan:\n    pass\n"
+        assert codes(src, ENGINE_PATH) == []
+        assert codes(src, "src/repro/relational/algebra.py") == ["WOW008"]
+
+    def test_real_algebra_module_is_clean(self):
+        with open("src/repro/relational/algebra.py") as fh:
+            source = fh.read()
+        found = [
+            v.code
+            for v in lint_source(source, "src/repro/relational/algebra.py")
+            if v.code == "WOW008"
+        ]
+        assert found == []
+
+
+class TestWow001ReadCoverage:
+    def test_raw_reads_fire(self):
+        src = """
+            import os
+            def fetch(fd, n, off):
+                os.lseek(fd, off, os.SEEK_SET)
+                data = os.read(fd, n)
+                data2 = os.pread(fd, n, off)
+                size = os.fstat(fd).st_size
+        """
+        # lseek is positioning, not I/O the shim must count; the reads and
+        # the size probe each need shim routing.
+        assert codes(src) == ["WOW001", "WOW001", "WOW001"]
+
+    def test_shimmed_reads_clean(self):
+        src = """
+            def fetch(self, n, off):
+                data = self._io.pread(self._fd, n, off)
+                size = self._io.fstat(self._fd).st_size
+        """
+        assert codes(src) == []
+
+
 class TestSuppressionAndBaseline:
     def test_inline_allow_on_line(self):
         src = "os.fsync(fd)  # wowlint: allow WOW001\n"
