@@ -1,0 +1,518 @@
+"""Conservative intra-package call graph with lock events.
+
+One :class:`FunctionNode` per top-level function or method in
+``src/repro/`` (nested defs and lambdas are inlined into their enclosing
+function: the closures this tree builds — system-table ``rows`` thunks,
+executor generators — run under whatever their *caller* holds, which is
+exactly what entry-held propagation models).  Each node carries an
+ordered list of :class:`Site` events:
+
+``acquire``   a ``with <modeled lock>:`` or ``<lock>.acquire()``
+``wait``      a ``Condition.wait``/``wait_for`` on a modeled condition
+``resource``  a ``LockManager.acquire(...)`` whose resource argument is
+              statically known (table name literal or CATALOG_RESOURCE)
+``call``      a call resolved to other nodes in the graph
+``mutate``    a write to module-level shared mutable state (WOW010 input)
+
+plus the *lexically* held mutex stack at each site.  Call resolution is
+precision-over-recall: ``self.method``, module functions, imported
+functions, constructors, and attribute chains whose receiver type is
+inferable from ``self.x = ClassName(...)`` assignments / parameter
+annotations / :data:`lockmodel.KNOWN_ATTR_TYPES`.  Unresolvable calls are
+dropped rather than wildcarded — a missed edge can hide a real cycle,
+but a wildcard edge would drown the report in false cycles; the known
+dynamic dispatch points are restored explicitly by
+:data:`lockmodel.DISPATCH_EDGES`.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.rules import (
+    SharedMutableState,
+    annotate_scopes,
+    dotted_name,
+    scope_of,
+)
+from repro.analysis.concurrency import lockmodel
+
+NodeId = Tuple[str, str]  # (relpath, dotted scope)
+
+
+@dataclass
+class Site:
+    """One lock-relevant event inside a function body."""
+
+    kind: str  # "acquire" | "wait" | "resource" | "call" | "mutate"
+    line: int
+    col: int
+    scope: str  # dotted qualname (nested closures keep their own scope)
+    held: Tuple[str, ...]  # lexically held mutex keys, outermost first
+    lock: Optional[str] = None
+    callee: Optional[str] = None
+    targets: Tuple[NodeId, ...] = ()
+    name: Optional[str] = None  # mutate: the shared module-level name
+
+
+@dataclass
+class FunctionNode:
+    id: NodeId
+    class_name: Optional[str]
+    line: int
+    sites: List[Site] = field(default_factory=list)
+
+    @property
+    def relpath(self) -> str:
+        return self.id[0]
+
+    @property
+    def scope(self) -> str:
+        return self.id[1]
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    relpath: str
+    bases: Tuple[str, ...]
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> scope
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class CallGraph:
+    nodes: Dict[NodeId, FunctionNode] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    module_funcs: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: relpath -> local name -> ("module", relpath) | ("class", name)
+    imports: Dict[str, Dict[str, Tuple[str, str]]] = field(default_factory=dict)
+    #: shared module-level mutable names per relpath (WOW010 inventory)
+    shared_state: Dict[str, Set[str]] = field(default_factory=dict)
+    #: lockish `with` contexts not in the model: (relpath, line, name)
+    unmodeled: List[Tuple[str, int, str]] = field(default_factory=list)
+
+    # -- method lookup with single-inheritance fallback -------------------
+    def resolve_method(self, class_name: str, method: str,
+                       _depth: int = 0) -> Optional[NodeId]:
+        info = self.classes.get(class_name)
+        if info is None or _depth > 8:
+            return None
+        if method in info.methods:
+            return (info.relpath, info.methods[method])
+        for base in info.bases:
+            found = self.resolve_method(base, method, _depth + 1)
+            if found is not None:
+                return found
+        return None
+
+    def attr_type(self, class_name: str, attr: str,
+                  _depth: int = 0) -> Optional[str]:
+        known = lockmodel.KNOWN_ATTR_TYPES.get((class_name, attr))
+        if known is not None:
+            return known
+        info = self.classes.get(class_name)
+        if info is None or _depth > 8:
+            return None
+        if attr in info.attr_types:
+            return info.attr_types[attr]
+        for base in info.bases:
+            found = self.attr_type(base, attr, _depth + 1)
+            if found is not None:
+                return found
+        return None
+
+
+def _module_to_relpath(module: str) -> Optional[str]:
+    """``repro.session.locks`` -> ``src/repro/session/locks.py`` (best
+    effort; the caller checks the file actually parsed)."""
+    if not module.startswith("repro"):
+        return None
+    return "src/" + module.replace(".", "/") + ".py"
+
+
+def _resolve_relative(relpath: str, level: int, module: Optional[str]) -> Optional[str]:
+    """Absolute ``repro.x.y`` form of a relative import in *relpath*."""
+    parts = relpath[:-len(".py")].split("/")  # src/repro/session/manager
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    else:
+        parts = parts[:-1]  # drop the module itself
+    for _ in range(level - 1):
+        if parts:
+            parts = parts[:-1]
+    base = ".".join(parts)
+    if module:
+        base = f"{base}.{module}" if base else module
+    return base or None
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: structural indexes
+# ---------------------------------------------------------------------------
+
+
+def _index_module(cg: CallGraph, relpath: str, tree: ast.Module) -> None:
+    cg.module_funcs.setdefault(relpath, {})
+    cg.imports.setdefault(relpath, {})
+    if any(scope in relpath for scope in lockmodel.SHARED_STATE_SCOPES):
+        cg.shared_state[relpath] = SharedMutableState._module_mutables(tree)
+    for node in ast.iter_child_nodes(tree):
+        if isinstance(node, ast.FunctionDef):
+            cg.module_funcs[relpath][node.name] = node.name
+        elif isinstance(node, ast.ClassDef):
+            bases = tuple(
+                b for b in (dotted_name(base) for base in node.bases)
+                if b is not None
+            )
+            info = ClassInfo(node.name, relpath,
+                             tuple(b.rsplit(".", 1)[-1] for b in bases))
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef):
+                    info.methods[item.name] = f"{node.name}.{item.name}"
+            _harvest_attr_types(info, node)
+            cg.classes[node.name] = info
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module
+            if node.level:
+                module = _resolve_relative(relpath, node.level, node.module)
+            if module is None or not module.startswith("repro"):
+                continue
+            for alias in node.names:
+                local = alias.asname or alias.name
+                as_module = _module_to_relpath(f"{module}.{alias.name}")
+                cg.imports[relpath][local] = (
+                    ("submodule", as_module or "")
+                    if alias.name[:1].islower() else ("name", alias.name)
+                )
+                # record the source module too, so `name` resolves to a
+                # function defined there even when the heuristic above
+                # guessed "submodule"
+                src = _module_to_relpath(module)
+                if src is not None:
+                    cg.imports[relpath].setdefault(
+                        f"{local}@from", ("module", src))
+
+
+def _harvest_attr_types(info: ClassInfo, cls: ast.ClassDef) -> None:
+    """``self.x = ClassName(...)`` / ``self.x: ClassName`` anywhere in the
+    class body sets the instance-attribute type map."""
+    for node in ast.walk(cls):
+        target: Optional[ast.AST] = None
+        value: Optional[ast.AST] = None
+        annotation: Optional[ast.AST] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value, annotation = node.target, node.value, node.annotation
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            continue
+        type_name: Optional[str] = None
+        if annotation is not None:
+            type_name = _annotation_name(annotation)
+        if type_name is None and isinstance(value, ast.Call):
+            ctor = dotted_name(value.func)
+            if ctor is not None and ctor[:1].isupper():
+                type_name = ctor.rsplit(".", 1)[-1]
+        if type_name is not None:
+            info.attr_types.setdefault(target.attr, type_name)
+
+
+def _annotation_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.rsplit(".", 1)[-1].strip("'\" ")
+    name = dotted_name(node)
+    if name is not None and name.rsplit(".", 1)[-1][:1].isupper():
+        return name.rsplit(".", 1)[-1]
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Pass 2: per-function event walk
+# ---------------------------------------------------------------------------
+
+
+class _FunctionWalker:
+    """Walks one top-level function/method (inlining nested defs) and
+    emits Sites with the lexical held-lock stack."""
+
+    def __init__(self, cg: CallGraph, node: FunctionNode,
+                 relpath: str, env: Dict[str, str]):
+        self.cg = cg
+        self.node = node
+        self.relpath = relpath
+        self.env = env  # local/param name -> class name
+
+    # -- type inference ---------------------------------------------------
+    def infer_type(self, expr: ast.AST, _depth: int = 0) -> Optional[str]:
+        if _depth > 6:
+            return None
+        if isinstance(expr, ast.Name):
+            return self.env.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base = self.infer_type(expr.value, _depth + 1)
+            if base is None:
+                return None
+            return self.cg.attr_type(base, expr.attr)
+        if isinstance(expr, ast.Call):
+            ctor = dotted_name(expr.func)
+            if ctor is not None:
+                leaf = ctor.rsplit(".", 1)[-1]
+                if leaf in self.cg.classes:
+                    return leaf
+        return None
+
+    # -- call resolution --------------------------------------------------
+    def resolve_call(self, call: ast.Call) -> Tuple[Optional[str], Tuple[NodeId, ...]]:
+        func = call.func
+        name = dotted_name(func)
+        imports = self.cg.imports.get(self.relpath, {})
+        if isinstance(func, ast.Name):
+            local = func.id
+            # same-module function
+            if local in self.cg.module_funcs.get(self.relpath, {}):
+                return name, ((self.relpath, local),)
+            # constructor (same module or imported class)
+            if local in self.cg.classes:
+                init = self.cg.resolve_method(local, "__init__")
+                return (name, (init,)) if init is not None else (name, ())
+            # imported function
+            entry = imports.get(f"{local}@from")
+            if entry is not None and entry[1] in self.cg.module_funcs:
+                funcs = self.cg.module_funcs[entry[1]]
+                if local in funcs:
+                    return name, ((entry[1], local),)
+            return name, ()
+        if isinstance(func, ast.Attribute):
+            # module attr:  planverify.verify_plan(...)
+            if isinstance(func.value, ast.Name):
+                entry = imports.get(func.value.id)
+                if entry is not None and entry[0] == "submodule":
+                    funcs = self.cg.module_funcs.get(entry[1], {})
+                    if func.attr in funcs:
+                        return name, ((entry[1], func.attr),)
+            # typed receiver:  self.locks.acquire(...), manager.rows(...)
+            recv_type = self.infer_type(func.value)
+            if recv_type is not None:
+                target = self.cg.resolve_method(recv_type, func.attr)
+                if target is not None:
+                    return name, (target,)
+            return name, ()
+        return name, ()
+
+    # -- the walk ---------------------------------------------------------
+    def walk_body(self, body: Sequence[ast.stmt], held: Tuple[str, ...]) -> None:
+        for stmt in body:
+            self.walk_stmt(stmt, held)
+
+    def walk_stmt(self, stmt: ast.stmt, held: Tuple[str, ...]) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            new_held = held
+            for item in stmt.items:
+                self.visit_expr(item.context_expr, held)
+                key = lockmodel.identify_lock(item.context_expr, self.relpath)
+                if key is not None:
+                    self.emit("acquire", item.context_expr, held, lock=key)
+                    if key not in new_held:
+                        new_held = new_held + (key,)
+                elif lockmodel.is_lockish(item.context_expr):
+                    shown = dotted_name(item.context_expr) or "<expr>"
+                    self.cg.unmodeled.append(
+                        (self.relpath, item.context_expr.lineno, shown))
+            self.walk_body(stmt.body, new_held)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # inline the closure: its body runs under the caller's locks,
+            # which entry-held propagation models; lexically it inherits
+            # the def site's held stack
+            self._bind_locals(stmt)
+            self.walk_body(stmt.body, held)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            return
+        # local type bindings:  x = ClassName(...)  /  x = self.a.b
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and isinstance(
+                stmt.targets[0], ast.Name):
+            inferred = self.infer_type(stmt.value)
+            if inferred is not None:
+                self.env[stmt.targets[0].id] = inferred
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self.visit_expr(child, held)
+            elif isinstance(child, ast.stmt):
+                self.walk_stmt(child, held)
+            elif isinstance(child, (ast.ExceptHandler, ast.match_case)):
+                for sub in ast.iter_child_nodes(child):
+                    if isinstance(sub, ast.stmt):
+                        self.walk_stmt(sub, held)
+                    elif isinstance(sub, ast.expr):
+                        self.visit_expr(sub, held)
+        self._check_mutation(stmt, held)
+
+    def visit_expr(self, expr: ast.expr, held: Tuple[str, ...]) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                self._visit_call(node, held)
+                self._check_mutation(node, held)
+
+    def _visit_call(self, call: ast.Call, held: Tuple[str, ...]) -> None:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            recv_key = lockmodel.identify_lock(func.value, self.relpath)
+            if recv_key is not None:
+                if func.attr in ("wait", "wait_for"):
+                    self.emit("wait", call, held, lock=recv_key)
+                    return
+                if func.attr == "acquire":
+                    self.emit("acquire", call, held, lock=recv_key)
+                    return
+                if func.attr in ("release", "notify", "notify_all"):
+                    return
+            # LockManager.acquire with a statically known resource
+            if func.attr == "acquire":
+                recv_type = self.infer_type(func.value)
+                if recv_type == "LockManager" and call.args:
+                    res = self._resource_key(call.args[1] if len(call.args) > 1
+                                             else call.args[0], call)
+                    if res is not None:
+                        self.emit("resource", call, held, lock=res)
+        callee, targets = self.resolve_call(call)
+        if targets:
+            self.emit("call", call, held, callee=callee, targets=targets)
+
+    @staticmethod
+    def _resource_key(arg: ast.AST, call: ast.Call) -> Optional[str]:
+        """Abstract resource for a LockManager.acquire argument; None when
+        the resource is dynamic (loop variable over a lockset)."""
+        candidates = [arg] + [kw.value for kw in call.keywords
+                              if kw.arg == "resource"]
+        for node in candidates:
+            name = dotted_name(node)
+            if name is not None and name.rsplit(".", 1)[-1] == "CATALOG_RESOURCE":
+                return lockmodel.CATALOG_RESOURCE_LOCK
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                if node.value == lockmodel.CATALOG_RESOURCE_VALUE:
+                    return lockmodel.CATALOG_RESOURCE_LOCK
+                return lockmodel.TABLE_LOCKS
+        return None
+
+    def _check_mutation(self, node: ast.AST, held: Tuple[str, ...]) -> None:
+        shared = self.cg.shared_state.get(self.relpath)
+        if not shared:
+            return
+        target = SharedMutableState._mutation_target(node)
+        if target is not None and target in shared:
+            self.emit("mutate", node, held, name=target)
+
+    def emit(self, kind: str, node: ast.AST, held: Tuple[str, ...], **kw) -> None:
+        self.node.sites.append(
+            Site(
+                kind=kind,
+                line=getattr(node, "lineno", self.node.line),
+                col=getattr(node, "col_offset", 0),
+                scope=scope_of(node),
+                held=held,
+                **kw,
+            )
+        )
+
+    def _bind_locals(self, fn: ast.FunctionDef) -> None:
+        for arg in list(fn.args.args) + list(fn.args.kwonlyargs):
+            if arg.annotation is not None:
+                type_name = _annotation_name(arg.annotation)
+                if type_name is not None:
+                    self.env.setdefault(arg.arg, type_name)
+
+
+def _walk_functions(cg: CallGraph, relpath: str, tree: ast.Module) -> None:
+    def make_node(fn: ast.FunctionDef, class_name: Optional[str],
+                  scope: str) -> None:
+        node = FunctionNode((relpath, scope), class_name, fn.lineno)
+        cg.nodes[node.id] = node
+        env: Dict[str, str] = {}
+        if class_name is not None:
+            env["self"] = class_name
+        walker = _FunctionWalker(cg, node, relpath, env)
+        walker._bind_locals(fn)
+        walker.walk_body(fn.body, ())
+
+    for item in ast.iter_child_nodes(tree):
+        if isinstance(item, ast.FunctionDef):
+            make_node(item, None, item.name)
+        elif isinstance(item, ast.ClassDef):
+            for member in item.body:
+                if isinstance(member, ast.FunctionDef):
+                    make_node(member, item.name, f"{item.name}.{member.name}")
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def build_graph(sources: Dict[str, str]) -> CallGraph:
+    """Build the call graph from {relpath: source}."""
+    cg = CallGraph()
+    trees: Dict[str, ast.Module] = {}
+    for relpath in sorted(sources):
+        try:
+            tree = ast.parse(sources[relpath])
+        except SyntaxError:
+            continue
+        annotate_scopes(tree)
+        trees[relpath] = tree
+        _index_module(cg, relpath, tree)
+    for relpath, tree in trees.items():
+        _walk_functions(cg, relpath, tree)
+    _apply_dispatch_edges(cg)
+    return cg
+
+
+def _apply_dispatch_edges(cg: CallGraph) -> None:
+    for src_path, src_scope, dst_path, dst_scope in lockmodel.DISPATCH_EDGES:
+        src = cg.nodes.get((src_path, src_scope))
+        dst = cg.nodes.get((dst_path, dst_scope))
+        if src is None or dst is None:
+            continue
+        src.sites.append(
+            Site(
+                kind="call",
+                line=src.line,
+                col=0,
+                scope=src_scope,
+                held=(),
+                callee=f"<dispatch:{dst_scope}>",
+                targets=(dst.id,),
+            )
+        )
+
+
+def collect_package_sources(package_root: str) -> Dict[str, str]:
+    """{relpath: source} for every .py under *package_root* (the
+    ``src/repro`` directory), with repo-root-relative posix paths."""
+    sources: Dict[str, str] = {}
+    root = os.path.abspath(package_root)
+    # repo root = parent of src/
+    repo_root = os.path.dirname(os.path.dirname(root))
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for fname in sorted(filenames):
+            if not fname.endswith(".py"):
+                continue
+            full = os.path.join(dirpath, fname)
+            rel = os.path.relpath(full, repo_root).replace(os.sep, "/")
+            try:
+                with open(full, "r", encoding="utf-8") as fh:
+                    sources[rel] = fh.read()
+            except OSError:
+                continue
+    return sources

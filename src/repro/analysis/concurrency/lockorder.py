@@ -1,0 +1,387 @@
+"""Interprocedural lock-order / latch-discipline checkers (WOW009/WOW010).
+
+Two fixpoint propagations over the call graph:
+
+* **may-held** — union over callers of (caller entry ∪ lexical stack at
+  the call site).  "Can lock L be held when control reaches this
+  function?"  Drives the order graph and the latch-discipline check:
+  over-approximating here errs toward reporting, which is the right
+  direction for a deadlock checker.
+* **must-held** — intersection over callers.  "Is lock L *always* held
+  on entry?"  Drives WOW010 guardedness: a mutation site is guarded iff
+  some mutex is must-held (lexically or on every in-graph path).  The
+  closed-world assumption is explicit: functions with no in-graph
+  callers are entry points and start with nothing held.
+
+Checks, all surfaced as wowlint Violations (baseline + ``# wowlint:
+allow`` apply exactly as for the per-file rules):
+
+WOW009 (a) cycles in the static lock-order graph — lock B acquired
+           while A is held on one path and A while B is held on another;
+       (b) a ``Condition.wait`` (the table-lock grant loop) or a
+           table-lock acquisition reachable with the engine latch held —
+           the PR 8 invariant;
+       (c) CATALOG_RESOURCE acquired after a table lock at statically
+           resolvable acquire sites.
+WOW010     module-level shared state with both guarded and unguarded
+           mutation sites — the lock is real but some path skips it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.rules import Violation
+from repro.analysis.concurrency import lockmodel
+from repro.analysis.concurrency.callgraph import (
+    CallGraph,
+    FunctionNode,
+    NodeId,
+    Site,
+    build_graph,
+    collect_package_sources,
+)
+
+_WOW009_FIXIT = (
+    "restructure so the blocking operation happens outside the latch "
+    "(compute under the latch, wait outside — see SessionManager.execute), "
+    "or acquire the locks in the documented order (engine latch innermost, "
+    "never around a table-lock wait; CATALOG_RESOURCE before table locks)"
+)
+_WOW010_FIXIT = (
+    "hoist the mutation inside the owning `with <lock>:` block (or call it "
+    "only from paths that already hold the lock); every other mutation "
+    "site of this name is lock-guarded"
+)
+
+
+@dataclass
+class OrderEdge:
+    """first -> then: *then* was acquired while *first* was held."""
+
+    first: str
+    then: str
+    relpath: str
+    scope: str
+    line: int
+
+    def render(self) -> str:
+        return (f"{self.first} -> {self.then}  "
+                f"({self.relpath}:{self.line} in {self.scope})")
+
+
+@dataclass
+class AnalysisReport:
+    """Everything the CLI / metrics snapshot / linter pass consume."""
+
+    order_edges: List[OrderEdge] = field(default_factory=list)
+    cycles: List[List[str]] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+    #: lock key -> may-held entry count (how many functions can run under it)
+    reach: Dict[str, int] = field(default_factory=dict)
+    unmodeled: List[Tuple[str, int, str]] = field(default_factory=list)
+    functions: int = 0
+    call_edges: int = 0
+
+    @property
+    def ordered_locks(self) -> List[str]:
+        """Topological order of the mutex order graph (observed-first
+        partial order; stable by name inside a rank).  Falls back to
+        insertion order when a cycle makes topo-sort impossible."""
+        keys = sorted({e.first for e in self.order_edges}
+                      | {e.then for e in self.order_edges})
+        deps: Dict[str, Set[str]] = {k: set() for k in keys}
+        for edge in self.order_edges:
+            deps[edge.then].add(edge.first)
+        out: List[str] = []
+        while deps:
+            ready = sorted(k for k, d in deps.items() if not (d - set(out)))
+            if not ready:
+                out.extend(sorted(deps))  # cycle: report remainder as-is
+                break
+            out.extend(ready)
+            for k in ready:
+                del deps[k]
+        return out
+
+
+def _site_held(entry: FrozenSet[str], site: Site) -> FrozenSet[str]:
+    return entry | frozenset(site.held)
+
+
+def _propagate(
+    cg: CallGraph,
+) -> Tuple[Dict[NodeId, FrozenSet[str]], Dict[NodeId, FrozenSet[str]],
+           Dict[Tuple[NodeId, str], Tuple[NodeId, int]]]:
+    """(may-held entry, must-held entry, provenance) per node.
+
+    Provenance maps (node, lock) -> (caller node, call line): the first
+    witness call site that introduced *lock* into the node's may-held
+    entry set — enough to reconstruct a path for the diagnostic."""
+    callers: Dict[NodeId, List[Tuple[NodeId, Site]]] = {}
+    for node in cg.nodes.values():
+        for site in node.sites:
+            if site.kind != "call":
+                continue
+            for target in site.targets:
+                if target in cg.nodes:
+                    callers.setdefault(target, []).append((node.id, site))
+
+    may: Dict[NodeId, FrozenSet[str]] = {nid: frozenset() for nid in cg.nodes}
+    provenance: Dict[Tuple[NodeId, str], Tuple[NodeId, int]] = {}
+    worklist = list(cg.nodes)
+    while worklist:
+        nid = worklist.pop()
+        node = cg.nodes[nid]
+        entry = may[nid]
+        for site in node.sites:
+            if site.kind != "call":
+                continue
+            outgoing = _site_held(entry, site)
+            for target in site.targets:
+                if target not in may:
+                    continue
+                added = outgoing - may[target]
+                if added:
+                    may[target] = may[target] | added
+                    for lock in added:
+                        provenance.setdefault((target, lock), (nid, site.line))
+                    worklist.append(target)
+
+    # must-held: decreasing fixpoint; entry points pinned at frozenset()
+    universe = frozenset(lockmodel.MUTEX_KEYS)
+    must: Dict[NodeId, FrozenSet[str]] = {
+        nid: (frozenset() if nid not in callers else universe)
+        for nid in cg.nodes
+    }
+    changed = True
+    while changed:
+        changed = False
+        for nid, incoming in callers.items():
+            acc: Optional[FrozenSet[str]] = None
+            for caller_id, site in incoming:
+                held = _site_held(must[caller_id], site)
+                acc = held if acc is None else (acc & held)
+            acc = acc if acc is not None else frozenset()
+            if acc != must[nid]:
+                must[nid] = acc
+                changed = True
+    return may, must, provenance
+
+
+def _witness(
+    provenance: Dict[Tuple[NodeId, str], Tuple[NodeId, int]],
+    cg: CallGraph,
+    nid: NodeId,
+    lock: str,
+) -> str:
+    """Human-readable call chain explaining how *lock* reaches *nid*."""
+    steps: List[str] = []
+    seen: Set[NodeId] = set()
+    cur = nid
+    while (cur, lock) in provenance and cur not in seen:
+        seen.add(cur)
+        caller, line = provenance[(cur, lock)]
+        steps.append(f"{caller[1]} ({caller[0]}:{line})")
+        cur = caller
+    if not steps:
+        return "held lexically in this function"
+    return "held via " + " <- ".join(steps)
+
+
+def analyze_graph(cg: CallGraph) -> AnalysisReport:
+    report = AnalysisReport()
+    report.functions = len(cg.nodes)
+    report.unmodeled = sorted(set(cg.unmodeled))
+    may, must, provenance = _propagate(cg)
+
+    edges_seen: Dict[Tuple[str, str], OrderEdge] = {}
+    latch = "engine_latch"
+
+    for node in cg.nodes.values():
+        entry_may = may[node.id]
+        for site in node.sites:
+            if site.kind == "call":
+                report.call_edges += len(site.targets)
+                continue
+            held = _site_held(entry_may, site)
+            if site.kind == "acquire" and site.lock in lockmodel.MUTEX_KEYS:
+                for prior in held:
+                    if prior == site.lock:
+                        continue  # reentrant RLock re-acquire
+                    key = (prior, site.lock)
+                    if key not in edges_seen:
+                        edge = OrderEdge(prior, site.lock, node.relpath,
+                                         site.scope, site.line)
+                        edges_seen[key] = edge
+                        report.order_edges.append(edge)
+            if site.kind == "wait" and latch in held and site.lock != latch:
+                report.violations.append(Violation(
+                    code="WOW009",
+                    path=node.relpath,
+                    line=site.line,
+                    col=site.col,
+                    scope=site.scope,
+                    message=(
+                        f"blocking `{site.lock}` wait reachable with the "
+                        f"engine latch held ({_witness(provenance, cg, node.id, latch)}) "
+                        "— every other session stalls behind this wait"
+                    ),
+                    fixit=_WOW009_FIXIT,
+                ))
+            if (site.kind == "resource" and site.lock == lockmodel.TABLE_LOCKS
+                    and latch in held):
+                report.violations.append(Violation(
+                    code="WOW009",
+                    path=node.relpath,
+                    line=site.line,
+                    col=site.col,
+                    scope=site.scope,
+                    message=(
+                        "table lock acquired while the engine latch is held "
+                        f"({_witness(provenance, cg, node.id, latch)}) — "
+                        "lock waits must happen outside the latch"
+                    ),
+                    fixit=_WOW009_FIXIT,
+                ))
+
+        # (c) catalog-after-table, per-function acquire sequence
+        saw_table: Optional[Site] = None
+        for site in node.sites:
+            if site.kind != "resource":
+                continue
+            if site.lock == lockmodel.TABLE_LOCKS and saw_table is None:
+                saw_table = site
+            elif (site.lock == lockmodel.CATALOG_RESOURCE_LOCK
+                  and saw_table is not None):
+                report.violations.append(Violation(
+                    code="WOW009",
+                    path=node.relpath,
+                    line=site.line,
+                    col=site.col,
+                    scope=site.scope,
+                    message=(
+                        "CATALOG_RESOURCE acquired after a table lock "
+                        f"(table lock at line {saw_table.line}) — locksets "
+                        "must put the catalog pseudo-lock first"
+                    ),
+                    fixit=_WOW009_FIXIT,
+                ))
+
+    report.cycles = _find_cycles(report.order_edges)
+    for cycle in report.cycles:
+        # anchor the diagnostic at the first edge of the cycle
+        nxt = cycle[1] if len(cycle) > 1 else cycle[0]
+        first = next((e for e in report.order_edges
+                      if e.first == cycle[0] and e.then == nxt),
+                     report.order_edges[0])
+        report.violations.append(Violation(
+            code="WOW009",
+            path=first.relpath,
+            line=first.line,
+            col=0,
+            scope=first.scope,
+            message=(
+                "lock-order cycle: " + " -> ".join(cycle + [cycle[0]])
+                + " — two threads taking these paths concurrently can "
+                "deadlock beyond the table-lock detector's reach"
+            ),
+            fixit=_WOW009_FIXIT,
+        ))
+
+    report.violations.extend(_check_shared_state(cg, may, must))
+
+    for lock in lockmodel.MUTEX_KEYS:
+        report.reach[lock] = sum(1 for nid in cg.nodes if lock in may[nid])
+    report.violations.sort(key=lambda v: (v.path, v.line, v.code))
+    return report
+
+
+def _find_cycles(edges: Sequence[OrderEdge]) -> List[List[str]]:
+    """Elementary cycles in the order graph (DFS with path stack; the
+    graph has single-digit nodes, so simplicity beats Johnson's)."""
+    graph: Dict[str, Set[str]] = {}
+    for e in edges:
+        graph.setdefault(e.first, set()).add(e.then)
+        graph.setdefault(e.then, set())
+    cycles: List[List[str]] = []
+    seen_cycles: Set[Tuple[str, ...]] = set()
+
+    def dfs(start: str, cur: str, path: List[str], visited: Set[str]) -> None:
+        for nxt in sorted(graph.get(cur, ())):
+            if nxt == start and len(path) > 0:
+                # canonicalise: rotate so the smallest key leads
+                cyc = path[:]
+                pivot = cyc.index(min(cyc))
+                canon = tuple(cyc[pivot:] + cyc[:pivot])
+                if canon not in seen_cycles:
+                    seen_cycles.add(canon)
+                    cycles.append(list(canon))
+            elif nxt not in visited and nxt > start:
+                visited.add(nxt)
+                dfs(start, nxt, path + [nxt], visited)
+                visited.discard(nxt)
+
+    for start in sorted(graph):
+        dfs(start, start, [start], {start})
+    return cycles
+
+
+def _check_shared_state(
+    cg: CallGraph,
+    may: Dict[NodeId, FrozenSet[str]],
+    must: Dict[NodeId, FrozenSet[str]],
+) -> List[Violation]:
+    """WOW010: per shared module-level name, partition mutation sites
+    into guarded (some mutex must-held, lexically or interprocedurally)
+    and unguarded; report the unguarded ones when both kinds exist."""
+    guarded: Dict[Tuple[str, str], List[Tuple[FunctionNode, Site]]] = {}
+    unguarded: Dict[Tuple[str, str], List[Tuple[FunctionNode, Site]]] = {}
+    mutexes = frozenset(lockmodel.MUTEX_KEYS)
+    for node in cg.nodes.values():
+        for site in node.sites:
+            if site.kind != "mutate" or site.name is None:
+                continue
+            key = (node.relpath, site.name)
+            effective = must[node.id] | frozenset(site.held)
+            if effective & mutexes:
+                guarded.setdefault(key, []).append((node, site))
+            else:
+                unguarded.setdefault(key, []).append((node, site))
+    out: List[Violation] = []
+    for key, sites in sorted(unguarded.items()):
+        if key not in guarded:
+            continue  # never guarded anywhere: WOW007's per-file territory
+        relpath, name = key
+        others = guarded[key]
+        locks = sorted(
+            frozenset().union(
+                *((must[g_node.id] | frozenset(g_site.held))
+                  for g_node, g_site in others)
+            ) & mutexes
+        )
+        for node, site in sites:
+            out.append(Violation(
+                code="WOW010",
+                path=relpath,
+                line=site.line,
+                col=site.col,
+                scope=site.scope,
+                message=(
+                    f"shared `{name}` mutated with no lock on this path, but "
+                    f"{len(others)} other site(s) mutate it under "
+                    f"{locks or ['a lock']} — one unguarded writer races "
+                    "every guarded one"
+                ),
+                fixit=_WOW010_FIXIT,
+            ))
+    return out
+
+
+def analyze_sources(sources: Dict[str, str]) -> AnalysisReport:
+    return analyze_graph(build_graph(sources))
+
+
+def analyze_package(package_root: str) -> AnalysisReport:
+    return analyze_sources(collect_package_sources(package_root))

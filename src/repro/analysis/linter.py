@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
 import os
 import re
 import sys
@@ -34,6 +35,11 @@ _ALLOW_RE = re.compile(r"#\s*wowlint:\s*allow\s+([A-Z0-9,\s]+)")
 #: the two files WOW006 cross-references, relative to the repo root
 _ALGEBRA_RELPATH = "src/repro/relational/algebra.py"
 _REGISTRY_RELPATH = "tests/test_property_engine.py"
+
+#: the concurrency project pass (WOW009/WOW010) needs the whole engine
+#: call graph; it runs only when the lock-table module is in scope, so
+#: linting a single unrelated file stays cheap and deterministic
+_CONC_ANCHOR = "src/repro/session/locks.py"
 
 
 @dataclass
@@ -64,6 +70,57 @@ class LintReport:
             f"{len(self.suppressed)} baselined, {len(self.stale)} stale"
         )
         lines.append(summary)
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        """Machine-readable report (``--format=json``)."""
+        payload = {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "violations": [
+                {
+                    "code": v.code, "path": v.path, "line": v.line,
+                    "col": v.col + 1, "scope": v.scope,
+                    "message": v.message, "fixit": v.fixit,
+                }
+                for v in sorted(self.violations,
+                                key=lambda v: (v.path, v.line, v.code))
+            ],
+            "baselined": len(self.suppressed),
+            "stale_baseline_entries": [
+                {"code": c, "path": p, "scope": s} for c, p, s in self.stale
+            ],
+            "parse_errors": list(self.parse_errors),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def render_github(self) -> str:
+        """GitHub Actions workflow commands (``--format=github``): every
+        violation becomes a clickable annotation on the PR diff."""
+
+        def esc(text: str) -> str:
+            # workflow-command data: %, CR, LF must be URL-escaped
+            return (text.replace("%", "%25")
+                        .replace("\r", "%0D").replace("\n", "%0A"))
+
+        lines: List[str] = []
+        for v in sorted(self.violations, key=lambda v: (v.path, v.line, v.code)):
+            lines.append(
+                f"::error file={v.path},line={v.line},col={v.col + 1},"
+                f"title={v.code}::{esc(v.message)} (fix: {esc(v.fixit)})"
+            )
+        for err in self.parse_errors:
+            lines.append(f"::error title=wowlint::{esc(err)}")
+        for code, path, scope in self.stale:
+            lines.append(
+                f"::warning file={path},title=stale baseline::"
+                f"{esc(f'{code} {scope}: violation gone — remove the entry')}"
+            )
+        lines.append(
+            f"wowlint: {self.files_checked} files, "
+            f"{len(self.violations)} new violations, "
+            f"{len(self.suppressed)} baselined, {len(self.stale)} stale"
+        )
         return "\n".join(lines)
 
 
@@ -152,6 +209,7 @@ def lint_paths(
     all_violations: List[Violation] = []
     seen: Set[str] = set()
     sources: Dict[str, str] = {}  # relpath -> source, for the project pass
+    conc_sources: Dict[str, str] = {}  # src/repro/* sources, for WOW009/010
     for path in _iter_python_files(paths):
         relpath = _relpath(path, root)
         if relpath in seen:
@@ -166,6 +224,8 @@ def lint_paths(
         report.files_checked += 1
         if relpath in (_ALGEBRA_RELPATH, _REGISTRY_RELPATH):
             sources[relpath] = source
+        if relpath.startswith("src/repro/"):
+            conc_sources[relpath] = source
         try:
             all_violations.extend(lint_source(source, relpath))
         except SyntaxError as exc:
@@ -183,6 +243,14 @@ def lint_paths(
             )
         )
 
+    # Project pass: the interprocedural concurrency rules (WOW009/WOW010)
+    # run over the whole collected engine tree; inline `# wowlint: allow`
+    # applies per file exactly as for the per-file rules.
+    if _CONC_ANCHOR in conc_sources:
+        all_violations.extend(
+            concurrency_violations(conc_sources, skip_allowed=True)
+        )
+
     if baseline_path is None and root:
         candidate = os.path.join(root, baseline_mod.BASELINE_FILENAME)
         if os.path.isfile(candidate):
@@ -198,13 +266,84 @@ def lint_paths(
     return report
 
 
+def concurrency_violations(
+    conc_sources: Dict[str, str], skip_allowed: bool = True
+) -> List[Violation]:
+    """WOW009/WOW010 from the interprocedural pass, with per-file
+    ``# wowlint: allow`` suppression applied when *skip_allowed*."""
+    from repro.analysis.concurrency import analyze_sources
+
+    conc_report = analyze_sources(conc_sources)
+    out: List[Violation] = []
+    allowed_cache: Dict[str, Dict[int, Set[str]]] = {}
+    for v in conc_report.violations:
+        if skip_allowed and v.path in conc_sources:
+            allowed = allowed_cache.get(v.path)
+            if allowed is None:
+                allowed = _allowed_lines(conc_sources[v.path])
+                allowed_cache[v.path] = allowed
+            if v.code in allowed.get(v.line, ()):
+                continue
+        out.append(v)
+    return out
+
+
+def _run_concurrency_cli(as_json: bool, baseline_path: Optional[str],
+                         use_baseline: bool) -> int:
+    """``python -m repro.analysis --concurrency [--json]``: print the
+    discovered lock order / invariants / violations, exit 1 on any
+    unsuppressed, non-baselined violation or order cycle."""
+    from repro.analysis.concurrency import report as conc_report
+    from repro.analysis.concurrency.callgraph import collect_package_sources
+
+    rep = conc_report.cached_report()
+    conc_sources = collect_package_sources(conc_report.PACKAGE_ROOT)
+    filtered = concurrency_violations(conc_sources, skip_allowed=True)
+    root = find_repo_root(os.getcwd()) or find_repo_root(
+        conc_report.PACKAGE_ROOT)
+    if baseline_path is None and root:
+        candidate = os.path.join(root, baseline_mod.BASELINE_FILENAME)
+        if os.path.isfile(candidate):
+            baseline_path = candidate
+    if use_baseline and baseline_path and os.path.isfile(baseline_path):
+        with open(baseline_path, "r", encoding="utf-8") as fh:
+            entries = baseline_mod.parse_baseline(fh.read())
+        filtered, _, _ = baseline_mod.apply_baseline(filtered, entries)
+    return conc_report.run_cli(as_json, violations=filtered)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="wowlint: engine-invariant linter (WOW001-WOW006) + plan-verifier tooling",
+        description=(
+            "wowlint: engine-invariant linter (WOW001-WOW010) + "
+            "plan-verifier and concurrency-analysis tooling"
+        ),
     )
     parser.add_argument(
         "--check", nargs="+", metavar="PATH", help="lint these files/directories"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json", "github"),
+        default="human",
+        help="report format: human (default), json, or GitHub Actions annotations",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail (exit 1) on stale baseline entries",
+    )
+    parser.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="run the interprocedural concurrency analyzer over src/repro "
+        "and print the lock order, checked invariants, and violations",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="with --concurrency: emit the report as JSON",
     )
     parser.add_argument(
         "--baseline", help=f"baseline file (default: {baseline_mod.BASELINE_FILENAME} at repo root)"
@@ -231,6 +370,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for code, title in sorted(RULE_CATALOG.items()):
             print(f"{code}  {title}")
         return 0
+
+    if args.concurrency:
+        return _run_concurrency_cli(
+            args.json, args.baseline, use_baseline=not args.no_baseline
+        )
 
     if args.self_check:
         from repro.analysis.selfcheck import run_self_check
@@ -266,5 +410,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     report = lint_paths(
         args.check, baseline_path=args.baseline, use_baseline=not args.no_baseline
     )
-    print(report.render())
-    return 0 if report.ok else 1
+    if args.format == "json":
+        print(report.render_json())
+    elif args.format == "github":
+        print(report.render_github())
+    else:
+        print(report.render())
+    ok = report.ok and not (args.strict and report.stale)
+    return 0 if ok else 1

@@ -109,6 +109,27 @@ def _check_scan(op: A.Operator) -> None:
     expected = RowLayout.for_table(op.alias, op.table.schema)
     if op.layout.slots != expected.slots:
         _fail(op, f"scan layout does not match schema of table {op.table.name!r}")
+    from repro.analysis.rules import PREFETCH_HINTS
+
+    hint = getattr(op, "prefetch_hint", None)
+    if hint not in PREFETCH_HINTS:
+        _fail(
+            op,
+            f"scan declares unknown prefetch_hint {hint!r} (expected one "
+            f"of {sorted(PREFETCH_HINTS)}) — the buffer pool cannot pick "
+            "a read-ahead strategy",
+        )
+    if isinstance(op, A.SeqScan):
+        use_segments = getattr(op, "use_segments", False)
+        if not isinstance(use_segments, bool):
+            _fail(op, f"SeqScan.use_segments must be a bool, got {use_segments!r}")
+        if use_segments and getattr(op.table, "segments", None) is None:
+            _fail(
+                op,
+                f"segment-fed SeqScan over table {op.table.name!r} which "
+                "has no segment store — the batched path would fall over "
+                "at execution time",
+            )
     index = getattr(op, "index", None)
     if index is not None:
         schema_names = {col.name for col in op.table.schema.columns}
@@ -126,6 +147,16 @@ def _check_scan(op: A.Operator) -> None:
                 f"lookup key has {len(key)} components but index "
                 f"{index.name!r} covers {len(index.columns)} columns",
             )
+        if isinstance(op, A.IndexRangeScan):
+            for side in ("low", "high"):
+                bound = getattr(op, side, None)
+                if bound is not None and len(bound) > len(index.columns):
+                    _fail(
+                        op,
+                        f"range {side} bound has {len(bound)} components "
+                        f"but index {index.name!r} covers only "
+                        f"{len(index.columns)} columns",
+                    )
 
 
 def _check_join_keys(

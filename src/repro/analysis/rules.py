@@ -762,3 +762,11 @@ RULES: Sequence[Rule] = (
 #: code -> one-line description, for --list-rules and the docs
 RULE_CATALOG: Dict[str, str] = {rule.code: rule.title for rule in RULES}
 RULE_CATALOG["WOW006"] = "native-batched operator missing from the equivalence-test registry"
+# project-level interprocedural rules (repro.analysis.concurrency)
+RULE_CATALOG["WOW009"] = (
+    "latch held across a blocking lock wait, lock-order cycle, or "
+    "catalog-after-table acquisition"
+)
+RULE_CATALOG["WOW010"] = (
+    "shared state mutated both with and without its owning lock"
+)

@@ -50,25 +50,28 @@ def run_self_check() -> List[str]:
     stdlib = _stdlib_modules()
 
     sources = {}
-    for name in sorted(os.listdir(package_dir)):
-        if not name.endswith(".py"):
-            continue
-        path = os.path.join(package_dir, name)
-        with open(path, "r", encoding="utf-8") as fh:
-            source = fh.read()
-        try:
-            tree = ast.parse(source)
-        except SyntaxError as exc:
-            problems.append(f"{name}: syntax error at line {exc.lineno}")
-            continue
-        sources[name] = source
-        for root in sorted(_import_roots(tree)):
-            if root == "repro" or root in stdlib:
+    for dirpath, dirnames, filenames in os.walk(package_dir):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for fname in sorted(filenames):
+            if not fname.endswith(".py"):
                 continue
-            problems.append(
-                f"{name}: imports non-stdlib module {root!r} — the linter "
-                "must run before dependencies are installed"
-            )
+            path = os.path.join(dirpath, fname)
+            name = os.path.relpath(path, package_dir).replace(os.sep, "/")
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+            try:
+                tree = ast.parse(source)
+            except SyntaxError as exc:
+                problems.append(f"{name}: syntax error at line {exc.lineno}")
+                continue
+            sources[name] = source
+            for root in sorted(_import_roots(tree)):
+                if root == "repro" or root in stdlib:
+                    continue
+                problems.append(
+                    f"{name}: imports non-stdlib module {root!r} — the linter "
+                    "must run before dependencies are installed"
+                )
 
     # Self-lint: the package's own files, under their real repo paths.
     from repro.analysis.linter import lint_source

@@ -105,6 +105,17 @@ class StatementTimeoutError(SessionError):
     """
 
 
+class LockDisciplineError(SessionError):
+    """The opt-in dynamic lock checker (``WOW_LOCK_CHECK=1``) observed an
+    acquisition that violates the engine's locking discipline — a table
+    lock requested under the engine latch, a lockset acquired out of
+    order, or an inversion against the observed lock-order graph.
+
+    Deliberately *not* retryable: the bug is in the code path, not the
+    interleaving; retrying would re-run the same illegal acquisition.
+    """
+
+
 class SqlError(DatabaseError):
     """Base class for SQL front-end failures."""
 

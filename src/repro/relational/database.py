@@ -237,7 +237,11 @@ class Database:
         #: LockManager queues transactions *before* taking the latch, so
         #: blocked sessions cannot wedge running ones.  Re-entrant because
         #: statements nest (DDL checkpoints, telemetry rebuilds).
-        self._latch = threading.RLock()
+        #: Under WOW_LOCK_CHECK=1 the latch is wrapped by the dynamic lock
+        #: checker (deferred import: repro.analysis needs this package).
+        from repro.analysis.concurrency import dynlock
+
+        self._latch = dynlock.maybe_wrap_latch(threading.RLock())
         #: statement row budget (None = unlimited); see _RowBudget
         self.statement_max_rows: Optional[int] = None
         self._row_budget: Optional[_RowBudget] = None
@@ -1362,7 +1366,16 @@ class Database:
             },
             "statement_log": self.statement_log.snapshot(),
             "registry": self.obs.snapshot(),
+            "analysis": self._analysis_metrics(),
         }
+
+    @staticmethod
+    def _analysis_metrics() -> Dict[str, Any]:
+        """The concurrency analyzer's view: cached static lock-order
+        summary + the live dynamic-detector state (WOW_LOCK_CHECK)."""
+        from repro.analysis.concurrency import report as _conc_report
+
+        return _conc_report.metrics_section()
 
     def slow_operations(self) -> List[Dict[str, Any]]:
         """The slow log's entries, oldest first (JSON-serialisable)."""

@@ -121,6 +121,15 @@ class LockManager:
 
     # -- public API --------------------------------------------------------
 
+    def begin_lockset(self, session_id: int) -> None:
+        """Mark the start of one statement's lockset acquisition run.
+
+        A no-op here — the hook exists so the opt-in dynamic lock checker
+        (:mod:`repro.analysis.concurrency.dynlock`) can reset its
+        per-thread ordering state at the same boundary the manager uses:
+        within one run, resources must arrive catalog-first then sorted.
+        """
+
     def acquire(
         self, session_id: int, resource: str, mode: str, timeout: float
     ) -> None:

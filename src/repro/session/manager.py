@@ -162,7 +162,11 @@ class SessionManager:
     ) -> None:
         self.db = db
         self.config = config or SessionConfig()
-        self.locks = LockManager()
+        # Deferred import: repro.analysis pulls in planverify (which needs
+        # the relational package); by __init__ time every module is loaded.
+        from repro.analysis.concurrency import dynlock
+
+        self.locks = dynlock.maybe_checked_lock_manager(LockManager())
         #: guards _sessions / _next_id / the lockset cache
         self._mutex = threading.Lock()
         self._sessions: Dict[int, Session] = {}
@@ -266,6 +270,7 @@ class SessionManager:
         self, session: Session, lockset: Tuple[Tuple[str, str], ...]
     ) -> None:
         try:
+            self.locks.begin_lockset(session.id)
             for resource, mode in lockset:
                 self.locks.acquire(
                     session.id, resource, mode, self.config.lock_timeout
@@ -428,7 +433,15 @@ class SessionManager:
             # Everyone else shares the catalog so DDL cannot shift the
             # schema underneath an open statement or transaction.
             wanted[CATALOG_RESOURCE] = SHARED
-        return tuple(sorted(wanted.items()))
+        # Catalog pseudo-lock strictly first, then tables ascending.  A
+        # plain sorted() almost gives this for free ("__catalog__" sorts
+        # before every letter), but a user table like "__a" would slip in
+        # front of it — and DDL holding X on the catalog while a reader
+        # acquires its tables catalog-last is exactly the inversion the
+        # ordering exists to prevent.
+        return tuple(sorted(
+            wanted.items(), key=lambda kv: (kv[0] != CATALOG_RESOURCE, kv[0])
+        ))
 
     def _select_sources(self, select: A.Select) -> List[str]:
         """Every table/view a SELECT reads (joins + subqueries), lowered."""

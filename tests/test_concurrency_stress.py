@@ -33,6 +33,7 @@ import threading
 
 import pytest
 
+from repro.analysis.concurrency import dynlock
 from repro.errors import WowError
 from repro.relational.database import Database
 from repro.relational.faults import FaultInjector, InjectedCrash
@@ -194,8 +195,24 @@ def _run_workers(manager, seed):
     return workers
 
 
+@pytest.fixture
+def lock_check():
+    """Run the chaos workload under the Eraser-style lockset detector:
+    every latch/table-lock acquisition is order-checked, and any lock
+    discipline violation surfaces both as a LockDisciplineError in a
+    worker's ``unexpected`` list and in the snapshot asserted below."""
+    dynlock.reset()
+    previous = dynlock.enabled()
+    dynlock.set_lock_check(True)
+    try:
+        yield
+    finally:
+        dynlock.set_lock_check(previous)
+        dynlock.reset()
+
+
 @pytest.mark.parametrize("seed", _seeds())
-def test_chaos_invariants(seed):
+def test_chaos_invariants(seed, lock_check):
     db = Database()
     manager = SessionManager(
         db,
@@ -242,6 +259,15 @@ def test_chaos_invariants(seed):
     assert joined[0][0] >= 1
     post.close()
     manager.close()
+
+    # the dynamic lockset detector watched every acquisition: no thread
+    # ever waited on a table lock under the latch, inverted a statement
+    # lockset, or inverted the observed mutex order
+    dyn = dynlock.snapshot()
+    assert dyn["enabled"]
+    assert dyn["acquisitions"] > 0
+    assert dyn["lockset_runs"] > N_WORKERS
+    assert dyn["violations"] == [], dyn["violations"]
 
 
 def test_chaos_workload_is_seed_deterministic():

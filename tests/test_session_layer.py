@@ -146,6 +146,101 @@ class TestLockManager:
         lm.acquire(3, "t", SHARED, 1.0)  # must not abort on stale doom
         assert lm.held(3) == [("t", SHARED)]
 
+    def _ring(self, lm, n):
+        """Build an n-session wait ring: session i holds resource i and
+        requests resource i+1 (mod n).  Returns [(thread, box), ...] in
+        session order; the last request closes the cycle."""
+        for sid in range(1, n + 1):
+            lm.acquire(sid, f"r{sid}", EXCLUSIVE, 1.0)
+        waiters = []
+        for sid in range(1, n + 1):
+            nxt = sid % n + 1
+            thread, box = run_thread(
+                lambda s=sid, r=f"r{nxt}": lm.acquire(s, r, EXCLUSIVE, 30.0)
+            )
+            waiters.append((thread, box))
+            wait_until(lambda count=sid: lm.stats["waits"] >= count)
+        return waiters
+
+    def _drain_ring(self, lm, waiters, victim):
+        """After *victim* aborts, release sessions in reverse id order so
+        every survivor's grant unblocks the next; assert none errored."""
+        lm.release_all(victim)
+        for sid in range(victim - 1, 0, -1):
+            thread, box = waiters[sid - 1]
+            join_dead(thread)
+            assert "error" not in box, f"session {sid} should survive"
+            lm.release_all(sid)
+
+    def test_three_cycle_dooms_youngest(self):
+        lm = LockManager()
+        waiters = self._ring(lm, 3)
+        thread, box = waiters[2]  # session 3: youngest member
+        join_dead(thread)
+        assert isinstance(box.get("error"), SerializationError)
+        assert box["error"].retryable
+        assert lm.stats["deadlocks"] == 1
+        self._drain_ring(lm, waiters, victim=3)
+
+    def test_four_cycle_dooms_youngest(self):
+        lm = LockManager()
+        waiters = self._ring(lm, 4)
+        thread, box = waiters[3]  # session 4
+        join_dead(thread)
+        assert isinstance(box.get("error"), SerializationError)
+        assert lm.stats["deadlocks"] == 1
+        self._drain_ring(lm, waiters, victim=4)
+
+    def test_victim_choice_is_order_independent(self):
+        # the victim is max(cycle) no matter which waiter's wait-loop pass
+        # detects the cycle: park the *older* session first, then let the
+        # younger one close the cycle (so session 1 triggers detection on
+        # a later pass), and vice versa — the youngest dies both times
+        for first_waiter in (1, 2):
+            lm = LockManager()
+            lm.acquire(1, "a", EXCLUSIVE, 1.0)
+            lm.acquire(2, "b", EXCLUSIVE, 1.0)
+            order = [1, 2] if first_waiter == 1 else [2, 1]
+            boxes = {}
+            threads = {}
+            for sid in order:
+                resource = "b" if sid == 1 else "a"
+                threads[sid], boxes[sid] = run_thread(
+                    lambda s=sid, r=resource: lm.acquire(s, r, EXCLUSIVE, 30.0)
+                )
+                wait_until(
+                    lambda count=len(threads): lm.stats["waits"] >= count
+                )
+            join_dead(threads[2])
+            assert isinstance(boxes[2].get("error"), SerializationError)
+            lm.release_all(2)
+            join_dead(threads[1])
+            assert "error" not in boxes[1]
+
+    def test_waiter_outside_cycle_survives(self):
+        # session 3 waits on a cycle member's resource but is not part of
+        # the cycle: it must never be doomed, and proceeds once the chain
+        # unwinds
+        lm = LockManager()
+        lm.acquire(1, "a", EXCLUSIVE, 1.0)
+        lm.acquire(2, "b", EXCLUSIVE, 1.0)
+        t3, box3 = run_thread(lambda: lm.acquire(3, "a", SHARED, 30.0))
+        wait_until(lambda: lm.stats["waits"] >= 1)
+        t1, box1 = run_thread(lambda: lm.acquire(1, "b", EXCLUSIVE, 30.0))
+        wait_until(lambda: lm.stats["waits"] >= 2)
+        t2, box2 = run_thread(lambda: lm.acquire(2, "a", EXCLUSIVE, 30.0))
+        # cycle is {1, 2}; 3 is younger than both but outside the cycle
+        join_dead(t2)
+        assert isinstance(box2.get("error"), SerializationError)
+        lm.release_all(2)
+        join_dead(t1)
+        assert "error" not in box1
+        lm.release_all(1)
+        join_dead(t3)
+        assert "error" not in box3
+        assert lm.held(3) == [("a", SHARED)]
+        assert lm.stats["deadlocks"] == 1
+
 
 # ---------------------------------------------------------------------------
 # Sessions over one engine
